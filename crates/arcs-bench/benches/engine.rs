@@ -1,0 +1,57 @@
+//! Criterion micro-benchmarks for the association rule engine: the
+//! "re-mining is nearly instantaneous" claim (§3.2) — mining off the
+//! BinArray at different grid sizes, independent of |D|.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use arcs_core::engine::{mine_rules, rule_grid, Thresholds};
+use arcs_core::optimizer::ThresholdLattice;
+use arcs_core::BinArray;
+
+fn filled_array(bins: usize) -> BinArray {
+    let mut ba = BinArray::new(bins, bins, 2).expect("valid dims");
+    // Deterministic occupancy: most cells hold a handful of tuples of each
+    // group, a band holds many group-0 tuples.
+    for y in 0..bins {
+        for x in 0..bins {
+            let group0 = if (bins / 4..bins / 2).contains(&y) { 20 } else { 2 };
+            for _ in 0..group0 {
+                ba.add(x, y, 0);
+            }
+            for _ in 0..5 {
+                ba.add(x, y, 1);
+            }
+        }
+    }
+    ba
+}
+
+fn bench_engine(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine/mine_rules");
+    for bins in [50usize, 100, 200] {
+        let ba = filled_array(bins);
+        let t = Thresholds::new(0.0001, 0.5).expect("valid thresholds");
+        group.bench_with_input(BenchmarkId::from_parameter(bins), &ba, |b, ba| {
+            b.iter(|| mine_rules(ba, 0, t));
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("engine/rule_grid");
+    for bins in [50usize, 100, 200] {
+        let ba = filled_array(bins);
+        let t = Thresholds::new(0.0001, 0.5).expect("valid thresholds");
+        group.bench_with_input(BenchmarkId::from_parameter(bins), &ba, |b, ba| {
+            b.iter(|| rule_grid(ba, 0, t).expect("grid builds"));
+        });
+    }
+    group.finish();
+
+    c.bench_function("engine/threshold_lattice_50", |b| {
+        let ba = filled_array(50);
+        b.iter(|| ThresholdLattice::build(&ba, 0));
+    });
+}
+
+criterion_group!(benches, bench_engine);
+criterion_main!(benches);

@@ -1,0 +1,98 @@
+//! Clustering-quality study (ours): BitOp's greedy cover vs the
+//! image-processing baseline (connected components + bounding boxes, the
+//! approach the paper's §1.1 contrasts itself with) vs the exact optimum
+//! on small grids (the NP-complete problem BitOp approximates, paper
+//! reference \[5\]).
+//!
+//! ```sh
+//! cargo run --release -p arcs-bench --bin exp_clusterer_quality [-- --seed 42]
+//! ```
+
+use arcs_bench::{arg_or, Table};
+use arcs_core::bitop::{self, BitOpConfig};
+use arcs_core::cover::{connected_components, optimal_cover};
+use arcs_core::{Grid, Rect};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A random small grid: a few rectangles unioned, plus salt noise.
+fn random_grid(rng: &mut StdRng, w: usize, h: usize) -> Grid {
+    let mut grid = Grid::new(w, h).expect("valid dims");
+    for _ in 0..rng.gen_range(1..=3) {
+        let x0 = rng.gen_range(0..w);
+        let y0 = rng.gen_range(0..h);
+        let x1 = rng.gen_range(x0..w.min(x0 + 4));
+        let y1 = rng.gen_range(y0..h.min(y0 + 3));
+        grid.set_rect(Rect { x0, y0, x1, y1 });
+    }
+    for _ in 0..rng.gen_range(0..3) {
+        grid.set(rng.gen_range(0..w), rng.gen_range(0..h));
+    }
+    grid
+}
+
+fn main() {
+    let seed: u64 = arg_or("--seed", 42);
+    let trials: usize = arg_or("--trials", 500);
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    println!("== BitOp vs connected components vs exact optimum ({trials} random 8x8 grids) ==\n");
+
+    let mut sum_opt = 0usize;
+    let mut sum_bitop = 0usize;
+    let mut sum_cc = 0usize;
+    let mut bitop_matches = 0usize;
+    let mut worst_ratio = 1.0f64;
+    let mut cc_overcover_cells = 0usize;
+
+    for _ in 0..trials {
+        let grid = random_grid(&mut rng, 8, 8);
+        if grid.is_empty() {
+            continue;
+        }
+        let optimal = optimal_cover(&grid).expect("8x8 fits the oracle");
+        let greedy = bitop::cluster(&grid, &BitOpConfig::no_pruning()).expect("bitop runs");
+        let components = connected_components(&grid);
+
+        sum_opt += optimal.len();
+        sum_bitop += greedy.len();
+        sum_cc += components.len();
+        if greedy.len() == optimal.len() {
+            bitop_matches += 1;
+        }
+        worst_ratio = worst_ratio.max(greedy.len() as f64 / optimal.len() as f64);
+        let bbox_cells: usize = components.iter().map(Rect::area).sum();
+        cc_overcover_cells += bbox_cells - grid.count_ones().min(bbox_cells);
+    }
+
+    let mut table = Table::new(["clusterer", "avg clusters", "notes"]);
+    table.row([
+        "exact optimum".to_string(),
+        format!("{:.3}", sum_opt as f64 / trials as f64),
+        "branch & bound oracle".to_string(),
+    ]);
+    table.row([
+        "BitOp (greedy)".to_string(),
+        format!("{:.3}", sum_bitop as f64 / trials as f64),
+        format!(
+            "optimal on {:.1}% of grids, worst ratio {:.2}x",
+            100.0 * bitop_matches as f64 / trials as f64,
+            worst_ratio
+        ),
+    ]);
+    table.row([
+        "connected components".to_string(),
+        format!("{:.3}", sum_cc as f64 / trials as f64),
+        format!(
+            "exact rectangles not guaranteed: {:.2} over-covered cells/grid",
+            cc_overcover_cells as f64 / trials as f64
+        ),
+    ]);
+    println!("{}", table.render());
+    println!(
+        "shape to check: BitOp tracks the optimum closely (the greedy \
+         set-cover guarantee), while bounding boxes need fewer clusters only \
+         by covering cells that hold no rule — the over-covering ARCS' \
+         rectangular-cluster requirement exists to avoid."
+    );
+}

@@ -1,0 +1,57 @@
+//! Error types for the classifier baseline.
+
+use std::fmt;
+
+use arcs_data::DataError;
+
+/// Errors produced by decision-tree training or rule extraction.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ClassifierError {
+    /// Invalid training parameters.
+    InvalidConfig(String),
+    /// The training set is empty.
+    EmptyTrainingSet,
+    /// The target attribute is missing or not categorical.
+    BadTarget(String),
+    /// An error bubbled up from the data substrate.
+    Data(DataError),
+}
+
+impl fmt::Display for ClassifierError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClassifierError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            ClassifierError::EmptyTrainingSet => write!(f, "training set is empty"),
+            ClassifierError::BadTarget(msg) => write!(f, "bad target attribute: {msg}"),
+            ClassifierError::Data(err) => write!(f, "data error: {err}"),
+        }
+    }
+}
+
+impl std::error::Error for ClassifierError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ClassifierError::Data(err) => Some(err),
+            _ => None,
+        }
+    }
+}
+
+impl From<DataError> for ClassifierError {
+    fn from(err: DataError) -> Self {
+        ClassifierError::Data(err)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_conversion() {
+        assert!(ClassifierError::EmptyTrainingSet.to_string().contains("empty"));
+        let err: ClassifierError = DataError::UnknownAttribute("x".into()).into();
+        assert!(matches!(err, ClassifierError::Data(_)));
+        assert!(std::error::Error::source(&err).is_some());
+    }
+}

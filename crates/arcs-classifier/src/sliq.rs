@@ -1,0 +1,756 @@
+//! A SLIQ-style scalable decision-tree learner.
+//!
+//! The paper's related work (§1.1) singles out SLIQ — *Mehta, Agrawal,
+//! Rissanen, "SLIQ: A Fast Scalable Classifier for Data Mining", EDBT
+//! 1996* (the paper's reference \[13\]) — as the database community's
+//! answer to classifier scalability. This module implements its core
+//! ideas as a second baseline alongside the C4.5-style learner:
+//!
+//! * **pre-sorted attribute lists**: each quantitative attribute is sorted
+//!   once, up front, instead of re-sorting per tree node;
+//! * **breadth-first growth with a class list**: all leaves of a level are
+//!   grown simultaneously — one scan per attribute list per *level*
+//!   evaluates every leaf's candidate splits (C4.5 re-sorts per *node*);
+//! * **gini-index** split selection (SLIQ's measure, vs C4.5's gain
+//!   ratio), with binary subset splits on categorical attributes found by
+//!   greedy subset growth;
+//! * **MDL pruning**: a subtree is replaced by a leaf when coding its
+//!   errors is cheaper than coding the split plus its children
+//!   (simplified per-split code length, see [`SliqConfig::split_cost`]).
+
+use arcs_data::schema::AttrKind;
+use arcs_data::{Dataset, Tuple};
+
+use crate::error::ClassifierError;
+
+/// Training parameters for the SLIQ-style learner.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SliqConfig {
+    /// Minimum tuples in a leaf for it to be split further.
+    pub min_split: usize,
+    /// Maximum tree depth.
+    pub max_depth: usize,
+    /// MDL code length charged per split during pruning (bits). Larger
+    /// values prune harder; `None` disables pruning. SLIQ derives this
+    /// from the split encoding; we use a configurable constant (default
+    /// 16) as the simplified uniform cost.
+    pub split_cost: Option<f64>,
+}
+
+impl Default for SliqConfig {
+    fn default() -> Self {
+        SliqConfig {
+            min_split: 2,
+            max_depth: 64,
+            split_cost: Some(16.0),
+        }
+    }
+}
+
+impl SliqConfig {
+    fn validate(&self) -> Result<(), ClassifierError> {
+        if self.min_split < 2 {
+            return Err(ClassifierError::InvalidConfig("min_split must be >= 2".into()));
+        }
+        if self.max_depth == 0 {
+            return Err(ClassifierError::InvalidConfig("max_depth must be > 0".into()));
+        }
+        if let Some(c) = self.split_cost {
+            if c.is_nan() || c < 0.0 {
+                return Err(ClassifierError::InvalidConfig(
+                    "split_cost must be non-negative".into(),
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// How a SLIQ node routes tuples.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SliqTest {
+    /// Continuous: left if `value <= threshold`.
+    Threshold {
+        /// Attribute position.
+        attr: usize,
+        /// Split threshold.
+        threshold: f64,
+    },
+    /// Categorical: left if the code is in `left_set`.
+    Subset {
+        /// Attribute position.
+        attr: usize,
+        /// Category codes routed left.
+        left_set: Vec<u32>,
+    },
+}
+
+/// A SLIQ tree node.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SliqNode {
+    /// A leaf predicting `class`.
+    Leaf {
+        /// Predicted class code.
+        class: u32,
+        /// Training tuples that reached the leaf.
+        n: usize,
+        /// Misclassified training tuples at the leaf.
+        errors: usize,
+    },
+    /// A binary internal node.
+    Split {
+        /// The routing test.
+        test: SliqTest,
+        /// Left child (test passes).
+        left: Box<SliqNode>,
+        /// Right child (test fails).
+        right: Box<SliqNode>,
+    },
+}
+
+impl SliqNode {
+    /// Number of leaves in the subtree.
+    pub fn n_leaves(&self) -> usize {
+        match self {
+            SliqNode::Leaf { .. } => 1,
+            SliqNode::Split { left, right, .. } => left.n_leaves() + right.n_leaves(),
+        }
+    }
+
+    /// Depth of the subtree (a leaf has depth 1).
+    pub fn depth(&self) -> usize {
+        match self {
+            SliqNode::Leaf { .. } => 1,
+            SliqNode::Split { left, right, .. } => 1 + left.depth().max(right.depth()),
+        }
+    }
+}
+
+/// The trained SLIQ-style classifier.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SliqTree {
+    root: SliqNode,
+    target: usize,
+    n_classes: usize,
+}
+
+fn gini(counts: &[usize]) -> f64 {
+    let total: usize = counts.iter().sum();
+    if total == 0 {
+        return 0.0;
+    }
+    let n = total as f64;
+    1.0 - counts.iter().map(|&c| (c as f64 / n).powi(2)).sum::<f64>()
+}
+
+fn weighted_gini(left: &[usize], right: &[usize]) -> f64 {
+    let nl: usize = left.iter().sum();
+    let nr: usize = right.iter().sum();
+    let n = (nl + nr) as f64;
+    if n == 0.0 {
+        return 0.0;
+    }
+    (nl as f64 / n) * gini(left) + (nr as f64 / n) * gini(right)
+}
+
+/// A candidate split for one leaf during a level pass.
+#[derive(Debug, Clone)]
+struct BestSplit {
+    test: SliqTest,
+    gini: f64,
+}
+
+/// Growth bookkeeping: one entry per live leaf.
+struct LeafState {
+    /// Class histogram of the tuples currently at the leaf.
+    histogram: Vec<usize>,
+    /// Best split found so far in this level pass.
+    best: Option<BestSplit>,
+    /// Whether the leaf may still be split.
+    growable: bool,
+}
+
+impl SliqTree {
+    /// Trains the classifier on `dataset` predicting `target`.
+    pub fn train(
+        dataset: &Dataset,
+        target: &str,
+        config: SliqConfig,
+    ) -> Result<Self, ClassifierError> {
+        config.validate()?;
+        if dataset.is_empty() {
+            return Err(ClassifierError::EmptyTrainingSet);
+        }
+        let schema = dataset.schema();
+        let target_idx = schema
+            .index_of(target)
+            .ok_or_else(|| ClassifierError::BadTarget(format!("`{target}` not in schema")))?;
+        let n_classes = match &schema.attribute(target_idx).expect("index valid").kind {
+            AttrKind::Categorical { labels } => labels.len(),
+            AttrKind::Quantitative { .. } => {
+                return Err(ClassifierError::BadTarget(format!(
+                    "`{target}` must be categorical"
+                )))
+            }
+        };
+        let n = dataset.len();
+
+        // SLIQ's pre-sorting: one (value, row) list per quantitative
+        // attribute, sorted once.
+        let mut numeric_attrs: Vec<usize> = Vec::new();
+        let mut categorical_attrs: Vec<(usize, usize)> = Vec::new(); // (attr, cardinality)
+        for (idx, attr) in schema.attributes().iter().enumerate() {
+            if idx == target_idx {
+                continue;
+            }
+            match &attr.kind {
+                AttrKind::Quantitative { .. } => numeric_attrs.push(idx),
+                AttrKind::Categorical { labels } => {
+                    categorical_attrs.push((idx, labels.len()))
+                }
+            }
+        }
+        let attribute_lists: Vec<(usize, Vec<(f64, u32)>)> = numeric_attrs
+            .iter()
+            .map(|&attr| {
+                let mut list: Vec<(f64, u32)> = (0..n)
+                    .map(|r| (dataset.row(r).expect("row in range").quant(attr), r as u32))
+                    .collect();
+                list.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite values"));
+                (attr, list)
+            })
+            .collect();
+
+        // The class list: per row, its class and current leaf id.
+        let classes: Vec<u32> = (0..n)
+            .map(|r| dataset.row(r).expect("row in range").cat(target_idx))
+            .collect();
+        let mut leaf_of: Vec<u32> = vec![0; n];
+
+        // Leaf 0 holds everything.
+        let mut root_hist = vec![0usize; n_classes];
+        for &c in &classes {
+            root_hist[c as usize] += 1;
+        }
+        let mut leaves: Vec<LeafState> = vec![LeafState {
+            histogram: root_hist,
+            best: None,
+            growable: true,
+        }];
+        // The structural tree is assembled from split decisions per leaf id.
+        let mut decisions: Vec<Option<(SliqTest, u32, u32)>> = vec![None]; // leaf -> (test, left id, right id)
+
+        for _depth in 0..config.max_depth {
+            // Reset per-level state; mark leaves too small or pure.
+            let mut any_growable = false;
+            for leaf in leaves.iter_mut() {
+                leaf.best = None;
+                let total: usize = leaf.histogram.iter().sum();
+                let pure = leaf.histogram.iter().filter(|&&c| c > 0).count() <= 1;
+                if leaf.growable && (total < config.min_split || pure) {
+                    leaf.growable = false;
+                }
+                any_growable |= leaf.growable;
+            }
+            if !any_growable {
+                break;
+            }
+
+            // One scan per sorted attribute list evaluates *every* leaf's
+            // threshold candidates simultaneously (the SLIQ trick).
+            for (attr, list) in &attribute_lists {
+                let mut below: Vec<Vec<usize>> =
+                    leaves.iter().map(|_| vec![0usize; n_classes]).collect();
+                let mut last_value: Vec<Option<f64>> = vec![None; leaves.len()];
+                for &(value, row) in list {
+                    let leaf_id = leaf_of[row as usize] as usize;
+                    let leaf = &leaves[leaf_id];
+                    if !leaf.growable {
+                        continue;
+                    }
+                    if let Some(prev) = last_value[leaf_id] {
+                        if value > prev {
+                            // Candidate cut between prev and value.
+                            let below_hist = &below[leaf_id];
+                            let above_hist: Vec<usize> = leaf
+                                .histogram
+                                .iter()
+                                .zip(below_hist)
+                                .map(|(&t, &b)| t - b)
+                                .collect();
+                            let below_n: usize = below_hist.iter().sum();
+                            let above_n: usize = above_hist.iter().sum();
+                            if below_n > 0 && above_n > 0 {
+                                let g = weighted_gini(below_hist, &above_hist);
+                                let leaf_mut = &mut leaves[leaf_id];
+                                if leaf_mut.best.as_ref().is_none_or(|b| g < b.gini) {
+                                    leaf_mut.best = Some(BestSplit {
+                                        test: SliqTest::Threshold {
+                                            attr: *attr,
+                                            threshold: (prev + value) / 2.0,
+                                        },
+                                        gini: g,
+                                    });
+                                }
+                            }
+                        }
+                    }
+                    below[leaf_id][classes[row as usize] as usize] += 1;
+                    last_value[leaf_id] = Some(value);
+                }
+            }
+
+            // Categorical attributes: per-leaf per-category histograms in
+            // one scan, then greedy subset growth.
+            for &(attr, cardinality) in &categorical_attrs {
+                let mut per_cat: Vec<Vec<Vec<usize>>> = leaves
+                    .iter()
+                    .map(|_| vec![vec![0usize; n_classes]; cardinality])
+                    .collect();
+                for r in 0..n {
+                    let leaf_id = leaf_of[r] as usize;
+                    if !leaves[leaf_id].growable {
+                        continue;
+                    }
+                    let code = dataset.row(r).expect("row in range").cat(attr) as usize;
+                    per_cat[leaf_id][code][classes[r] as usize] += 1;
+                }
+                for (leaf_id, cats) in per_cat.iter().enumerate() {
+                    if !leaves[leaf_id].growable {
+                        continue;
+                    }
+                    if let Some((subset, g)) =
+                        greedy_subset(cats, &leaves[leaf_id].histogram)
+                    {
+                        let leaf_mut = &mut leaves[leaf_id];
+                        if leaf_mut.best.as_ref().is_none_or(|b| g < b.gini) {
+                            leaf_mut.best = Some(BestSplit {
+                                test: SliqTest::Subset { attr, left_set: subset },
+                                gini: g,
+                            });
+                        }
+                    }
+                }
+            }
+
+            // Apply the level's splits: leaves without a useful split stop
+            // growing; the rest fork into two new leaf ids.
+            let mut created = false;
+            let mut route: Vec<Option<(SliqTest, u32, u32)>> = vec![None; leaves.len()];
+            for leaf_id in 0..leaves.len() {
+                if !leaves[leaf_id].growable {
+                    continue;
+                }
+                let parent_gini = gini(&leaves[leaf_id].histogram);
+                match leaves[leaf_id].best.take() {
+                    Some(best) if best.gini + 1e-12 < parent_gini => {
+                        // Allocate two fresh leaves.
+                        let left_id = leaves.len() as u32;
+                        leaves.push(LeafState {
+                            histogram: vec![0; n_classes],
+                            best: None,
+                            growable: true,
+                        });
+                        let right_id = leaves.len() as u32;
+                        leaves.push(LeafState {
+                            histogram: vec![0; n_classes],
+                            best: None,
+                            growable: true,
+                        });
+                        decisions.push(None);
+                        decisions.push(None);
+                        decisions[leaf_id] = Some((best.test.clone(), left_id, right_id));
+                        route[leaf_id] = Some((best.test, left_id, right_id));
+                        created = true;
+                    }
+                    _ => leaves[leaf_id].growable = false,
+                }
+            }
+            if !created {
+                break;
+            }
+
+            // One scan over the class list re-routes rows and rebuilds the
+            // children's histograms.
+            for r in 0..n {
+                let leaf_id = leaf_of[r] as usize;
+                if let Some((test, left_id, right_id)) = &route[leaf_id] {
+                    let tuple = dataset.row(r).expect("row in range");
+                    let goes_left = match test {
+                        SliqTest::Threshold { attr, threshold } => {
+                            tuple.quant(*attr) <= *threshold
+                        }
+                        SliqTest::Subset { attr, left_set } => {
+                            left_set.contains(&tuple.cat(*attr))
+                        }
+                    };
+                    let child = if goes_left { *left_id } else { *right_id };
+                    leaf_of[r] = child;
+                    leaves[child as usize].histogram[classes[r] as usize] += 1;
+                }
+            }
+        }
+
+        // Materialise the structural tree from the decision table.
+        let mut root = build_node(0, &decisions, &leaves);
+        if let Some(split_cost) = config.split_cost {
+            root = prune_mdl(root, split_cost).0;
+        }
+        Ok(SliqTree { root, target: target_idx, n_classes })
+    }
+
+    /// Predicts the class code of one tuple.
+    pub fn predict(&self, tuple: &Tuple) -> u32 {
+        let mut node = &self.root;
+        loop {
+            match node {
+                SliqNode::Leaf { class, .. } => return *class,
+                SliqNode::Split { test, left, right } => {
+                    let goes_left = match test {
+                        SliqTest::Threshold { attr, threshold } => {
+                            tuple.quant(*attr) <= *threshold
+                        }
+                        SliqTest::Subset { attr, left_set } => {
+                            left_set.contains(&tuple.cat(*attr))
+                        }
+                    };
+                    node = if goes_left { left } else { right };
+                }
+            }
+        }
+    }
+
+    /// Fraction of `dataset` rows the tree misclassifies.
+    pub fn error_rate(&self, dataset: &Dataset) -> f64 {
+        if dataset.is_empty() {
+            return 0.0;
+        }
+        let wrong = dataset
+            .iter()
+            .filter(|t| self.predict(t) != t.cat(self.target))
+            .count();
+        wrong as f64 / dataset.len() as f64
+    }
+
+    /// The root node.
+    pub fn root(&self) -> &SliqNode {
+        &self.root
+    }
+
+    /// Number of leaves.
+    pub fn n_leaves(&self) -> usize {
+        self.root.n_leaves()
+    }
+
+    /// Tree depth.
+    pub fn depth(&self) -> usize {
+        self.root.depth()
+    }
+}
+
+/// Greedy binary subset split for a categorical attribute: start from the
+/// single best category and keep adding the category that most lowers the
+/// weighted gini; return the best subset seen. `None` when fewer than two
+/// categories are populated.
+fn greedy_subset(
+    per_cat: &[Vec<usize>],
+    leaf_hist: &[usize],
+) -> Option<(Vec<u32>, f64)> {
+    let n_classes = leaf_hist.len();
+    let populated: Vec<u32> = per_cat
+        .iter()
+        .enumerate()
+        .filter(|(_, h)| h.iter().sum::<usize>() > 0)
+        .map(|(c, _)| c as u32)
+        .collect();
+    if populated.len() < 2 {
+        return None;
+    }
+    let mut in_left = vec![false; per_cat.len()];
+    let mut left_hist = vec![0usize; n_classes];
+    let mut best: Option<(Vec<u32>, f64)> = None;
+
+    // At most |populated| - 1 growth steps (leaving at least one category
+    // on the right).
+    for _ in 0..populated.len() - 1 {
+        let mut step_best: Option<(u32, f64)> = None;
+        for &cat in &populated {
+            if in_left[cat as usize] {
+                continue;
+            }
+            // Trial: move `cat` left.
+            let trial_left: Vec<usize> = left_hist
+                .iter()
+                .zip(&per_cat[cat as usize])
+                .map(|(&l, &c)| l + c)
+                .collect();
+            let trial_right: Vec<usize> = leaf_hist
+                .iter()
+                .zip(&trial_left)
+                .map(|(&t, &l)| t - l)
+                .collect();
+            if trial_right.iter().sum::<usize>() == 0 {
+                continue;
+            }
+            let g = weighted_gini(&trial_left, &trial_right);
+            if step_best.is_none_or(|(_, b)| g < b) {
+                step_best = Some((cat, g));
+            }
+        }
+        let Some((cat, g)) = step_best else { break };
+        in_left[cat as usize] = true;
+        for (l, &c) in left_hist.iter_mut().zip(&per_cat[cat as usize]) {
+            *l += c;
+        }
+        let subset: Vec<u32> = populated
+            .iter()
+            .copied()
+            .filter(|&c| in_left[c as usize])
+            .collect();
+        if best.as_ref().is_none_or(|(_, b)| g < *b) {
+            best = Some((subset, g));
+        }
+    }
+    best
+}
+
+fn build_node(
+    leaf_id: usize,
+    decisions: &[Option<(SliqTest, u32, u32)>],
+    leaves: &[LeafState],
+) -> SliqNode {
+    match &decisions[leaf_id] {
+        Some((test, left, right)) => SliqNode::Split {
+            test: test.clone(),
+            left: Box::new(build_node(*left as usize, decisions, leaves)),
+            right: Box::new(build_node(*right as usize, decisions, leaves)),
+        },
+        None => {
+            let hist = &leaves[leaf_id].histogram;
+            let n: usize = hist.iter().sum();
+            let (class, &majority) = hist
+                .iter()
+                .enumerate()
+                .max_by_key(|&(_, c)| *c)
+                .expect("non-empty histogram");
+            SliqNode::Leaf { class: class as u32, n, errors: n - majority }
+        }
+    }
+}
+
+/// SLIQ's MDL pruning, simplified: the code length of a leaf is its error
+/// count plus one; a split costs `split_cost` bits plus its children.
+/// Returns the (possibly pruned) node and its code length, along with the
+/// leaf stats needed to collapse.
+fn prune_mdl(node: SliqNode, split_cost: f64) -> (SliqNode, f64, usize, usize) {
+    match node {
+        SliqNode::Leaf { class, n, errors } => {
+            let cost = errors as f64 + 1.0;
+            (SliqNode::Leaf { class, n, errors }, cost, n, errors)
+        }
+        SliqNode::Split { test, left, right } => {
+            let (left, lc, ln, _le) = prune_mdl(*left, split_cost);
+            let (right, rc, rn, _re) = prune_mdl(*right, split_cost);
+            let subtree_cost = split_cost + lc + rc;
+            // Collapsed leaf: recompute errors from the children's class
+            // distributions via their majorities is not enough — use the
+            // stored leaf stats: total n and the majority across children.
+            let n = ln + rn;
+            let (class, majority_count) = majority_of(&left, &right);
+            let leaf_errors = n - majority_count;
+            let leaf_cost = leaf_errors as f64 + 1.0;
+            if leaf_cost <= subtree_cost {
+                (SliqNode::Leaf { class, n, errors: leaf_errors }, leaf_cost, n, leaf_errors)
+            } else {
+                (
+                    SliqNode::Split { test, left: Box::new(left), right: Box::new(right) },
+                    subtree_cost,
+                    n,
+                    leaf_errors,
+                )
+            }
+        }
+    }
+}
+
+/// Majority class across two pruned subtrees, by summing their leaves'
+/// per-class tuple counts.
+fn majority_of(left: &SliqNode, right: &SliqNode) -> (u32, usize) {
+    fn accumulate(node: &SliqNode, counts: &mut std::collections::BTreeMap<u32, usize>) {
+        match node {
+            SliqNode::Leaf { class, n, errors } => {
+                // The leaf's majority class holds n - errors tuples; the
+                // remaining errors are spread over other classes (unknown
+                // here) — attribute them to a sentinel bucket that can
+                // never win, keeping the majority estimate conservative.
+                *counts.entry(*class).or_insert(0) += n - errors;
+            }
+            SliqNode::Split { left, right, .. } => {
+                accumulate(left, counts);
+                accumulate(right, counts);
+            }
+        }
+    }
+    let mut counts = std::collections::BTreeMap::new();
+    accumulate(left, &mut counts);
+    accumulate(right, &mut counts);
+    counts
+        .into_iter()
+        .max_by_key(|&(_, c)| c)
+        .unwrap_or((0, 0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use arcs_data::schema::{Attribute, Schema};
+    use arcs_data::Value;
+
+    fn xy_schema() -> Schema {
+        Schema::new(vec![
+            Attribute::quantitative("x", 0.0, 10.0),
+            Attribute::categorical("color", ["red", "blue", "green"]),
+            Attribute::categorical("class", ["a", "b"]),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn learns_a_threshold() {
+        let mut ds = Dataset::new(xy_schema());
+        for i in 0..200 {
+            let x = i as f64 / 20.0;
+            let class = u32::from(x > 5.0);
+            ds.push(vec![Value::Quant(x), Value::Cat(0), Value::Cat(class)]).unwrap();
+        }
+        let tree = SliqTree::train(&ds, "class", SliqConfig::default()).unwrap();
+        assert_eq!(tree.error_rate(&ds), 0.0);
+        assert!(tree.depth() <= 3);
+        let probe = Tuple::new(vec![Value::Quant(2.0), Value::Cat(0), Value::Cat(0)]);
+        assert_eq!(tree.predict(&probe), 0);
+        let probe = Tuple::new(vec![Value::Quant(9.0), Value::Cat(0), Value::Cat(0)]);
+        assert_eq!(tree.predict(&probe), 1);
+    }
+
+    #[test]
+    fn learns_a_categorical_subset() {
+        // class = a iff color in {red, green}; x is noise.
+        let mut ds = Dataset::new(xy_schema());
+        for i in 0..300 {
+            let x = (i % 10) as f64;
+            let color = (i % 3) as u32;
+            let class = u32::from(color == 1); // blue -> b
+            ds.push(vec![Value::Quant(x), Value::Cat(color), Value::Cat(class)]).unwrap();
+        }
+        let tree = SliqTree::train(&ds, "class", SliqConfig::default()).unwrap();
+        assert_eq!(tree.error_rate(&ds), 0.0);
+        assert!(tree.depth() <= 2, "depth {}", tree.depth());
+    }
+
+    #[test]
+    fn learns_xor() {
+        let schema = Schema::new(vec![
+            Attribute::quantitative("x", 0.0, 10.0),
+            Attribute::quantitative("y", 0.0, 10.0),
+            Attribute::categorical("class", ["a", "b"]),
+        ])
+        .unwrap();
+        let mut ds = Dataset::new(schema);
+        for ix in 0..20 {
+            for iy in 0..20 {
+                let x = ix as f64 / 2.0;
+                let y = iy as f64 / 2.0;
+                let class = u32::from((x > 5.0) ^ (y > 5.0));
+                ds.push(vec![Value::Quant(x), Value::Quant(y), Value::Cat(class)]).unwrap();
+            }
+        }
+        let tree = SliqTree::train(&ds, "class", SliqConfig::default()).unwrap();
+        assert_eq!(tree.error_rate(&ds), 0.0);
+        assert!(tree.n_leaves() >= 4);
+    }
+
+    #[test]
+    fn mdl_pruning_collapses_noise() {
+        let mut ds = Dataset::new(xy_schema());
+        for i in 0..300 {
+            let x = (i % 23) as f64 / 2.3;
+            let class = ((i * 31 + 7) % 2) as u32;
+            ds.push(vec![Value::Quant(x), Value::Cat((i % 3) as u32), Value::Cat(class)])
+                .unwrap();
+        }
+        let pruned = SliqTree::train(&ds, "class", SliqConfig::default()).unwrap();
+        let unpruned = SliqTree::train(
+            &ds,
+            "class",
+            SliqConfig { split_cost: None, ..SliqConfig::default() },
+        )
+        .unwrap();
+        assert!(pruned.n_leaves() <= unpruned.n_leaves());
+        assert!(pruned.n_leaves() <= 6, "noise kept {} leaves", pruned.n_leaves());
+    }
+
+    #[test]
+    fn agrees_with_c45_on_f2() {
+        use arcs_data::generator::{AgrawalGenerator, GeneratorConfig};
+        let mut gen = AgrawalGenerator::new(GeneratorConfig::paper_defaults(4)).unwrap();
+        let train = gen.generate(8_000);
+        let test = gen.generate(2_000);
+        let sliq = SliqTree::train(&train, "group", SliqConfig::default()).unwrap();
+        let c45 = crate::tree::DecisionTree::train(
+            &train,
+            "group",
+            crate::tree::TreeConfig::default(),
+        )
+        .unwrap();
+        let sliq_err = sliq.error_rate(&test);
+        let c45_err = c45.error_rate(&test);
+        assert!(sliq_err < 0.15, "SLIQ error {sliq_err}");
+        assert!((sliq_err - c45_err).abs() < 0.08, "SLIQ {sliq_err} vs C4.5 {c45_err}");
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        let ds = Dataset::new(xy_schema());
+        assert_eq!(
+            SliqTree::train(&ds, "class", SliqConfig::default()).unwrap_err(),
+            ClassifierError::EmptyTrainingSet
+        );
+        let mut ds = Dataset::new(xy_schema());
+        ds.push(vec![Value::Quant(1.0), Value::Cat(0), Value::Cat(0)]).unwrap();
+        assert!(SliqTree::train(&ds, "missing", SliqConfig::default()).is_err());
+        assert!(SliqTree::train(&ds, "x", SliqConfig::default()).is_err());
+        assert!(SliqTree::train(
+            &ds,
+            "class",
+            SliqConfig { min_split: 0, ..SliqConfig::default() }
+        )
+        .is_err());
+        assert!(SliqTree::train(
+            &ds,
+            "class",
+            SliqConfig { split_cost: Some(f64::NAN), ..SliqConfig::default() }
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn single_class_is_one_leaf() {
+        let mut ds = Dataset::new(xy_schema());
+        for i in 0..50 {
+            ds.push(vec![Value::Quant(i as f64 / 5.0), Value::Cat(0), Value::Cat(1)]).unwrap();
+        }
+        let tree = SliqTree::train(&ds, "class", SliqConfig::default()).unwrap();
+        assert_eq!(tree.n_leaves(), 1);
+        assert_eq!(tree.error_rate(&ds), 0.0);
+    }
+
+    #[test]
+    fn gini_properties() {
+        assert_eq!(gini(&[]), 0.0);
+        assert_eq!(gini(&[10, 0]), 0.0);
+        assert!((gini(&[5, 5]) - 0.5).abs() < 1e-12);
+        assert!(gini(&[5, 5]) > gini(&[9, 1]));
+        // Weighted gini of a perfect split is 0.
+        assert_eq!(weighted_gini(&[10, 0], &[0, 10]), 0.0);
+    }
+}

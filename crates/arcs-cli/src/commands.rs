@@ -1,0 +1,561 @@
+//! The CLI subcommands. Each command is a pure function from parsed
+//! arguments to its printed output, so the test suite drives them without
+//! spawning processes.
+
+use std::fmt::Write as _;
+
+use arcs_core::categorical::{segment_categorical, CategoricalConfig};
+use arcs_core::engine::rule_grid;
+use arcs_core::optimizer::ThresholdLattice;
+use arcs_core::render::render_clusters;
+use arcs_core::select::{rank_attributes, select_pair_joint};
+use arcs_core::{Arcs, ArcsConfig, Binner};
+use arcs_data::csv::{load_csv_inferred, save_csv};
+use arcs_data::generator::{AgrawalGenerator, GeneratorConfig};
+use arcs_data::schema::AttrKind;
+use arcs_data::Dataset;
+
+use crate::args::{Args, ArgsError};
+
+/// Top-level CLI error.
+#[derive(Debug)]
+pub enum CliError {
+    /// Argument problems (includes the usage string to print).
+    Usage(String),
+    /// Anything that went wrong while running.
+    Run(String),
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CliError::Usage(msg) | CliError::Run(msg) => write!(f, "{msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl From<ArgsError> for CliError {
+    fn from(err: ArgsError) -> Self {
+        CliError::Usage(err.to_string())
+    }
+}
+
+fn run_err(err: impl std::fmt::Display) -> CliError {
+    CliError::Run(err.to_string())
+}
+
+/// The overall usage text.
+pub const USAGE: &str = "\
+arcs — Association Rule Clustering System (Lent, Swami, Widom; ICDE 1997)
+
+USAGE:
+    arcs <COMMAND> [OPTIONS]
+
+COMMANDS:
+    generate    Write a synthetic Agrawal dataset to CSV
+    segment     Mine + cluster a CSV into clustered association rules
+    explore     Show the support/confidence threshold lattice of a CSV
+    rank        Rank attributes by mutual information with a criterion
+    help        Show this message
+
+Run `arcs <COMMAND> --help` for command options.";
+
+const GENERATE_USAGE: &str = "\
+arcs generate --out <FILE> [--n 50000] [--function 2] [--perturbation 0.05]
+              [--outliers 0.0] [--seed 42]
+
+Writes |D| labelled tuples of the chosen Agrawal function (1-10) to CSV.";
+
+const SEGMENT_USAGE: &str = "\
+arcs segment <FILE> --criterion <ATTR> --group <LABEL>
+             [--x <ATTR> --y <ATTR>]      (default: auto-select by joint MI)
+             [--bins 50] [--sample 2000] [--seed 0]
+             [--max-categories 16] [--grid] [--svg <FILE>] [--categorical <ATTR>]
+
+Loads a CSV (schema inferred), segments the (x, y) space for the group,
+and prints the clustered association rules. With --categorical, uses the
+density-ordered categorical x-axis extension instead of --x.";
+
+const EXPLORE_USAGE: &str = "\
+arcs explore <FILE> --x <ATTR> --y <ATTR> --criterion <ATTR> --group <LABEL>
+             [--bins 50] [--levels 10] [--max-categories 16]
+
+Prints the threshold lattice: the support levels occurring in the binned
+data and the spread of rule counts across them.";
+
+const RANK_USAGE: &str = "\
+arcs rank <FILE> --criterion <ATTR> [--bins 20] [--max-categories 16]
+
+Ranks quantitative attributes by mutual information with the criterion and
+suggests the best pair by joint MI.";
+
+/// Dispatches a full argument vector (without the program name).
+pub fn dispatch(argv: &[String]) -> Result<String, CliError> {
+    let Some((command, rest)) = argv.split_first() else {
+        return Err(CliError::Usage(USAGE.to_string()));
+    };
+    match command.as_str() {
+        "generate" => generate(rest),
+        "segment" => segment(rest),
+        "explore" => explore(rest),
+        "rank" => rank(rest),
+        "help" | "--help" | "-h" => Ok(USAGE.to_string()),
+        other => Err(CliError::Usage(format!(
+            "unknown command `{other}`\n\n{USAGE}"
+        ))),
+    }
+}
+
+fn wants_help(argv: &[String]) -> bool {
+    argv.iter().any(|a| a == "--help" || a == "-h")
+}
+
+/// `arcs generate`: synthetic Agrawal data to CSV.
+pub fn generate(argv: &[String]) -> Result<String, CliError> {
+    if wants_help(argv) {
+        return Ok(GENERATE_USAGE.to_string());
+    }
+    let args = Args::parse(
+        argv.iter().cloned(),
+        &["out", "n", "function", "perturbation", "outliers", "seed"],
+        &[],
+    )?;
+    let out = args.require("out")?;
+    let n: usize = args.get_or("n", 50_000)?;
+    let function_no: usize = args.get_or("function", 2)?;
+    let function = *arcs_data::agrawal::AgrawalFunction::ALL
+        .get(function_no.wrapping_sub(1))
+        .ok_or_else(|| CliError::Usage(format!("--function must be 1-10, got {function_no}")))?;
+    let config = GeneratorConfig {
+        function,
+        perturbation: args.get_or("perturbation", 0.05)?,
+        outlier_fraction: args.get_or("outliers", 0.0)?,
+        frac_group_a: 0.40,
+        seed: args.get_or("seed", 42u64)?,
+    };
+    let mut gen = AgrawalGenerator::new(config).map_err(run_err)?;
+    let ds = gen.generate(n);
+    save_csv(&ds, out).map_err(run_err)?;
+    Ok(format!(
+        "wrote {n} tuples of Agrawal F{function_no} to {out} ({} attributes)",
+        ds.schema().arity()
+    ))
+}
+
+fn load(args: &Args, usage: &str) -> Result<Dataset, CliError> {
+    let [path] = args.positional() else {
+        return Err(CliError::Usage(format!(
+            "expected exactly one input file\n\n{usage}"
+        )));
+    };
+    let max_categories: usize = args.get_or("max-categories", 16)?;
+    load_csv_inferred(path, max_categories).map_err(run_err)
+}
+
+/// `arcs segment`: the paper's end-to-end pipeline over a CSV file.
+pub fn segment(argv: &[String]) -> Result<String, CliError> {
+    if wants_help(argv) {
+        return Ok(SEGMENT_USAGE.to_string());
+    }
+    let args = Args::parse(
+        argv.iter().cloned(),
+        &[
+            "x",
+            "y",
+            "criterion",
+            "group",
+            "bins",
+            "sample",
+            "seed",
+            "max-categories",
+            "categorical",
+            "svg",
+        ],
+        &["grid"],
+    )?;
+    let ds = load(&args, SEGMENT_USAGE)?;
+    let criterion = args.require("criterion")?;
+    let group = args.require("group")?;
+    let bins: usize = args.get_or("bins", 50)?;
+
+    let mut out = String::new();
+
+    // Categorical x-axis mode (§5 extension).
+    if let Some(cat_attr) = args.get("categorical") {
+        let y_attr = args.require("y")?;
+        let config = CategoricalConfig {
+            n_quant_bins: bins,
+            ..CategoricalConfig::default()
+        };
+        let seg = segment_categorical(&ds, cat_attr, y_attr, criterion, group, &config)
+            .map_err(run_err)?;
+        let _ = writeln!(
+            out,
+            "clustered rules for {criterion} = {group} ({} tuples, categorical x):",
+            ds.len()
+        );
+        for rule in &seg.rules {
+            let _ = writeln!(
+                out,
+                "  {rule}   (support {:.3}, confidence {:.2})",
+                rule.support, rule.confidence
+            );
+        }
+        let _ = writeln!(
+            out,
+            "error rate {:.2}%, MDL cost {:.3}",
+            seg.errors.rate() * 100.0,
+            seg.score.cost
+        );
+        return Ok(out);
+    }
+
+    // Standard quantitative x/y mode; auto-select attributes when omitted.
+    let (x_attr, y_attr) = match (args.get("x"), args.get("y")) {
+        (Some(x), Some(y)) => (x.to_string(), y.to_string()),
+        (None, None) => {
+            let pair = select_pair_joint(&ds, criterion, 12, 8).map_err(run_err)?;
+            let _ = writeln!(
+                out,
+                "auto-selected LHS attributes by joint MI: {}, {}",
+                pair.0, pair.1
+            );
+            pair
+        }
+        _ => {
+            return Err(CliError::Usage(
+                "provide both --x and --y, or neither (auto-select)".into(),
+            ))
+        }
+    };
+
+    let config = ArcsConfig {
+        n_x_bins: bins,
+        n_y_bins: bins,
+        sample_size: args.get_or("sample", 2_000)?,
+        seed: args.get_or("seed", 0u64)?,
+        ..ArcsConfig::default()
+    };
+    let arcs = Arcs::new(config).map_err(run_err)?;
+    let seg = arcs
+        .segment_dataset(&ds, &x_attr, &y_attr, criterion, group)
+        .map_err(run_err)?;
+
+    let _ = writeln!(
+        out,
+        "clustered rules for {criterion} = {group} ({} tuples, {} evaluations):",
+        ds.len(),
+        seg.evaluations
+    );
+    for rule in &seg.rules {
+        let _ = writeln!(
+            out,
+            "  {rule}   (support {:.3}, confidence {:.2})",
+            rule.support, rule.confidence
+        );
+    }
+    let _ = writeln!(
+        out,
+        "thresholds: support >= {:.5}, confidence >= {:.3}",
+        seg.thresholds.min_support, seg.thresholds.min_confidence
+    );
+    let _ = writeln!(
+        out,
+        "sample error rate {:.2}%, group recall {:.0}%, MDL cost {:.3}",
+        seg.errors.rate() * 100.0,
+        seg.errors.recall() * 100.0,
+        seg.score.cost
+    );
+
+    if args.has("grid") || args.get("svg").is_some() {
+        let binner = Binner::equi_width(ds.schema(), &x_attr, &y_attr, criterion, bins, bins)
+            .map_err(run_err)?;
+        let array = binner.bin_rows(ds.iter()).map_err(run_err)?;
+        let gk = ds
+            .schema()
+            .attribute(binner.criterion_idx())
+            .and_then(|a| match &a.kind {
+                AttrKind::Categorical { labels } => {
+                    labels.iter().position(|l| l == group)
+                }
+                _ => None,
+            })
+            .unwrap_or(0) as u32;
+        let grid = rule_grid(&array, gk, seg.thresholds).map_err(run_err)?;
+        if args.has("grid") {
+            let _ = writeln!(out, "\nrule grid ({y_attr} rows x {x_attr} columns):");
+            out.push_str(&render_clusters(&grid, &seg.clusters));
+        }
+        if let Some(svg_path) = args.get("svg") {
+            let svg = arcs_core::render::render_svg(&grid, &seg.clusters, 12);
+            std::fs::write(svg_path, svg).map_err(run_err)?;
+            let _ = writeln!(out, "wrote cluster plot to {svg_path}");
+        }
+    }
+    Ok(out)
+}
+
+/// `arcs explore`: print the Figure 10 threshold lattice.
+pub fn explore(argv: &[String]) -> Result<String, CliError> {
+    if wants_help(argv) {
+        return Ok(EXPLORE_USAGE.to_string());
+    }
+    let args = Args::parse(
+        argv.iter().cloned(),
+        &["x", "y", "criterion", "group", "bins", "levels", "max-categories"],
+        &[],
+    )?;
+    let ds = load(&args, EXPLORE_USAGE)?;
+    let x = args.require("x")?;
+    let y = args.require("y")?;
+    let criterion = args.require("criterion")?;
+    let group = args.require("group")?;
+    let bins: usize = args.get_or("bins", 50)?;
+    let levels: usize = args.get_or("levels", 10)?;
+
+    let binner =
+        Binner::equi_width(ds.schema(), x, y, criterion, bins, bins).map_err(run_err)?;
+    let gk = ds
+        .schema()
+        .attribute(binner.criterion_idx())
+        .and_then(|a| match &a.kind {
+            AttrKind::Categorical { labels } => labels.iter().position(|l| l == group),
+            _ => None,
+        })
+        .ok_or_else(|| CliError::Run(format!("group `{group}` not found on `{criterion}`")))?
+        as u32;
+    let array = binner.bin_rows(ds.iter()).map_err(run_err)?;
+    let lattice = ThresholdLattice::build(&array, gk);
+
+    let mut out = format!(
+        "threshold lattice for {criterion} = {group}: {} distinct support levels\n\n",
+        lattice.supports().len()
+    );
+    let _ = writeln!(out, "{:>12} {:>12} {:>8}", "support", "confidences", "rules");
+    let step = (lattice.supports().len() / levels.max(1)).max(1);
+    for (i, &s) in lattice.supports().iter().enumerate().step_by(step) {
+        let confs = lattice.confidences_for(i);
+        let thresholds = arcs_core::Thresholds::new((s - 1e-12).max(0.0), 0.0)
+            .map_err(run_err)?;
+        let n_rules = arcs_core::engine::mine_rules(&array, gk, thresholds).len();
+        let _ = writeln!(out, "{s:>12.6} {:>12} {n_rules:>8}", confs.len());
+    }
+    out.push_str(
+        "\n(re-mining at any of these thresholds touches only the BinArray — paper §3.2)\n",
+    );
+    Ok(out)
+}
+
+/// `arcs rank`: attribute selection report.
+pub fn rank(argv: &[String]) -> Result<String, CliError> {
+    if wants_help(argv) {
+        return Ok(RANK_USAGE.to_string());
+    }
+    let args = Args::parse(
+        argv.iter().cloned(),
+        &["criterion", "bins", "max-categories"],
+        &[],
+    )?;
+    let ds = load(&args, RANK_USAGE)?;
+    let criterion = args.require("criterion")?;
+    let bins: usize = args.get_or("bins", 20)?;
+
+    let ranked = rank_attributes(&ds, criterion, bins).map_err(run_err)?;
+    let mut out = format!("mutual information with `{criterion}` ({bins} bins):\n");
+    for score in &ranked {
+        let _ = writeln!(out, "  {:<20} {:.4} bits", score.name, score.mutual_information);
+    }
+    if ranked.len() >= 2 {
+        let (a, b) = select_pair_joint(&ds, criterion, bins, 8).map_err(run_err)?;
+        let _ = writeln!(out, "best pair by joint MI: {a}, {b}");
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("arcs-cli-tests");
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        dir.join(name)
+    }
+
+    fn argv(parts: &[&str]) -> Vec<String> {
+        parts.iter().map(ToString::to_string).collect()
+    }
+
+    #[test]
+    fn help_and_unknown_commands() {
+        assert!(dispatch(&argv(&["help"])).unwrap().contains("USAGE"));
+        assert!(matches!(dispatch(&argv(&["bogus"])), Err(CliError::Usage(_))));
+        assert!(matches!(dispatch(&[]), Err(CliError::Usage(_))));
+        for cmd in ["generate", "segment", "explore", "rank"] {
+            let out = dispatch(&argv(&[cmd, "--help"])).unwrap();
+            assert!(out.contains(cmd), "{cmd} help: {out}");
+        }
+    }
+
+    #[test]
+    fn generate_then_segment_roundtrip() {
+        let path = tmp("f2.csv");
+        let path_str = path.to_str().expect("utf-8 path");
+        let msg = dispatch(&argv(&[
+            "generate", "--out", path_str, "--n", "20000", "--seed", "7",
+        ]))
+        .unwrap();
+        assert!(msg.contains("20000 tuples"));
+
+        let out = dispatch(&argv(&[
+            "segment", path_str, "--x", "age", "--y", "salary", "--criterion", "group",
+            "--group", "A",
+        ]))
+        .unwrap();
+        assert!(out.contains("=>  group = A"), "{out}");
+        assert!(out.contains("thresholds"), "{out}");
+        // F2 at 20k tuples: a compact segmentation near the three disjuncts
+        // (the exact count is seed-sensitive at this size).
+        let n_rules = out.matches("=>  group = A").count();
+        assert!((2..=5).contains(&n_rules), "{out}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn segment_autoselects_attributes() {
+        let path = tmp("f2_auto.csv");
+        let path_str = path.to_str().expect("utf-8 path");
+        dispatch(&argv(&["generate", "--out", path_str, "--n", "15000"])).unwrap();
+        let out = dispatch(&argv(&[
+            "segment", path_str, "--criterion", "group", "--group", "A",
+        ]))
+        .unwrap();
+        assert!(out.contains("auto-selected"), "{out}");
+        assert!(out.contains("age"), "{out}");
+        assert!(out.contains("salary"), "{out}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn segment_grid_rendering() {
+        let path = tmp("f2_grid.csv");
+        let path_str = path.to_str().expect("utf-8 path");
+        dispatch(&argv(&["generate", "--out", path_str, "--n", "10000"])).unwrap();
+        let out = dispatch(&argv(&[
+            "segment", path_str, "--x", "age", "--y", "salary", "--criterion", "group",
+            "--group", "A", "--grid", "--bins", "30",
+        ]))
+        .unwrap();
+        assert!(out.contains("rule grid"), "{out}");
+        assert!(out.contains('A'), "{out}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn segment_writes_svg() {
+        let path = tmp("f2_svg_data.csv");
+        let path_str = path.to_str().expect("utf-8 path");
+        let svg_path = tmp("f2_plot.svg");
+        let svg_str = svg_path.to_str().expect("utf-8 path");
+        dispatch(&argv(&["generate", "--out", path_str, "--n", "10000"])).unwrap();
+        let out = dispatch(&argv(&[
+            "segment", path_str, "--x", "age", "--y", "salary", "--criterion", "group",
+            "--group", "A", "--svg", svg_str, "--bins", "30",
+        ]))
+        .unwrap();
+        assert!(out.contains("wrote cluster plot"), "{out}");
+        let svg = std::fs::read_to_string(&svg_path).unwrap();
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.contains("stroke"));
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_file(&svg_path).ok();
+    }
+
+    #[test]
+    fn explore_shows_the_lattice() {
+        let path = tmp("f2_explore.csv");
+        let path_str = path.to_str().expect("utf-8 path");
+        dispatch(&argv(&["generate", "--out", path_str, "--n", "10000"])).unwrap();
+        let out = dispatch(&argv(&[
+            "explore", path_str, "--x", "age", "--y", "salary", "--criterion", "group",
+            "--group", "A",
+        ]))
+        .unwrap();
+        assert!(out.contains("distinct support levels"), "{out}");
+        assert!(out.contains("BinArray"), "{out}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn rank_reports_mi() {
+        let path = tmp("f2_rank.csv");
+        let path_str = path.to_str().expect("utf-8 path");
+        dispatch(&argv(&["generate", "--out", path_str, "--n", "10000"])).unwrap();
+        let out =
+            dispatch(&argv(&["rank", path_str, "--criterion", "group"])).unwrap();
+        assert!(out.contains("salary"), "{out}");
+        assert!(out.contains("best pair by joint MI"), "{out}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn segment_categorical_mode() {
+        let path = tmp("f8_cat.csv");
+        let path_str = path.to_str().expect("utf-8 path");
+        dispatch(&argv(&[
+            "generate", "--out", path_str, "--n", "15000", "--function", "8",
+        ]))
+        .unwrap();
+        let out = dispatch(&argv(&[
+            "segment", path_str, "--categorical", "elevel", "--y", "salary",
+            "--criterion", "group", "--group", "A", "--bins", "20",
+        ]))
+        .unwrap();
+        assert!(out.contains("elevel IN {"), "{out}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn usage_errors_are_informative() {
+        assert!(matches!(
+            dispatch(&argv(&["generate"])),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            dispatch(&argv(&["segment", "--criterion", "g"])),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            dispatch(&argv(&["generate", "--out", "/tmp/x.csv", "--function", "11"])),
+            Err(CliError::Usage(_))
+        ));
+        // --x without --y.
+        let path = tmp("f2_bad.csv");
+        let path_str = path.to_str().expect("utf-8 path");
+        dispatch(&argv(&["generate", "--out", path_str, "--n", "500"])).unwrap();
+        assert!(matches!(
+            dispatch(&argv(&[
+                "segment", path_str, "--x", "age", "--criterion", "group", "--group", "A"
+            ])),
+            Err(CliError::Usage(_))
+        ));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn missing_file_is_a_run_error() {
+        assert!(matches!(
+            dispatch(&argv(&[
+                "segment",
+                "/nonexistent/x.csv",
+                "--criterion",
+                "g",
+                "--group",
+                "A"
+            ])),
+            Err(CliError::Run(_))
+        ));
+    }
+}

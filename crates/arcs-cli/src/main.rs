@@ -1,0 +1,27 @@
+//! `arcs` — command-line interface to the ARCS reproduction.
+//!
+//! ```sh
+//! arcs generate --out data.csv --n 50000
+//! arcs segment data.csv --criterion group --group A --grid
+//! arcs explore data.csv --x age --y salary --criterion group --group A
+//! arcs rank data.csv --criterion group
+//! ```
+
+mod args;
+mod commands;
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match commands::dispatch(&argv) {
+        Ok(output) => {
+            println!("{output}");
+            ExitCode::SUCCESS
+        }
+        Err(err) => {
+            eprintln!("{err}");
+            ExitCode::FAILURE
+        }
+    }
+}

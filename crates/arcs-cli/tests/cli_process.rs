@@ -1,0 +1,79 @@
+//! Process-level tests of the `arcs` binary: exit codes, stdout/stderr
+//! routing, and an end-to-end generate → segment run through the real
+//! entry point.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn arcs() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_arcs"))
+}
+
+fn tmp(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("arcs-cli-process-tests");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    dir.join(name)
+}
+
+#[test]
+fn help_exits_zero_and_prints_usage() {
+    let out = arcs().arg("help").output().expect("binary runs");
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("USAGE"));
+    assert!(stdout.contains("segment"));
+}
+
+#[test]
+fn unknown_command_exits_nonzero_on_stderr() {
+    let out = arcs().arg("frobnicate").output().expect("binary runs");
+    assert!(!out.status.success());
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("unknown command"));
+    assert!(out.stdout.is_empty());
+}
+
+#[test]
+fn no_arguments_prints_usage_and_fails() {
+    let out = arcs().output().expect("binary runs");
+    assert!(!out.status.success());
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("USAGE"));
+}
+
+#[test]
+fn generate_and_segment_end_to_end() {
+    let csv = tmp("proc_f2.csv");
+    let csv_str = csv.to_str().expect("utf-8 path");
+
+    let out = arcs()
+        .args(["generate", "--out", csv_str, "--n", "12000", "--seed", "3"])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(csv.exists());
+
+    let out = arcs()
+        .args([
+            "segment", csv_str, "--x", "age", "--y", "salary", "--criterion", "group",
+            "--group", "A", "--bins", "40",
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("=>  group = A"), "{stdout}");
+
+    std::fs::remove_file(&csv).ok();
+}
+
+#[test]
+fn bad_flag_value_reports_usage_error() {
+    let out = arcs()
+        .args(["generate", "--out", "/tmp/x.csv", "--n", "not-a-number"])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("invalid value"), "{stderr}");
+}

@@ -1,0 +1,269 @@
+//! The `BinArray` (paper §3.1): per-cell, per-group tuple counts.
+//!
+//! For each `(bin_x, bin_y)` pair the array maintains the number of tuples
+//! having each possible RHS (criterion) attribute value, plus the total
+//! count — size `nx * ny * (nseg + 1)`. It is the only state the mining
+//! engine needs, so support/confidence thresholds can be changed and rules
+//! re-mined *without re-reading the data* ("re-mining is nearly
+//! instantaneous", §3.2).
+//!
+//! Layout: a flat `Vec<u32>` indexed `((y * nx) + x) * (nseg + 1) + slot`
+//! where slots `0..nseg` are group counts and slot `nseg` is the cell
+//! total. One cell's counts are contiguous, so the engine touches one cache
+//! line per cell.
+
+use crate::error::ArcsError;
+
+/// Per-cell, per-group tuple counts over a 2-D binned grid.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BinArray {
+    nx: usize,
+    ny: usize,
+    nseg: usize,
+    counts: Vec<u32>,
+    n_tuples: u64,
+}
+
+impl BinArray {
+    /// Creates an empty `nx × ny` array for a criterion attribute with
+    /// `nseg` groups.
+    pub fn new(nx: usize, ny: usize, nseg: usize) -> Result<Self, ArcsError> {
+        if nx == 0 || ny == 0 {
+            return Err(ArcsError::InvalidConfig(format!(
+                "bin array dimensions must be positive, got {nx} x {ny}"
+            )));
+        }
+        if nseg == 0 {
+            return Err(ArcsError::InvalidConfig(
+                "criterion attribute must have at least one group".into(),
+            ));
+        }
+        let cells = nx
+            .checked_mul(ny)
+            .and_then(|c| c.checked_mul(nseg + 1))
+            .ok_or_else(|| ArcsError::InvalidConfig("bin array size overflows".into()))?;
+        Ok(BinArray {
+            nx,
+            ny,
+            nseg,
+            counts: vec![0; cells],
+            n_tuples: 0,
+        })
+    }
+
+    /// Number of x bins.
+    pub fn nx(&self) -> usize {
+        self.nx
+    }
+
+    /// Number of y bins.
+    pub fn ny(&self) -> usize {
+        self.ny
+    }
+
+    /// Number of criterion groups tracked.
+    pub fn nseg(&self) -> usize {
+        self.nseg
+    }
+
+    /// Total number of tuples added.
+    pub fn n_tuples(&self) -> u64 {
+        self.n_tuples
+    }
+
+    #[inline]
+    fn base(&self, x: usize, y: usize) -> usize {
+        (y * self.nx + x) * (self.nseg + 1)
+    }
+
+    /// Records one tuple falling in cell `(x, y)` with criterion group `g`.
+    #[inline]
+    pub fn add(&mut self, x: usize, y: usize, g: u32) {
+        debug_assert!(x < self.nx && y < self.ny, "cell ({x}, {y}) out of bounds");
+        debug_assert!((g as usize) < self.nseg, "group {g} out of range");
+        let base = self.base(x, y);
+        self.counts[base + g as usize] += 1;
+        self.counts[base + self.nseg] += 1;
+        self.n_tuples += 1;
+    }
+
+    /// Records one tuple that belongs to *no tracked group* — it counts
+    /// toward the cell total (the confidence denominator) only. This is
+    /// the paper's §3.1 memory-premium mode: "we can set nseg = 1 and
+    /// maintain tuple counts for only the one value of the segmentation
+    /// criteria we are interested in".
+    #[inline]
+    pub fn add_background(&mut self, x: usize, y: usize) {
+        debug_assert!(x < self.nx && y < self.ny, "cell ({x}, {y}) out of bounds");
+        let base = self.base(x, y);
+        self.counts[base + self.nseg] += 1;
+        self.n_tuples += 1;
+    }
+
+    /// Checked variant of [`add`](Self::add) for untrusted coordinates.
+    pub fn try_add(&mut self, x: usize, y: usize, g: u32) -> Result<(), ArcsError> {
+        if x >= self.nx || y >= self.ny {
+            return Err(ArcsError::OutOfBounds {
+                what: format!("cell ({x}, {y}) in {}x{} bin array", self.nx, self.ny),
+            });
+        }
+        if g as usize >= self.nseg {
+            return Err(ArcsError::OutOfBounds {
+                what: format!("group {g} with nseg {}", self.nseg),
+            });
+        }
+        self.add(x, y, g);
+        Ok(())
+    }
+
+    /// Count of tuples in cell `(x, y)` belonging to group `g`.
+    #[inline]
+    pub fn group_count(&self, x: usize, y: usize, g: u32) -> u32 {
+        self.counts[self.base(x, y) + g as usize]
+    }
+
+    /// Total count of tuples in cell `(x, y)`.
+    #[inline]
+    pub fn cell_total(&self, x: usize, y: usize) -> u32 {
+        self.counts[self.base(x, y) + self.nseg]
+    }
+
+    /// Support of the rule `X = x ∧ Y = y ⇒ G = g`: the fraction of all
+    /// tuples falling in the cell with that group (paper §3.2:
+    /// `|(i,j,Gk)| / N`).
+    #[inline]
+    pub fn support(&self, x: usize, y: usize, g: u32) -> f64 {
+        if self.n_tuples == 0 {
+            return 0.0;
+        }
+        self.group_count(x, y, g) as f64 / self.n_tuples as f64
+    }
+
+    /// Confidence of the rule `X = x ∧ Y = y ⇒ G = g`: the fraction of the
+    /// cell's tuples with that group (paper §3.2: `|(i,j,Gk)| / |(i,j)|`).
+    #[inline]
+    pub fn confidence(&self, x: usize, y: usize, g: u32) -> f64 {
+        let total = self.cell_total(x, y);
+        if total == 0 {
+            return 0.0;
+        }
+        self.group_count(x, y, g) as f64 / total as f64
+    }
+
+    /// Total tuples of group `g` across the whole array (the marginal
+    /// `P(G = g) · N` used by interest measures).
+    pub fn group_total(&self, g: u32) -> u64 {
+        debug_assert!((g as usize) < self.nseg);
+        let mut total = 0u64;
+        for y in 0..self.ny {
+            for x in 0..self.nx {
+                total += self.group_count(x, y, g) as u64;
+            }
+        }
+        total
+    }
+
+    /// Iterates over occupied cells (total > 0) as `(x, y)`.
+    pub fn occupied_cells(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
+        (0..self.ny).flat_map(move |y| {
+            (0..self.nx).filter_map(move |x| (self.cell_total(x, y) > 0).then_some((x, y)))
+        })
+    }
+
+    /// Heap memory used by the count array, in bytes. The paper's
+    /// constant-memory claim (§4.3) rests on this being independent of the
+    /// number of tuples.
+    pub fn memory_bytes(&self) -> usize {
+        self.counts.len() * std::mem::size_of::<u32>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_validates() {
+        assert!(BinArray::new(0, 5, 2).is_err());
+        assert!(BinArray::new(5, 0, 2).is_err());
+        assert!(BinArray::new(5, 5, 0).is_err());
+        let ba = BinArray::new(3, 4, 2).unwrap();
+        assert_eq!(ba.nx(), 3);
+        assert_eq!(ba.ny(), 4);
+        assert_eq!(ba.nseg(), 2);
+        assert_eq!(ba.n_tuples(), 0);
+        assert_eq!(ba.memory_bytes(), 3 * 4 * 3 * 4);
+    }
+
+    #[test]
+    fn add_accumulates_counts() {
+        let mut ba = BinArray::new(4, 4, 3).unwrap();
+        ba.add(1, 2, 0);
+        ba.add(1, 2, 0);
+        ba.add(1, 2, 1);
+        ba.add(3, 0, 2);
+        assert_eq!(ba.group_count(1, 2, 0), 2);
+        assert_eq!(ba.group_count(1, 2, 1), 1);
+        assert_eq!(ba.group_count(1, 2, 2), 0);
+        assert_eq!(ba.cell_total(1, 2), 3);
+        assert_eq!(ba.cell_total(3, 0), 1);
+        assert_eq!(ba.cell_total(0, 0), 0);
+        assert_eq!(ba.n_tuples(), 4);
+    }
+
+    #[test]
+    fn try_add_bounds_checks() {
+        let mut ba = BinArray::new(2, 2, 2).unwrap();
+        assert!(ba.try_add(0, 0, 0).is_ok());
+        assert!(ba.try_add(2, 0, 0).is_err());
+        assert!(ba.try_add(0, 2, 0).is_err());
+        assert!(ba.try_add(0, 0, 2).is_err());
+        assert_eq!(ba.n_tuples(), 1);
+    }
+
+    #[test]
+    fn support_and_confidence() {
+        let mut ba = BinArray::new(2, 2, 2).unwrap();
+        // Cell (0,0): 3 tuples of group 0, 1 of group 1. Elsewhere: 6 more.
+        for _ in 0..3 {
+            ba.add(0, 0, 0);
+        }
+        ba.add(0, 0, 1);
+        for _ in 0..6 {
+            ba.add(1, 1, 1);
+        }
+        assert!((ba.support(0, 0, 0) - 0.3).abs() < 1e-12);
+        assert!((ba.confidence(0, 0, 0) - 0.75).abs() < 1e-12);
+        assert!((ba.confidence(0, 0, 1) - 0.25).abs() < 1e-12);
+        assert_eq!(ba.support(1, 0, 0), 0.0);
+        assert_eq!(ba.confidence(1, 0, 0), 0.0);
+    }
+
+    #[test]
+    fn empty_array_ratios_are_zero() {
+        let ba = BinArray::new(2, 2, 2).unwrap();
+        assert_eq!(ba.support(0, 0, 0), 0.0);
+        assert_eq!(ba.confidence(0, 0, 0), 0.0);
+    }
+
+    #[test]
+    fn occupied_cells_iterates_only_nonzero() {
+        let mut ba = BinArray::new(3, 3, 1).unwrap();
+        ba.add(0, 0, 0);
+        ba.add(2, 1, 0);
+        ba.add(2, 1, 0);
+        let cells: Vec<_> = ba.occupied_cells().collect();
+        assert_eq!(cells, vec![(0, 0), (2, 1)]);
+    }
+
+    #[test]
+    fn memory_independent_of_tuples() {
+        let mut ba = BinArray::new(50, 50, 2).unwrap();
+        let before = ba.memory_bytes();
+        for i in 0..100_000u32 {
+            ba.add((i % 50) as usize, (i as usize / 50) % 50, i % 2);
+        }
+        assert_eq!(ba.memory_bytes(), before);
+        assert_eq!(ba.n_tuples(), 100_000);
+    }
+}

@@ -1,0 +1,498 @@
+//! The BitOp clustering algorithm (paper §3.3.1, Figure 6).
+//!
+//! BitOp locates rectangular clusters of set cells in a bitmap grid using
+//! only word-wide bitwise ANDs and run extraction:
+//!
+//! * For every start row `r0`, a running mask is ANDed with each
+//!   successive row. While the mask is unchanged the candidate rectangles
+//!   keep growing taller; whenever the mask *loses* bits, the maximal
+//!   horizontal runs of the prior mask are emitted as candidate rectangles
+//!   spanning rows `r0 .. r-1`; when the mask empties, the start row is
+//!   finished.
+//! * The candidates are consumed greedily: the largest is selected, its
+//!   cells cleared from the grid, and enumeration repeats — the classic
+//!   greedy set-cover approximation the paper cites (reference \[5\]),
+//!   "near optimal … in O(|C|) time where C is the final set of clusters".
+//!
+//! Candidates smaller than the prune threshold terminate the loop
+//! (paper §3.5: "if the algorithm cannot locate a sufficiently large
+//! cluster it terminates").
+
+use crate::cluster::Rect;
+use crate::error::ArcsError;
+use crate::grid::{for_each_run, Grid};
+
+/// Configuration of the greedy BitOp clustering loop.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BitOpConfig {
+    /// Minimum cluster size as a fraction of the total grid area
+    /// (paper §3.5: clusters smaller than ~1% of the grid are pruned).
+    pub min_area_fraction: f64,
+    /// Absolute floor on cluster area in cells (applied together with
+    /// `min_area_fraction`; the effective threshold is the larger).
+    pub min_area_cells: usize,
+    /// Safety cap on the number of clusters returned. The greedy loop
+    /// always terminates (each selection clears at least one cell), but a
+    /// cap keeps adversarial salt-and-pepper grids from producing
+    /// thousands of 1-cell clusters when pruning is disabled.
+    pub max_clusters: usize,
+    /// Worker threads for candidate enumeration (paper §5 notes the
+    /// algorithm parallelises trivially). `1` = sequential; results are
+    /// identical either way.
+    pub threads: usize,
+}
+
+impl Default for BitOpConfig {
+    fn default() -> Self {
+        BitOpConfig {
+            min_area_fraction: 0.01,
+            min_area_cells: 1,
+            max_clusters: 10_000,
+            threads: 1,
+        }
+    }
+}
+
+impl BitOpConfig {
+    /// A configuration with pruning disabled: every cluster down to a
+    /// single cell is kept.
+    pub fn no_pruning() -> Self {
+        BitOpConfig {
+            min_area_fraction: 0.0,
+            min_area_cells: 1,
+            ..BitOpConfig::default()
+        }
+    }
+
+    /// The effective minimum area in cells for a `width × height` grid.
+    pub fn min_area(&self, width: usize, height: usize) -> usize {
+        let by_fraction = (self.min_area_fraction * (width * height) as f64).ceil() as usize;
+        by_fraction.max(self.min_area_cells).max(1)
+    }
+
+    fn validate(&self) -> Result<(), ArcsError> {
+        if !(0.0..=1.0).contains(&self.min_area_fraction) {
+            return Err(ArcsError::InvalidConfig(format!(
+                "min_area_fraction {} outside [0, 1]",
+                self.min_area_fraction
+            )));
+        }
+        if self.max_clusters == 0 {
+            return Err(ArcsError::InvalidConfig("max_clusters must be > 0".into()));
+        }
+        if self.threads == 0 {
+            return Err(ArcsError::InvalidConfig("threads must be > 0".into()));
+        }
+        Ok(())
+    }
+}
+
+/// Enumerates every candidate rectangle the Figure 6 scan produces for the
+/// current grid. Candidates may overlap and subsume one another; the
+/// greedy loop in [`cluster`] resolves that.
+pub fn enumerate_candidates(grid: &Grid) -> Vec<Rect> {
+    enumerate_rows(grid, 0, grid.height())
+}
+
+/// Parallel candidate enumeration (paper §5: "parallel implementations of
+/// the algorithm would be straightforward"): start rows are striped across
+/// `threads` workers — each scan is independent because the running mask
+/// only reads the grid. Results are identical to [`enumerate_candidates`]
+/// including order (stripes are concatenated in row order).
+pub fn enumerate_candidates_parallel(grid: &Grid, threads: usize) -> Vec<Rect> {
+    let threads = threads.max(1).min(grid.height());
+    if threads == 1 {
+        return enumerate_candidates(grid);
+    }
+    let stripe = grid.height().div_ceil(threads);
+    let mut stripes: Vec<Vec<Rect>> = Vec::with_capacity(threads);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let lo = t * stripe;
+                let hi = ((t + 1) * stripe).min(grid.height());
+                scope.spawn(move || enumerate_rows(grid, lo, hi))
+            })
+            .collect();
+        for handle in handles {
+            stripes.push(handle.join().expect("worker does not panic"));
+        }
+    });
+    stripes.concat()
+}
+
+/// Figure 6 scan restricted to start rows `r0 ∈ [row_lo, row_hi)` (each
+/// scan still extends downward through the whole grid).
+fn enumerate_rows(grid: &Grid, row_lo: usize, row_hi: usize) -> Vec<Rect> {
+    let mut candidates = Vec::new();
+    let height = grid.height();
+    let width = grid.width();
+    let words = grid.words_per_row();
+    let mut mask = vec![0u64; words];
+
+    for r0 in row_lo..row_hi.min(height) {
+        mask.copy_from_slice(grid.row(r0));
+        if mask.iter().all(|&w| w == 0) {
+            continue;
+        }
+        let mut top = r0; // last row included in the current mask
+        for r in r0 + 1..height {
+            // next = mask & row[r]; detect change without an extra buffer.
+            let row = grid.row(r);
+            let mut changed = false;
+            let mut empty = true;
+            for (m, &w) in mask.iter().zip(row) {
+                let next = m & w;
+                if next != *m {
+                    changed = true;
+                }
+                if next != 0 {
+                    empty = false;
+                }
+            }
+            if !changed {
+                top = r;
+                continue;
+            }
+            // Emit the prior mask's runs: rectangles spanning rows r0..=top.
+            emit_runs(&mask, width, r0, top, &mut candidates);
+            for (m, &w) in mask.iter_mut().zip(row) {
+                *m &= w;
+            }
+            if empty {
+                top = r0; // unused; loop exits
+                break;
+            }
+            top = r;
+        }
+        if mask.iter().any(|&w| w != 0) {
+            emit_runs(&mask, width, r0, top, &mut candidates);
+        }
+    }
+    candidates
+}
+
+fn emit_runs(mask: &[u64], width: usize, y0: usize, y1: usize, out: &mut Vec<Rect>) {
+    for_each_run(mask, width, |x0, x1| {
+        out.push(Rect { x0, y0, x1, y1 });
+    });
+}
+
+/// Runs the full greedy BitOp clustering on a copy of `grid`: enumerate
+/// candidates, select the largest (ties: bottom-most, then left-most),
+/// clear it, repeat until the grid is empty or no candidate reaches the
+/// prune threshold.
+pub fn cluster(grid: &Grid, config: &BitOpConfig) -> Result<Vec<Rect>, ArcsError> {
+    config.validate()?;
+    let min_area = config.min_area(grid.width(), grid.height());
+    let mut work = grid.clone();
+    let mut clusters = Vec::new();
+
+    while !work.is_empty() && clusters.len() < config.max_clusters {
+        let candidates = enumerate_candidates_parallel(&work, config.threads);
+        let best = candidates.into_iter().max_by(|a, b| {
+            a.area()
+                .cmp(&b.area())
+                .then(b.y0.cmp(&a.y0)) // prefer smaller y0
+                .then(b.x0.cmp(&a.x0)) // then smaller x0
+        });
+        match best {
+            Some(rect) if rect.area() >= min_area => {
+                debug_assert!(work.rect_is_full(rect), "candidate {rect:?} not fully set");
+                work.clear_rect(rect);
+                clusters.push(rect);
+            }
+            // §3.5: no sufficiently large cluster remains — terminate.
+            _ => break,
+        }
+    }
+    Ok(clusters)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rects(grid_art: &str, config: &BitOpConfig) -> Vec<Rect> {
+        let grid = Grid::parse(grid_art).unwrap();
+        cluster(&grid, config).unwrap()
+    }
+
+    #[test]
+    fn paper_worked_example() {
+        // The §3.3.1 walk-through grid (top line = row 0 here):
+        //   row3  1 0 0
+        //   row2  1 1 0
+        //   row1  0 1 1
+        // As art with row 1 first:
+        let grid = Grid::parse(
+            "
+            .##
+            ##.
+            #..
+            ",
+        )
+        .unwrap();
+        let candidates = enumerate_candidates(&grid);
+        // Start row 0: mask 011 -> emits (1..2, 0..0); mask &= row1 = 010
+        //   -> row2 AND = 000 -> emits (1..1, 0..1).
+        // Start row 1: mask 110 -> row2 AND = 100, emits (0..1, 1..1);
+        //   then end of grid emits (0..0, 1..2).
+        // Start row 2: mask 100 -> emits (0..0, 2..2).
+        assert!(candidates.contains(&Rect { x0: 1, y0: 0, x1: 2, y1: 0 }));
+        assert!(candidates.contains(&Rect { x0: 1, y0: 0, x1: 1, y1: 1 }));
+        assert!(candidates.contains(&Rect { x0: 0, y0: 1, x1: 1, y1: 1 }));
+        assert!(candidates.contains(&Rect { x0: 0, y0: 1, x1: 0, y1: 2 }));
+        assert!(candidates.contains(&Rect { x0: 0, y0: 2, x1: 0, y1: 2 }));
+        assert_eq!(candidates.len(), 5);
+    }
+
+    #[test]
+    fn single_full_rectangle_found_exactly() {
+        let found = rects(
+            "
+            ......
+            .####.
+            .####.
+            .####.
+            ......
+            ",
+            &BitOpConfig::no_pruning(),
+        );
+        assert_eq!(found, vec![Rect { x0: 1, y0: 1, x1: 4, y1: 3 }]);
+    }
+
+    #[test]
+    fn two_disjoint_rectangles() {
+        let found = rects(
+            "
+            ##..##
+            ##..##
+            ......
+            ",
+            &BitOpConfig::no_pruning(),
+        );
+        assert_eq!(found.len(), 2);
+        assert!(found.contains(&Rect { x0: 0, y0: 0, x1: 1, y1: 1 }));
+        assert!(found.contains(&Rect { x0: 4, y0: 0, x1: 5, y1: 1 }));
+    }
+
+    #[test]
+    fn l_shape_covered_by_two_clusters() {
+        // The greedy choice takes the largest rectangle first.
+        let found = rects(
+            "
+            #..
+            #..
+            ###
+            ",
+            &BitOpConfig::no_pruning(),
+        );
+        let total: usize = found.iter().map(Rect::area).sum();
+        assert_eq!(total, 5, "clusters {found:?} must cover all 5 cells");
+        assert_eq!(found.len(), 2);
+    }
+
+    #[test]
+    fn plus_shape() {
+        let found = rects(
+            "
+            .#.
+            ###
+            .#.
+            ",
+            &BitOpConfig::no_pruning(),
+        );
+        let covered: usize = found.iter().map(Rect::area).sum();
+        assert_eq!(covered, 5);
+        // First cluster is one of the 3-cell bars.
+        assert_eq!(found[0].area(), 3);
+    }
+
+    #[test]
+    fn full_grid_is_one_cluster() {
+        let found = rects(
+            "
+            ####
+            ####
+            ",
+            &BitOpConfig::no_pruning(),
+        );
+        assert_eq!(found, vec![Rect { x0: 0, y0: 0, x1: 3, y1: 1 }]);
+    }
+
+    #[test]
+    fn empty_grid_yields_nothing() {
+        let grid = Grid::new(5, 5).unwrap();
+        assert!(enumerate_candidates(&grid).is_empty());
+        assert!(cluster(&grid, &BitOpConfig::no_pruning()).unwrap().is_empty());
+    }
+
+    #[test]
+    fn pruning_drops_small_specks() {
+        // A 4x4 block plus an isolated cell; min area 2 drops the speck.
+        let config = BitOpConfig {
+            min_area_fraction: 0.0,
+            min_area_cells: 2,
+            max_clusters: 100,
+            threads: 1,
+        };
+        let found = rects(
+            "
+            ####....
+            ####...#
+            ####....
+            ####....
+            ",
+            &config,
+        );
+        assert_eq!(found, vec![Rect { x0: 0, y0: 0, x1: 3, y1: 3 }]);
+    }
+
+    #[test]
+    fn fraction_pruning_uses_grid_area() {
+        let config = BitOpConfig {
+            min_area_fraction: 0.10, // 10% of 8x4 = 3.2 -> 4 cells
+            min_area_cells: 1,
+            max_clusters: 100,
+            threads: 1,
+        };
+        assert_eq!(config.min_area(8, 4), 4);
+        let found = rects(
+            "
+            ##..####
+            ##......
+            ........
+            ........
+            ",
+            &config,
+        );
+        // 2x2 block (4 cells) kept; 1x4 run (4 cells) kept; nothing smaller.
+        assert_eq!(found.len(), 2);
+        assert!(found.iter().all(|r| r.area() >= 4));
+    }
+
+    #[test]
+    fn clusters_never_overlap() {
+        let grid = Grid::parse(
+            "
+            ######..
+            ######..
+            ..######
+            ..######
+            ",
+        )
+        .unwrap();
+        let found = cluster(&grid, &BitOpConfig::no_pruning()).unwrap();
+        for (i, a) in found.iter().enumerate() {
+            for b in &found[i + 1..] {
+                assert!(!a.overlaps(b), "{a:?} overlaps {b:?}");
+            }
+        }
+        let covered: usize = found.iter().map(Rect::area).sum();
+        assert_eq!(covered, grid.count_ones());
+    }
+
+    #[test]
+    fn max_clusters_caps_output() {
+        // Checkerboard with pruning off would produce many 1-cell clusters.
+        let mut art = String::new();
+        for y in 0..6 {
+            for x in 0..6 {
+                art.push(if (x + y) % 2 == 0 { '#' } else { '.' });
+            }
+            art.push('\n');
+        }
+        let grid = Grid::parse(&art).unwrap();
+        let config = BitOpConfig {
+            min_area_fraction: 0.0,
+            min_area_cells: 1,
+            max_clusters: 5,
+            threads: 1,
+        };
+        let found = cluster(&grid, &config).unwrap();
+        assert_eq!(found.len(), 5);
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        let grid = Grid::new(4, 4).unwrap();
+        let bad = BitOpConfig { min_area_fraction: 1.5, ..BitOpConfig::default() };
+        assert!(cluster(&grid, &bad).is_err());
+        let bad = BitOpConfig { max_clusters: 0, ..BitOpConfig::default() };
+        assert!(cluster(&grid, &bad).is_err());
+        let bad = BitOpConfig { threads: 0, ..BitOpConfig::default() };
+        assert!(cluster(&grid, &bad).is_err());
+    }
+
+    #[test]
+    fn parallel_enumeration_matches_sequential() {
+        // A deterministic pseudo-random grid exercising word boundaries.
+        let mut grid = Grid::new(130, 23).unwrap();
+        let mut state = 12345u64;
+        for y in 0..23 {
+            for x in 0..130 {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                if state >> 60 > 7 {
+                    grid.set(x, y);
+                }
+            }
+        }
+        let sequential = enumerate_candidates(&grid);
+        for threads in [2, 3, 8, 64] {
+            let parallel = enumerate_candidates_parallel(&grid, threads);
+            assert_eq!(parallel, sequential, "{threads} threads");
+        }
+        // Clustering with threads produces identical clusters.
+        let base = cluster(&grid, &BitOpConfig::no_pruning()).unwrap();
+        let threaded = cluster(
+            &grid,
+            &BitOpConfig { threads: 4, ..BitOpConfig::no_pruning() },
+        )
+        .unwrap();
+        assert_eq!(base, threaded);
+    }
+
+    #[test]
+    fn parallel_enumeration_handles_tiny_grids() {
+        let grid = Grid::parse("#.\n.#\n").unwrap();
+        assert_eq!(
+            enumerate_candidates_parallel(&grid, 16),
+            enumerate_candidates(&grid)
+        );
+        let empty = Grid::new(3, 3).unwrap();
+        assert!(enumerate_candidates_parallel(&empty, 4).is_empty());
+    }
+
+    #[test]
+    fn wide_grid_crossing_word_boundaries() {
+        // A 100-wide rectangle spanning the u64 boundary.
+        let mut grid = Grid::new(100, 3).unwrap();
+        grid.set_rect(Rect { x0: 30, y0: 0, x1: 95, y1: 2 });
+        let found = cluster(&grid, &BitOpConfig::no_pruning()).unwrap();
+        assert_eq!(found, vec![Rect { x0: 30, y0: 0, x1: 95, y1: 2 }]);
+    }
+
+    #[test]
+    fn figure5_style_overlap_resolved_greedily() {
+        // Two overlapping rectangles; greedy picks the bigger, then covers
+        // the remainder.
+        let found = rects(
+            "
+            ####....
+            ####....
+            ####....
+            ########
+            ########
+            ",
+            &BitOpConfig::no_pruning(),
+        );
+        let covered: usize = found.iter().map(Rect::area).sum();
+        assert_eq!(covered, 28);
+        // Largest-first: the full-height 4x5 = 20-cell left column beats
+        // the 8x2 = 16-cell bottom block; the bottom-right remainder follows.
+        assert_eq!(found[0], Rect { x0: 0, y0: 0, x1: 3, y1: 4 });
+        assert_eq!(found[1], Rect { x0: 4, y0: 3, x1: 7, y1: 4 });
+        assert_eq!(found.len(), 2);
+    }
+}

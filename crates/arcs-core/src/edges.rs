@@ -1,0 +1,236 @@
+//! Edge and corner detection on support grids (paper §5).
+//!
+//! The paper's future work proposes that *"more advanced filters could be
+//! used for purposes of detecting edges and corners of clusters"*. This
+//! module provides the classic pair: a Sobel gradient operator for edges
+//! and a Harris-style corner response, both over the per-cell support
+//! values produced by
+//! [`support_grid`](crate::engine::support_grid). The edge map is useful
+//! for *snapping* cluster boundaries: a cluster edge sitting on a high
+//! gradient ridge coincides with a true density boundary, one sitting in a
+//! flat region is an artefact of thresholds.
+
+use crate::cluster::Rect;
+use crate::error::ArcsError;
+use crate::grid::Grid;
+
+fn check_dims(values: &[f64], width: usize, height: usize) -> Result<(), ArcsError> {
+    if width == 0 || height == 0 || values.len() != width * height {
+        return Err(ArcsError::InvalidConfig(format!(
+            "value grid length {} does not match {width} x {height}",
+            values.len()
+        )));
+    }
+    Ok(())
+}
+
+/// Clamped sample of a row-major value grid (out-of-bounds reads the
+/// nearest edge cell, the standard image-processing border policy).
+#[inline]
+fn at(values: &[f64], width: usize, height: usize, x: i64, y: i64) -> f64 {
+    let x = x.clamp(0, width as i64 - 1) as usize;
+    let y = y.clamp(0, height as i64 - 1) as usize;
+    values[y * width + x]
+}
+
+/// Sobel gradient magnitude per cell: high values mark density edges.
+pub fn sobel_magnitude(
+    values: &[f64],
+    width: usize,
+    height: usize,
+) -> Result<Vec<f64>, ArcsError> {
+    check_dims(values, width, height)?;
+    let mut out = vec![0.0; values.len()];
+    for y in 0..height as i64 {
+        for x in 0..width as i64 {
+            let s = |dx: i64, dy: i64| at(values, width, height, x + dx, y + dy);
+            let gx = (s(1, -1) + 2.0 * s(1, 0) + s(1, 1))
+                - (s(-1, -1) + 2.0 * s(-1, 0) + s(-1, 1));
+            let gy = (s(-1, 1) + 2.0 * s(0, 1) + s(1, 1))
+                - (s(-1, -1) + 2.0 * s(0, -1) + s(1, -1));
+            out[y as usize * width + x as usize] = (gx * gx + gy * gy).sqrt();
+        }
+    }
+    Ok(out)
+}
+
+/// Thresholds the Sobel magnitude at `threshold` × max into a binary edge
+/// grid.
+pub fn detect_edges(
+    values: &[f64],
+    width: usize,
+    height: usize,
+    threshold: f64,
+) -> Result<Grid, ArcsError> {
+    if !(0.0..=1.0).contains(&threshold) {
+        return Err(ArcsError::InvalidConfig(format!(
+            "edge threshold {threshold} outside [0, 1]"
+        )));
+    }
+    let magnitude = sobel_magnitude(values, width, height)?;
+    let max = magnitude.iter().cloned().fold(0.0f64, f64::max);
+    let mut grid = Grid::new(width, height)?;
+    if max > 0.0 {
+        let cut = threshold * max;
+        for y in 0..height {
+            for x in 0..width {
+                let m = magnitude[y * width + x];
+                if m >= cut && m > 0.0 {
+                    grid.set(x, y);
+                }
+            }
+        }
+    }
+    Ok(grid)
+}
+
+/// Harris-style corner response per cell:
+/// `det(M) - k·trace(M)²` over the local structure tensor `M` of the
+/// gradients. Positive peaks mark corners of density regions.
+pub fn corner_response(
+    values: &[f64],
+    width: usize,
+    height: usize,
+    k: f64,
+) -> Result<Vec<f64>, ArcsError> {
+    check_dims(values, width, height)?;
+    if !(0.0..=0.25).contains(&k) {
+        return Err(ArcsError::InvalidConfig(format!(
+            "Harris k {k} outside [0, 0.25]"
+        )));
+    }
+    // Per-cell gradients (central differences).
+    let mut gx = vec![0.0; values.len()];
+    let mut gy = vec![0.0; values.len()];
+    for y in 0..height as i64 {
+        for x in 0..width as i64 {
+            let i = y as usize * width + x as usize;
+            gx[i] = (at(values, width, height, x + 1, y) - at(values, width, height, x - 1, y))
+                / 2.0;
+            gy[i] = (at(values, width, height, x, y + 1) - at(values, width, height, x, y - 1))
+                / 2.0;
+        }
+    }
+    // Structure tensor summed over a 3x3 window, then the Harris response.
+    let mut out = vec![0.0; values.len()];
+    for y in 0..height as i64 {
+        for x in 0..width as i64 {
+            let (mut sxx, mut syy, mut sxy) = (0.0, 0.0, 0.0);
+            for dy in -1..=1i64 {
+                for dx in -1..=1i64 {
+                    let gxv = at(&gx, width, height, x + dx, y + dy);
+                    let gyv = at(&gy, width, height, x + dx, y + dy);
+                    sxx += gxv * gxv;
+                    syy += gyv * gyv;
+                    sxy += gxv * gyv;
+                }
+            }
+            let det = sxx * syy - sxy * sxy;
+            let trace = sxx + syy;
+            out[y as usize * width + x as usize] = det - k * trace * trace;
+        }
+    }
+    Ok(out)
+}
+
+/// Fraction of a cluster's boundary cells that sit on detected edges — a
+/// diagnostic for how well a cluster's rectangle aligns with true density
+/// boundaries (1.0 = every boundary cell is an edge cell).
+pub fn boundary_alignment(rect: Rect, edges: &Grid) -> f64 {
+    let mut boundary = 0usize;
+    let mut on_edge = 0usize;
+    for (x, y) in rect.cells() {
+        let is_boundary =
+            x == rect.x0 || x == rect.x1 || y == rect.y0 || y == rect.y1;
+        if is_boundary {
+            boundary += 1;
+            if x < edges.width() && y < edges.height() && edges.get(x, y) {
+                on_edge += 1;
+            }
+        }
+    }
+    if boundary == 0 {
+        0.0
+    } else {
+        on_edge as f64 / boundary as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A 10x10 support grid with a dense 4x4 block in the middle.
+    fn block_support() -> (Vec<f64>, usize, usize) {
+        let (w, h) = (10, 10);
+        let mut values = vec![0.0; w * h];
+        for y in 3..7 {
+            for x in 3..7 {
+                values[y * w + x] = 1.0;
+            }
+        }
+        (values, w, h)
+    }
+
+    #[test]
+    fn sobel_peaks_on_block_boundary() {
+        let (values, w, h) = block_support();
+        let mag = sobel_magnitude(&values, w, h).unwrap();
+        // Interior of the block: zero gradient.
+        assert_eq!(mag[5 * w + 5], 0.0);
+        // Far corner: zero gradient.
+        assert_eq!(mag[0], 0.0);
+        // On the boundary: strong gradient.
+        assert!(mag[3 * w + 5] > 1.0);
+        assert!(mag[5 * w + 3] > 1.0);
+    }
+
+    #[test]
+    fn detect_edges_outlines_the_block() {
+        let (values, w, h) = block_support();
+        let edges = detect_edges(&values, w, h, 0.5).unwrap();
+        // The outline must be present, the deep interior must not.
+        assert!(edges.get(3, 5) || edges.get(2, 5));
+        assert!(!edges.get(5, 5));
+        assert!(!edges.get(0, 0));
+        assert!(edges.count_ones() > 4);
+    }
+
+    #[test]
+    fn corner_response_peaks_at_corners() {
+        let (values, w, h) = block_support();
+        let response = corner_response(&values, w, h, 0.05).unwrap();
+        let corner = response[3 * w + 3];
+        let edge_mid = response[3 * w + 5];
+        let interior = response[5 * w + 5];
+        assert!(corner > edge_mid, "corner {corner} vs edge {edge_mid}");
+        assert!(corner > interior, "corner {corner} vs interior {interior}");
+    }
+
+    #[test]
+    fn boundary_alignment_measures_fit() {
+        let (values, w, h) = block_support();
+        let edges = detect_edges(&values, w, h, 0.3).unwrap();
+        // A rectangle hugging the block boundary aligns well...
+        let snug = Rect { x0: 3, y0: 3, x1: 6, y1: 6 };
+        // ...a rectangle floating in the empty corner aligns not at all.
+        let adrift = Rect { x0: 0, y0: 0, x1: 1, y1: 1 };
+        assert!(boundary_alignment(snug, &edges) > 0.5);
+        assert_eq!(boundary_alignment(adrift, &edges), 0.0);
+    }
+
+    #[test]
+    fn validates_inputs() {
+        assert!(sobel_magnitude(&[0.0; 5], 2, 2).is_err());
+        assert!(detect_edges(&[0.0; 4], 2, 2, 1.5).is_err());
+        assert!(corner_response(&[0.0; 4], 2, 2, 0.5).is_err());
+        assert!(corner_response(&[0.0; 4], 0, 2, 0.05).is_err());
+    }
+
+    #[test]
+    fn flat_grid_has_no_edges() {
+        let values = vec![0.3; 36];
+        let edges = detect_edges(&values, 6, 6, 0.2).unwrap();
+        assert!(edges.is_empty());
+    }
+}

@@ -1,0 +1,307 @@
+//! The association rule engine (paper §3.2, Figure 3).
+//!
+//! A specialised miner for two-dimensional rules over the [`BinArray`]: a
+//! single scan of the occupied cells emits every rule
+//! `X = i ∧ Y = j ⇒ Gk` whose support and confidence clear the thresholds.
+//! Because only the bin array is consulted, thresholds can be changed and
+//! rules re-mined without another pass over the source data — the property
+//! the heuristic optimizer (§3.7) relies on.
+
+use crate::binarray::BinArray;
+use crate::error::ArcsError;
+use crate::grid::Grid;
+
+/// Minimum support and confidence thresholds (fractions in `[0, 1]`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Thresholds {
+    /// Minimum support: `count(i, j, Gk) / N`.
+    pub min_support: f64,
+    /// Minimum confidence: `count(i, j, Gk) / count(i, j)`.
+    pub min_confidence: f64,
+}
+
+impl Thresholds {
+    /// Creates thresholds, validating both lie in `[0, 1]`.
+    pub fn new(min_support: f64, min_confidence: f64) -> Result<Self, ArcsError> {
+        if !(0.0..=1.0).contains(&min_support) {
+            return Err(ArcsError::InvalidConfig(format!(
+                "min_support {min_support} outside [0, 1]"
+            )));
+        }
+        if !(0.0..=1.0).contains(&min_confidence) {
+            return Err(ArcsError::InvalidConfig(format!(
+                "min_confidence {min_confidence} outside [0, 1]"
+            )));
+        }
+        Ok(Thresholds { min_support, min_confidence })
+    }
+}
+
+/// One mined two-dimensional association rule over binned data:
+/// `X = x ∧ Y = y ⇒ G = group`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BinnedRule {
+    /// x bin index.
+    pub x: usize,
+    /// y bin index.
+    pub y: usize,
+    /// Criterion group code.
+    pub group: u32,
+    /// Rule support.
+    pub support: f64,
+    /// Rule confidence.
+    pub confidence: f64,
+    /// Raw tuple count backing the rule.
+    pub count: u32,
+    /// Lift: confidence divided by the group's base rate `P(G = g)` —
+    /// `> 1` means the cell is *denser* in the group than chance, the
+    /// "greater-than-expected" interest notion the paper's §1.1 discusses
+    /// (from its references \[22, 15\]).
+    pub lift: f64,
+    /// Piatetsky-Shapiro leverage:
+    /// `P(cell ∧ group) − P(cell) · P(group)` — the additive form of the
+    /// same interest measure.
+    pub leverage: f64,
+}
+
+/// Mines all rules for criterion group `gk` meeting `thresholds`
+/// (the paper's `GenAssociationRules`, Figure 3). One pass over the bin
+/// array; the data itself is never touched.
+pub fn mine_rules(array: &BinArray, gk: u32, thresholds: Thresholds) -> Vec<BinnedRule> {
+    let min_support_count = min_support_count(array, thresholds.min_support);
+    let n = array.n_tuples() as f64;
+    let group_rate = if array.n_tuples() == 0 {
+        0.0
+    } else {
+        array.group_total(gk) as f64 / n
+    };
+    let mut rules = Vec::new();
+    for y in 0..array.ny() {
+        for x in 0..array.nx() {
+            let count = array.group_count(x, y, gk);
+            if (count as u64) < min_support_count {
+                continue;
+            }
+            let total = array.cell_total(x, y);
+            debug_assert!(total >= count);
+            let confidence = count as f64 / total as f64;
+            if confidence < thresholds.min_confidence {
+                continue;
+            }
+            let support = count as f64 / n;
+            let cell_rate = total as f64 / n;
+            rules.push(BinnedRule {
+                x,
+                y,
+                group: gk,
+                support,
+                confidence,
+                count,
+                lift: if group_rate > 0.0 { confidence / group_rate } else { 0.0 },
+                leverage: support - cell_rate * group_rate,
+            });
+        }
+    }
+    rules
+}
+
+/// Builds the bitmap grid of qualifying cells directly (the input to
+/// BitOp, §3.2: "the (i, j) pairs are then used to create a bitmap grid").
+pub fn rule_grid(array: &BinArray, gk: u32, thresholds: Thresholds) -> Result<Grid, ArcsError> {
+    let mut grid = Grid::new(array.nx(), array.ny())?;
+    let min_support_count = min_support_count(array, thresholds.min_support);
+    for y in 0..array.ny() {
+        for x in 0..array.nx() {
+            let count = array.group_count(x, y, gk);
+            if (count as u64) < min_support_count {
+                continue;
+            }
+            let total = array.cell_total(x, y);
+            if (count as f64 / total as f64) >= thresholds.min_confidence {
+                grid.set(x, y);
+            }
+        }
+    }
+    Ok(grid)
+}
+
+/// Builds a grid of per-cell support values for group `gk` (used by
+/// support-weighted smoothing, paper §5).
+pub fn support_grid(array: &BinArray, gk: u32) -> Vec<f64> {
+    let mut values = vec![0.0; array.nx() * array.ny()];
+    if array.n_tuples() == 0 {
+        return values;
+    }
+    let n = array.n_tuples() as f64;
+    for y in 0..array.ny() {
+        for x in 0..array.nx() {
+            values[y * array.nx() + x] = array.group_count(x, y, gk) as f64 / n;
+        }
+    }
+    values
+}
+
+/// Converts a fractional minimum support into an absolute tuple count
+/// (paper Figure 3: `minsupport_count = N * min_support`), rounded up so a
+/// cell must actually reach the fraction. A zero threshold still requires
+/// one tuple — empty cells never form rules.
+fn min_support_count(array: &BinArray, min_support: f64) -> u64 {
+    (((array.n_tuples() as f64) * min_support).ceil() as u64).max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// 4x4 array, 2 groups. Cell pattern for group 0:
+    /// (0,0): 40 of 50; (1,0): 45 of 50; (2,2): 5 of 100; (3,3): 10 of 10.
+    fn demo_array() -> BinArray {
+        let mut ba = BinArray::new(4, 4, 2).unwrap();
+        for _ in 0..40 {
+            ba.add(0, 0, 0);
+        }
+        for _ in 0..10 {
+            ba.add(0, 0, 1);
+        }
+        for _ in 0..45 {
+            ba.add(1, 0, 0);
+        }
+        for _ in 0..5 {
+            ba.add(1, 0, 1);
+        }
+        for _ in 0..5 {
+            ba.add(2, 2, 0);
+        }
+        for _ in 0..95 {
+            ba.add(2, 2, 1);
+        }
+        for _ in 0..10 {
+            ba.add(3, 3, 0);
+        }
+        ba // N = 210
+    }
+
+    #[test]
+    fn thresholds_validate() {
+        assert!(Thresholds::new(0.0, 0.0).is_ok());
+        assert!(Thresholds::new(1.0, 1.0).is_ok());
+        assert!(Thresholds::new(-0.1, 0.5).is_err());
+        assert!(Thresholds::new(0.5, 1.1).is_err());
+    }
+
+    #[test]
+    fn mines_cells_meeting_both_thresholds() {
+        let ba = demo_array();
+        // min support 0.1 -> >= 21 tuples; min confidence 0.5.
+        let t = Thresholds::new(0.1, 0.5).unwrap();
+        let rules = mine_rules(&ba, 0, t);
+        let cells: Vec<_> = rules.iter().map(|r| (r.x, r.y)).collect();
+        assert_eq!(cells, vec![(0, 0), (1, 0)]);
+        let r = &rules[0];
+        assert_eq!(r.count, 40);
+        assert!((r.support - 40.0 / 210.0).abs() < 1e-12);
+        assert!((r.confidence - 0.8).abs() < 1e-12);
+        assert_eq!(r.group, 0);
+    }
+
+    #[test]
+    fn interest_measures() {
+        let ba = demo_array(); // N = 210, group-0 total = 100
+        let t = Thresholds::new(0.1, 0.5).unwrap();
+        let rules = mine_rules(&ba, 0, t);
+        let r = &rules[0]; // cell (0,0): 40 of 50, conf 0.8
+        // Base rate P(G=0) = 100/210; lift = 0.8 / (100/210) = 1.68.
+        let base = 100.0 / 210.0;
+        assert!((r.lift - 0.8 / base).abs() < 1e-12);
+        assert!(r.lift > 1.0, "dense cell must have lift > 1");
+        // Leverage = 40/210 - (50/210)(100/210) > 0.
+        let expected = 40.0 / 210.0 - (50.0 / 210.0) * base;
+        assert!((r.leverage - expected).abs() < 1e-12);
+        assert!(r.leverage > 0.0);
+
+        // A cell at exactly the base rate has lift 1 / leverage 0:
+        // group_total(gk) consistency check.
+        assert_eq!(ba.group_total(0), 100);
+        assert_eq!(ba.group_total(1), 110);
+    }
+
+    #[test]
+    fn support_threshold_filters() {
+        let ba = demo_array();
+        // Support 0.04 -> >= 9 tuples: (3,3) with 10 qualifies, (2,2) with
+        // 5 does not.
+        let t = Thresholds::new(0.04, 0.0).unwrap();
+        let cells: Vec<_> = mine_rules(&ba, 0, t).iter().map(|r| (r.x, r.y)).collect();
+        assert_eq!(cells, vec![(0, 0), (1, 0), (3, 3)]);
+    }
+
+    #[test]
+    fn confidence_threshold_filters() {
+        let ba = demo_array();
+        // Low support floor; confidence 0.9 keeps (1,0) at 0.9 and (3,3)
+        // at 1.0, drops (0,0) at 0.8 and (2,2) at 0.05.
+        let t = Thresholds::new(0.0, 0.9).unwrap();
+        let cells: Vec<_> = mine_rules(&ba, 0, t).iter().map(|r| (r.x, r.y)).collect();
+        assert_eq!(cells, vec![(1, 0), (3, 3)]);
+    }
+
+    #[test]
+    fn zero_thresholds_still_require_a_tuple() {
+        let ba = demo_array();
+        let t = Thresholds::new(0.0, 0.0).unwrap();
+        let rules = mine_rules(&ba, 0, t);
+        // Only the 4 occupied-for-group-0 cells, not all 16.
+        assert_eq!(rules.len(), 4);
+    }
+
+    #[test]
+    fn other_group_mines_independently() {
+        let ba = demo_array();
+        let t = Thresholds::new(0.1, 0.5).unwrap();
+        let cells: Vec<_> = mine_rules(&ba, 1, t).iter().map(|r| (r.x, r.y)).collect();
+        assert_eq!(cells, vec![(2, 2)]); // 95 of 100, conf 0.95
+    }
+
+    #[test]
+    fn rule_grid_matches_mine_rules() {
+        let ba = demo_array();
+        for (s, c) in [(0.0, 0.0), (0.1, 0.5), (0.04, 0.0), (0.0, 0.9)] {
+            let t = Thresholds::new(s, c).unwrap();
+            let grid = rule_grid(&ba, 0, t).unwrap();
+            let from_rules: std::collections::HashSet<_> =
+                mine_rules(&ba, 0, t).iter().map(|r| (r.x, r.y)).collect();
+            let from_grid: std::collections::HashSet<_> = grid.iter_set().collect();
+            assert_eq!(from_rules, from_grid, "thresholds ({s}, {c})");
+        }
+    }
+
+    #[test]
+    fn support_grid_values() {
+        let ba = demo_array();
+        let sg = support_grid(&ba, 0);
+        assert_eq!(sg.len(), 16);
+        assert!((sg[0] - 40.0 / 210.0).abs() < 1e-12);
+        assert!((sg[2 * 4 + 2] - 5.0 / 210.0).abs() < 1e-12);
+        assert_eq!(sg[5], 0.0);
+    }
+
+    #[test]
+    fn empty_array_yields_nothing() {
+        let ba = BinArray::new(3, 3, 2).unwrap();
+        let t = Thresholds::new(0.0, 0.0).unwrap();
+        assert!(mine_rules(&ba, 0, t).is_empty());
+        assert!(rule_grid(&ba, 0, t).unwrap().is_empty());
+        assert!(support_grid(&ba, 0).iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn remining_with_different_thresholds_is_consistent() {
+        // Monotonicity: raising either threshold can only shrink the rule set.
+        let ba = demo_array();
+        let base = mine_rules(&ba, 0, Thresholds::new(0.01, 0.1).unwrap()).len();
+        let tighter_s = mine_rules(&ba, 0, Thresholds::new(0.2, 0.1).unwrap()).len();
+        let tighter_c = mine_rules(&ba, 0, Thresholds::new(0.01, 0.95).unwrap()).len();
+        assert!(tighter_s <= base);
+        assert!(tighter_c <= base);
+    }
+}

@@ -1,0 +1,85 @@
+//! Error types for the ARCS core.
+
+use std::fmt;
+
+use arcs_data::DataError;
+
+/// Errors produced by the ARCS pipeline and its components.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ArcsError {
+    /// A component was configured with invalid parameters.
+    InvalidConfig(String),
+    /// An attribute used in the pipeline has the wrong kind (e.g. a
+    /// categorical attribute where a quantitative LHS attribute is needed).
+    AttributeKind {
+        /// Attribute name.
+        attribute: String,
+        /// What was expected.
+        expected: &'static str,
+    },
+    /// A named group label does not exist on the criterion attribute.
+    UnknownGroup(String),
+    /// A coordinate was outside the grid or bin array.
+    OutOfBounds {
+        /// Human-readable description of the access.
+        what: String,
+    },
+    /// An error bubbled up from the data substrate.
+    Data(DataError),
+    /// The optimizer exhausted its budget without finding any candidate
+    /// segmentation (e.g. no cell ever met the thresholds).
+    NoSegmentation,
+}
+
+impl fmt::Display for ArcsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArcsError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            ArcsError::AttributeKind { attribute, expected } => {
+                write!(f, "attribute `{attribute}` has the wrong kind: expected {expected}")
+            }
+            ArcsError::UnknownGroup(label) => {
+                write!(f, "group label `{label}` not found on the criterion attribute")
+            }
+            ArcsError::OutOfBounds { what } => write!(f, "out of bounds: {what}"),
+            ArcsError::Data(err) => write!(f, "data error: {err}"),
+            ArcsError::NoSegmentation => {
+                write!(f, "no segmentation found: no cell met any support/confidence threshold")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ArcsError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ArcsError::Data(err) => Some(err),
+            _ => None,
+        }
+    }
+}
+
+impl From<DataError> for ArcsError {
+    fn from(err: DataError) -> Self {
+        ArcsError::Data(err)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let err = ArcsError::UnknownGroup("excellent".into());
+        assert!(err.to_string().contains("excellent"));
+
+        let err: ArcsError = DataError::UnknownAttribute("x".into()).into();
+        assert!(matches!(err, ArcsError::Data(_)));
+        assert!(std::error::Error::source(&err).is_some());
+
+        let err = ArcsError::NoSegmentation;
+        assert!(std::error::Error::source(&err).is_none());
+        assert!(err.to_string().contains("no segmentation"));
+    }
+}

@@ -1,0 +1,48 @@
+//! # arcs-core
+//!
+//! Core of the ARCS reproduction (Lent, Swami, Widom — *Clustering
+//! Association Rules*, ICDE 1997): binning, the `BinArray`, the one-pass
+//! two-dimensional association rule engine, the BitOp geometric clustering
+//! algorithm, grid smoothing, cluster pruning, the MDL quality measure,
+//! the verifier, and the heuristic threshold optimizer — assembled into
+//! the end-to-end pipeline of the paper's Figure 2.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod anneal;
+pub mod binarray;
+pub mod binner;
+pub mod binning;
+pub mod bitop;
+pub mod categorical;
+pub mod cluster;
+pub mod cover;
+pub mod edges;
+pub mod engine;
+pub mod error;
+pub mod factorial;
+pub mod grid;
+pub mod mdl;
+pub mod multidim;
+pub mod optimizer;
+pub mod pipeline;
+pub mod render;
+pub mod select;
+pub mod smooth;
+pub mod sql;
+pub mod verify;
+
+pub use binarray::BinArray;
+pub use binner::{Binner, BinningStrategy};
+pub use binning::BinMap;
+pub use bitop::BitOpConfig;
+pub use cluster::{ClusteredRule, Rect};
+pub use engine::{mine_rules, BinnedRule, Thresholds};
+pub use error::ArcsError;
+pub use grid::Grid;
+pub use optimizer::{optimize, OptimizerConfig, ThresholdLattice};
+pub use pipeline::{Arcs, ArcsConfig, Segmentation};
+pub use mdl::{mdl_cost, MdlScore, MdlWeights};
+pub use smooth::{Kernel, SmoothConfig};
+pub use verify::ErrorCounts;

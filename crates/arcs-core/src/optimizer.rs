@@ -1,0 +1,672 @@
+//! The heuristic threshold optimizer (paper §3.7, Figure 10).
+//!
+//! Finding the support/confidence thresholds that give the MDL-best
+//! segmentation is a combinatorial search. ARCS restricts it to the
+//! thresholds that *actually occur* in the binned data: one pass
+//! enumerates the unique support values of the occupied cells and, for
+//! each, the unique confidence values of the qualifying cells (the
+//! Figure 10 lattice). The search then starts at a **low** support
+//! threshold — cheap because re-mining off the `BinArray` is nearly free —
+//! and works upwards, re-clustering and re-verifying at each step, until
+//! the verifier sees no significant improvement (within `epsilon`) or the
+//! evaluation budget expires.
+
+use arcs_data::Tuple;
+
+use crate::binarray::BinArray;
+use crate::binner::Binner;
+use crate::bitop::{self, BitOpConfig};
+use crate::cluster::Rect;
+use crate::engine::{rule_grid, Thresholds};
+use crate::error::ArcsError;
+use crate::mdl::{MdlScore, MdlWeights};
+use crate::smooth::{smooth, SmoothConfig};
+use crate::verify::{verify_tuples, ErrorCounts};
+
+/// The Figure 10 data structure: the support thresholds that occur in the
+/// binned data, each with its list of occurring confidence thresholds.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ThresholdLattice {
+    /// Ascending unique support fractions (per-cell group count / N).
+    supports: Vec<f64>,
+    /// `confidences[i]`: ascending unique confidences among cells whose
+    /// support is at least `supports[i]`.
+    confidences: Vec<Vec<f64>>,
+}
+
+impl ThresholdLattice {
+    /// Builds the lattice for criterion group `gk` — the paper's two
+    /// passes over the binned data.
+    pub fn build(array: &BinArray, gk: u32) -> Self {
+        let n = array.n_tuples();
+        if n == 0 {
+            return ThresholdLattice { supports: Vec::new(), confidences: Vec::new() };
+        }
+        // Pass 1: collect each occupied cell's (count, confidence).
+        let mut cells: Vec<(u32, f64)> = Vec::new();
+        for (x, y) in array.occupied_cells() {
+            let count = array.group_count(x, y, gk);
+            if count > 0 {
+                cells.push((count, array.confidence(x, y, gk)));
+            }
+        }
+        let mut counts: Vec<u32> = cells.iter().map(|&(c, _)| c).collect();
+        counts.sort_unstable();
+        counts.dedup();
+
+        // Pass 2: per support level, the unique confidences of cells still
+        // qualifying. As support rises, fewer cells qualify and the
+        // confidence lists shrink (the narrowing the paper observes).
+        let mut supports = Vec::with_capacity(counts.len());
+        let mut confidences = Vec::with_capacity(counts.len());
+        for &count in &counts {
+            let mut confs: Vec<f64> = cells
+                .iter()
+                .filter(|&&(c, _)| c >= count)
+                .map(|&(_, conf)| conf)
+                .collect();
+            confs.sort_by(|a, b| a.partial_cmp(b).expect("confidences are finite"));
+            confs.dedup();
+            supports.push(count as f64 / n as f64);
+            confidences.push(confs);
+        }
+        ThresholdLattice { supports, confidences }
+    }
+
+    /// The ascending unique support fractions.
+    pub fn supports(&self) -> &[f64] {
+        &self.supports
+    }
+
+    /// The confidence list for support level `i`.
+    pub fn confidences_for(&self, i: usize) -> &[f64] {
+        &self.confidences[i]
+    }
+
+    /// Whether no cell produced any threshold.
+    pub fn is_empty(&self) -> bool {
+        self.supports.is_empty()
+    }
+
+    /// Evenly subsamples `values` down to at most `max` entries, always
+    /// keeping the first and last.
+    fn subsample(values: &[f64], max: usize) -> Vec<f64> {
+        if values.len() <= max || max == 0 {
+            return values.to_vec();
+        }
+        if max == 1 {
+            return vec![values[0]];
+        }
+        (0..max)
+            .map(|i| values[i * (values.len() - 1) / (max - 1)])
+            .collect()
+    }
+}
+
+/// Configuration of the heuristic search.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OptimizerConfig {
+    /// MDL bias weights.
+    pub mdl_weights: MdlWeights,
+    /// Grid smoothing applied before clustering.
+    pub smoothing: SmoothConfig,
+    /// BitOp clustering / pruning parameters.
+    pub bitop: BitOpConfig,
+    /// Minimum MDL improvement counted as progress.
+    pub epsilon: f64,
+    /// Stop after this many consecutive support levels without progress.
+    pub patience: usize,
+    /// Within one support level, stop walking confidence levels after this
+    /// many consecutive non-improving evaluations (the paper's "until there
+    /// is no improvement (within some ε)" stall rule applied along the
+    /// confidence axis). The default equals `max_confidence_levels`, i.e.
+    /// every subsampled level is evaluated — lower it for a stricter
+    /// hill climb.
+    pub confidence_patience: usize,
+    /// Minimum fraction of the group's sample tuples a candidate
+    /// segmentation must identify (cover) to be eligible as the best. The
+    /// MDL formula's logarithmic error term can otherwise prefer a
+    /// near-empty segmentation on very noisy data — covering nothing keeps
+    /// false positives at zero while the log compresses the huge
+    /// false-negative count. A segmentation that fails to identify the
+    /// group is useless for the paper's stated purpose (segmenting the
+    /// data), so candidates below this recall only win when *no* candidate
+    /// reaches it. Documented deviation from the paper's literal formula.
+    pub min_group_recall: f64,
+    /// Hard cap on (support, confidence) evaluations — the paper's
+    /// "budgeted time".
+    pub max_evaluations: usize,
+    /// Optional wall-clock budget: the search stops starting new
+    /// evaluations once this much time has elapsed (the paper's literal
+    /// "the verifier determines that the budgeted time has expired").
+    pub max_wall_time: Option<std::time::Duration>,
+    /// Cap on distinct support levels searched (evenly subsampled).
+    pub max_support_levels: usize,
+    /// Cap on distinct confidence levels searched per support level.
+    pub max_confidence_levels: usize,
+}
+
+impl Default for OptimizerConfig {
+    fn default() -> Self {
+        OptimizerConfig {
+            mdl_weights: MdlWeights::default(),
+            smoothing: SmoothConfig::default(),
+            bitop: BitOpConfig::default(),
+            epsilon: 1e-6,
+            patience: 4,
+            confidence_patience: 8,
+            min_group_recall: 0.5,
+            max_evaluations: 512,
+            max_wall_time: None,
+            max_support_levels: 16,
+            max_confidence_levels: 8,
+        }
+    }
+}
+
+impl OptimizerConfig {
+    fn validate(&self) -> Result<(), ArcsError> {
+        if self.epsilon < 0.0 {
+            return Err(ArcsError::InvalidConfig("epsilon must be >= 0".into()));
+        }
+        if self.patience == 0 {
+            return Err(ArcsError::InvalidConfig("patience must be > 0".into()));
+        }
+        if self.confidence_patience == 0 {
+            return Err(ArcsError::InvalidConfig(
+                "confidence_patience must be > 0".into(),
+            ));
+        }
+        if !(0.0..=1.0).contains(&self.min_group_recall) {
+            return Err(ArcsError::InvalidConfig(format!(
+                "min_group_recall {} outside [0, 1]",
+                self.min_group_recall
+            )));
+        }
+        if self.max_evaluations == 0 {
+            return Err(ArcsError::InvalidConfig("max_evaluations must be > 0".into()));
+        }
+        Ok(())
+    }
+}
+
+/// One evaluated candidate segmentation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Evaluation {
+    /// Thresholds used.
+    pub thresholds: Thresholds,
+    /// Clusters found (after smoothing, BitOp, pruning).
+    pub clusters: Vec<Rect>,
+    /// Verification errors on the sample.
+    pub errors: ErrorCounts,
+    /// MDL score.
+    pub score: MdlScore,
+}
+
+/// The optimizer's result: the best evaluation plus the full search trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OptimizeResult {
+    /// The MDL-minimal evaluation.
+    pub best: Evaluation,
+    /// Every evaluation performed, in search order.
+    pub trace: Vec<Evaluation>,
+}
+
+/// Evaluates a single `(support, confidence)` point: mine → smooth →
+/// cluster → verify → score.
+pub fn evaluate(
+    array: &BinArray,
+    gk: u32,
+    binner: &Binner,
+    sample: &[&Tuple],
+    thresholds: Thresholds,
+    config: &OptimizerConfig,
+) -> Result<Evaluation, ArcsError> {
+    let grid = rule_grid(array, gk, thresholds)?;
+    let smoothed = smooth(&grid, &config.smoothing)?;
+    let clusters = bitop::cluster(&smoothed, &config.bitop)?;
+    let errors = verify_tuples(&clusters, binner, sample.iter().copied(), gk);
+    let score = MdlScore::compute(clusters.len(), errors.total(), config.mdl_weights);
+    Ok(Evaluation { thresholds, clusters, errors, score })
+}
+
+/// Runs the heuristic search (the Figure 2 feedback loop): ascending
+/// support levels from the lattice, each with its confidence levels,
+/// stopping on `patience` support levels without improvement or on budget
+/// exhaustion. Returns [`ArcsError::NoSegmentation`] when the lattice is
+/// empty or no evaluation produced any cluster.
+pub fn optimize(
+    array: &BinArray,
+    gk: u32,
+    binner: &Binner,
+    sample: &[&Tuple],
+    config: &OptimizerConfig,
+) -> Result<OptimizeResult, ArcsError> {
+    config.validate()?;
+    let lattice = ThresholdLattice::build(array, gk);
+    if lattice.is_empty() {
+        return Err(ArcsError::NoSegmentation);
+    }
+
+    let support_levels =
+        ThresholdLattice::subsample(lattice.supports(), config.max_support_levels);
+    // Two-tier best: candidates meeting the recall guard are preferred;
+    // `best_any` is the fallback when nothing qualifies.
+    let mut best: Option<Evaluation> = None;
+    let mut best_any: Option<Evaluation> = None;
+    let mut trace = Vec::new();
+    let mut stale = 0usize;
+    let mut evaluations = 0usize;
+    let started = std::time::Instant::now();
+
+    'search: for (i, &s) in support_levels.iter().enumerate() {
+        // Map back to the lattice index to fetch this level's confidences.
+        let li = lattice
+            .supports()
+            .iter()
+            .position(|&v| v >= s)
+            .unwrap_or(lattice.supports().len() - 1);
+        let conf_levels =
+            ThresholdLattice::subsample(lattice.confidences_for(li), config.max_confidence_levels);
+
+        let mut improved = false;
+        let mut conf_stale = 0usize;
+        for &c in &conf_levels {
+            if evaluations >= config.max_evaluations {
+                break 'search;
+            }
+            if config
+                .max_wall_time
+                .is_some_and(|budget| started.elapsed() >= budget)
+            {
+                break 'search;
+            }
+            // Back off a hair below the observed values so cells *at* the
+            // threshold still qualify despite floating-point rounding.
+            let thresholds = Thresholds::new(
+                (s - 1e-12).max(0.0),
+                (c - 1e-12).max(0.0),
+            )?;
+            let eval = evaluate(array, gk, binner, sample, thresholds, config)?;
+            evaluations += 1;
+            trace.push(eval.clone());
+            if eval.clusters.is_empty() {
+                continue; // never a candidate, never counts as stale progress
+            }
+            let beats = |incumbent: &Option<Evaluation>| match incumbent {
+                None => true,
+                Some(b) => eval.score.cost + config.epsilon < b.score.cost,
+            };
+            if beats(&best_any) {
+                best_any = Some(eval.clone());
+            }
+            let qualifies = eval.errors.recall() >= config.min_group_recall;
+            let is_better = qualifies && beats(&best);
+            if is_better {
+                best = Some(eval);
+                improved = true;
+                conf_stale = 0;
+            } else if best.is_some() {
+                conf_stale += 1;
+                if conf_stale >= config.confidence_patience {
+                    break;
+                }
+            }
+        }
+
+        if improved {
+            stale = 0;
+        } else if best.is_some() {
+            // Only start counting staleness once something was found.
+            stale += 1;
+            if stale >= config.patience {
+                break;
+            }
+        }
+        let _ = i;
+    }
+
+    match best.or(best_any) {
+        Some(best) => Ok(OptimizeResult { best, trace }),
+        None => Err(ArcsError::NoSegmentation),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use arcs_data::schema::{Attribute, Schema};
+    use arcs_data::{Dataset, Value};
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            Attribute::quantitative("x", 0.0, 10.0),
+            Attribute::quantitative("y", 0.0, 10.0),
+            Attribute::categorical("g", ["A", "other"]),
+        ])
+        .unwrap()
+    }
+
+    /// A dataset with a dense Group-A block in x,y ∈ [2, 5) and background
+    /// "other" tuples everywhere.
+    fn blocky_dataset() -> Dataset {
+        let mut ds = Dataset::new(schema());
+        for ix in 0..10 {
+            for iy in 0..10 {
+                let x = ix as f64 + 0.5;
+                let y = iy as f64 + 0.5;
+                let in_block = (2..5).contains(&ix) && (2..5).contains(&iy);
+                let (n_a, n_other) = if in_block { (20, 2) } else { (0, 5) };
+                for _ in 0..n_a {
+                    ds.push(vec![Value::Quant(x), Value::Quant(y), Value::Cat(0)]).unwrap();
+                }
+                for _ in 0..n_other {
+                    ds.push(vec![Value::Quant(x), Value::Quant(y), Value::Cat(1)]).unwrap();
+                }
+            }
+        }
+        ds
+    }
+
+    fn binner() -> Binner {
+        Binner::equi_width(&schema(), "x", "y", "g", 10, 10).unwrap()
+    }
+
+    #[test]
+    fn lattice_enumerates_occurring_thresholds() {
+        let b = binner();
+        let ds = blocky_dataset();
+        let ba = b.bin_rows(ds.iter()).unwrap();
+        let lattice = ThresholdLattice::build(&ba, 0);
+        assert!(!lattice.is_empty());
+        // Only cells in the block have group-0 tuples, all with count 20:
+        // one unique support level.
+        assert_eq!(lattice.supports().len(), 1);
+        let s = lattice.supports()[0];
+        assert!((s - 20.0 / ba.n_tuples() as f64).abs() < 1e-12);
+        // All those cells share confidence 20/22.
+        assert_eq!(lattice.confidences_for(0), &[20.0 / 22.0]);
+    }
+
+    #[test]
+    fn lattice_supports_ascend_and_confidences_narrow() {
+        let mut ba = BinArray::new(4, 4, 2).unwrap();
+        // Three cells with distinct counts and confidences.
+        for _ in 0..10 {
+            ba.add(0, 0, 0);
+        }
+        for _ in 0..10 {
+            ba.add(0, 0, 1);
+        }
+        for _ in 0..20 {
+            ba.add(1, 1, 0);
+        }
+        for _ in 0..5 {
+            ba.add(1, 1, 1);
+        }
+        for _ in 0..30 {
+            ba.add(2, 2, 0);
+        }
+        let lattice = ThresholdLattice::build(&ba, 0);
+        let sup = lattice.supports();
+        assert_eq!(sup.len(), 3);
+        assert!(sup.windows(2).all(|w| w[0] < w[1]));
+        // At the lowest support all three confidences appear; at the
+        // highest only one.
+        assert_eq!(lattice.confidences_for(0).len(), 3);
+        assert_eq!(lattice.confidences_for(2).len(), 1);
+    }
+
+    #[test]
+    fn lattice_empty_for_empty_array() {
+        let ba = BinArray::new(3, 3, 2).unwrap();
+        assert!(ThresholdLattice::build(&ba, 0).is_empty());
+    }
+
+    #[test]
+    fn subsample_keeps_endpoints() {
+        let values: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let s = ThresholdLattice::subsample(&values, 5);
+        assert_eq!(s.len(), 5);
+        assert_eq!(s[0], 0.0);
+        assert_eq!(s[4], 99.0);
+        assert!(s.windows(2).all(|w| w[0] < w[1]));
+
+        let small = vec![1.0, 2.0];
+        assert_eq!(ThresholdLattice::subsample(&small, 5), small);
+        assert_eq!(ThresholdLattice::subsample(&values, 1), vec![0.0]);
+    }
+
+    #[test]
+    fn optimizer_recovers_the_block() {
+        let ds = blocky_dataset();
+        let b = binner();
+        let ba = b.bin_rows(ds.iter()).unwrap();
+        let sample: Vec<&Tuple> = ds.iter().collect();
+        let config = OptimizerConfig {
+            // Small grid: disable fraction pruning so the 3x3 block (9% of
+            // the grid) is never at risk.
+            bitop: BitOpConfig::no_pruning(),
+            ..OptimizerConfig::default()
+        };
+        let result = optimize(&ba, 0, &b, &sample, &config).unwrap();
+        assert_eq!(result.best.clusters.len(), 1);
+        let rect = result.best.clusters[0];
+        assert_eq!((rect.x0, rect.y0, rect.x1, rect.y1), (2, 2, 4, 4));
+        assert_eq!(result.best.errors.false_negatives, 0);
+        assert!(!result.trace.is_empty());
+    }
+
+    #[test]
+    fn optimizer_errors_on_empty_data() {
+        let b = binner();
+        let ba = b.new_bin_array().unwrap();
+        let err = optimize(&ba, 0, &b, &[], &OptimizerConfig::default()).unwrap_err();
+        assert_eq!(err, ArcsError::NoSegmentation);
+    }
+
+    #[test]
+    fn optimizer_respects_evaluation_budget() {
+        let ds = blocky_dataset();
+        let b = binner();
+        let ba = b.bin_rows(ds.iter()).unwrap();
+        let sample: Vec<&Tuple> = ds.iter().collect();
+        let config = OptimizerConfig {
+            max_evaluations: 1,
+            bitop: BitOpConfig::no_pruning(),
+            ..OptimizerConfig::default()
+        };
+        let result = optimize(&ba, 0, &b, &sample, &config).unwrap();
+        assert_eq!(result.trace.len(), 1);
+    }
+
+    #[test]
+    fn optimizer_config_validates() {
+        let ds = blocky_dataset();
+        let b = binner();
+        let ba = b.bin_rows(ds.iter()).unwrap();
+        for bad in [
+            OptimizerConfig { epsilon: -1.0, ..OptimizerConfig::default() },
+            OptimizerConfig { patience: 0, ..OptimizerConfig::default() },
+            OptimizerConfig { max_evaluations: 0, ..OptimizerConfig::default() },
+        ] {
+            assert!(optimize(&ba, 0, &b, &[], &bad).is_err());
+        }
+    }
+
+    /// On data with heavy label noise the MDL formula alone would prefer a
+    /// near-empty segmentation; the recall guard must keep the covering
+    /// one (see DESIGN.md).
+    #[test]
+    fn recall_guard_rejects_degenerate_segmentations() {
+        // The block plus one ultra-pure tiny cell elsewhere. Heavy noise
+        // inside the block keeps its confidence moderate; the tiny cell is
+        // pure. Without the guard the 1-cluster "pure speck" solution can
+        // win on MDL.
+        let mut ds = Dataset::new(schema());
+        for ix in 0..10 {
+            for iy in 0..10 {
+                let x = ix as f64 + 0.5;
+                let y = iy as f64 + 0.5;
+                let in_block = (2..5).contains(&ix) && (2..5).contains(&iy);
+                let pure_speck = ix == 8 && iy == 8;
+                let (n_a, n_other) = if in_block {
+                    (20, 12) // conf ~0.63: noisy
+                } else if pure_speck {
+                    (25, 0) // conf 1.0
+                } else {
+                    (0, 5)
+                };
+                for _ in 0..n_a {
+                    ds.push(vec![Value::Quant(x), Value::Quant(y), Value::Cat(0)]).unwrap();
+                }
+                for _ in 0..n_other {
+                    ds.push(vec![Value::Quant(x), Value::Quant(y), Value::Cat(1)]).unwrap();
+                }
+            }
+        }
+        let b = binner();
+        let ba = b.bin_rows(ds.iter()).unwrap();
+        let sample: Vec<&Tuple> = ds.iter().collect();
+        let config = OptimizerConfig {
+            bitop: BitOpConfig::no_pruning(),
+            ..OptimizerConfig::default()
+        };
+        let result = optimize(&ba, 0, &b, &sample, &config).unwrap();
+        // The chosen segmentation must identify most of group A — i.e.
+        // include the block, not just the speck.
+        assert!(
+            result.best.errors.recall() >= 0.5,
+            "recall {} with clusters {:?}",
+            result.best.errors.recall(),
+            result.best.clusters
+        );
+        assert!(result
+            .best
+            .clusters
+            .iter()
+            .any(|r| r.contains(3, 3)), "block not covered: {:?}", result.best.clusters);
+    }
+
+    /// When *no* candidate reaches the recall guard, the optimizer falls
+    /// back to the best unguarded candidate instead of erroring.
+    #[test]
+    fn recall_guard_falls_back_when_nothing_qualifies() {
+        // A 2x2 group-A block plus scattered single-cell group-A strays.
+        // Pruning (min area 2) always drops the 1-cell stray clusters, so
+        // no candidate can cover every group tuple; with
+        // min_group_recall = 1.0 nothing qualifies and the optimizer must
+        // fall back to the best unguarded segmentation (the block).
+        let mut ds = Dataset::new(schema());
+        for (ix, iy) in [(2, 2), (2, 3), (3, 2), (3, 3)] {
+            for _ in 0..30 {
+                ds.push(vec![
+                    Value::Quant(ix as f64 + 0.5),
+                    Value::Quant(iy as f64 + 0.5),
+                    Value::Cat(0),
+                ])
+                .unwrap();
+            }
+        }
+        for (x, y) in [(7.5, 1.5), (1.5, 7.5), (8.5, 8.5)] {
+            for _ in 0..30 {
+                ds.push(vec![Value::Quant(x), Value::Quant(y), Value::Cat(0)]).unwrap();
+            }
+        }
+        for _ in 0..100 {
+            ds.push(vec![Value::Quant(5.5), Value::Quant(5.5), Value::Cat(1)]).unwrap();
+        }
+        let b = binner();
+        let ba = b.bin_rows(ds.iter()).unwrap();
+        let sample: Vec<&Tuple> = ds.iter().collect();
+        let config = OptimizerConfig {
+            min_group_recall: 1.0,
+            smoothing: crate::smooth::SmoothConfig::disabled(),
+            bitop: BitOpConfig {
+                min_area_fraction: 0.0,
+                min_area_cells: 2,
+                max_clusters: 100,
+                threads: 1,
+            },
+            ..OptimizerConfig::default()
+        };
+        let result = optimize(&ba, 0, &b, &sample, &config).unwrap();
+        assert!(!result.best.clusters.is_empty());
+        assert!(result.best.errors.recall() < 1.0);
+        assert!(result.best.clusters.iter().any(|r| r.contains(2, 2)));
+    }
+
+    #[test]
+    fn wall_clock_budget_stops_the_search() {
+        let ds = blocky_dataset();
+        let b = binner();
+        let ba = b.bin_rows(ds.iter()).unwrap();
+        let sample: Vec<&Tuple> = ds.iter().collect();
+        // An already-expired budget: at most one confidence loop entry per
+        // support level is even attempted — in fact none, so the optimizer
+        // reports NoSegmentation.
+        let config = OptimizerConfig {
+            max_wall_time: Some(std::time::Duration::ZERO),
+            ..OptimizerConfig::default()
+        };
+        let result = optimize(&ba, 0, &b, &sample, &config);
+        assert!(matches!(result, Err(ArcsError::NoSegmentation)));
+        // A generous budget behaves like no budget.
+        let config = OptimizerConfig {
+            max_wall_time: Some(std::time::Duration::from_secs(3600)),
+            bitop: BitOpConfig::no_pruning(),
+            ..OptimizerConfig::default()
+        };
+        let result = optimize(&ba, 0, &b, &sample, &config).unwrap();
+        assert_eq!(result.best.clusters.len(), 1);
+    }
+
+    #[test]
+    fn min_group_recall_validates() {
+        let b = binner();
+        let ba = b.new_bin_array().unwrap();
+        let bad = OptimizerConfig { min_group_recall: 1.5, ..OptimizerConfig::default() };
+        assert!(matches!(
+            optimize(&ba, 0, &b, &[], &bad),
+            Err(ArcsError::InvalidConfig(_))
+        ));
+    }
+
+    #[test]
+    fn evaluate_reports_consistent_score() {
+        let ds = blocky_dataset();
+        let b = binner();
+        let ba = b.bin_rows(ds.iter()).unwrap();
+        let sample: Vec<&Tuple> = ds.iter().collect();
+        let config = OptimizerConfig::default();
+        let eval = evaluate(
+            &ba,
+            0,
+            &b,
+            &sample,
+            Thresholds::new(0.001, 0.5).unwrap(),
+            &config,
+        )
+        .unwrap();
+        assert_eq!(eval.score.n_clusters, eval.clusters.len());
+        assert_eq!(eval.score.errors, eval.errors.total());
+    }
+
+    #[test]
+    fn raising_support_above_everything_yields_no_clusters() {
+        let ds = blocky_dataset();
+        let b = binner();
+        let ba = b.bin_rows(ds.iter()).unwrap();
+        let config = OptimizerConfig::default();
+        let eval = evaluate(
+            &ba,
+            0,
+            &b,
+            &[],
+            Thresholds::new(0.99, 0.0).unwrap(),
+            &config,
+        )
+        .unwrap();
+        assert!(eval.clusters.is_empty());
+    }
+}

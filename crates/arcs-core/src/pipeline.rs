@@ -1,0 +1,559 @@
+//! The end-to-end ARCS pipeline (paper Figure 2).
+//!
+//! Wires together binner → association rule engine → clustering
+//! (smooth + BitOp + prune) → verifier → heuristic optimizer, and decodes
+//! the winning clusters into user-facing [`ClusteredRule`]s.
+//!
+//! Two entry points:
+//!
+//! * [`Arcs::segment_dataset`] — in-memory data; the verification sample
+//!   is drawn from the dataset itself.
+//! * [`Arcs::segment_stream`] — a single pass over an arbitrarily large
+//!   tuple stream (the paper's constant-memory mode, §4.3), with an
+//!   explicit verification sample.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use arcs_data::sample::sample_rows;
+use arcs_data::schema::AttrKind;
+use arcs_data::{Dataset, Schema, Tuple};
+
+use crate::binner::{Binner, BinningStrategy};
+use crate::binning::BinMap;
+use crate::cluster::{ClusteredRule, Rect};
+use crate::engine::Thresholds;
+use crate::error::ArcsError;
+use crate::mdl::MdlScore;
+use crate::optimizer::{optimize, OptimizerConfig};
+use crate::verify::ErrorCounts;
+
+/// Configuration of the whole ARCS system.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ArcsConfig {
+    /// Number of x-attribute bins (the paper presets 50, §3.7).
+    pub n_x_bins: usize,
+    /// Number of y-attribute bins.
+    pub n_y_bins: usize,
+    /// Binning strategy for the LHS attributes.
+    pub strategy: BinningStrategy,
+    /// The heuristic optimizer's parameters (smoothing, BitOp, MDL, budget).
+    pub optimizer: OptimizerConfig,
+    /// Verification sample size (capped at the dataset size).
+    pub sample_size: usize,
+    /// RNG seed for sampling.
+    pub seed: u64,
+}
+
+impl Default for ArcsConfig {
+    fn default() -> Self {
+        ArcsConfig {
+            n_x_bins: 50,
+            n_y_bins: 50,
+            strategy: BinningStrategy::EquiWidth,
+            optimizer: OptimizerConfig::default(),
+            sample_size: 2_000,
+            seed: 0,
+        }
+    }
+}
+
+/// The final output of ARCS: a segmentation of the attribute space for one
+/// criterion group.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Segmentation {
+    /// The clustered association rules, decoded to attribute value ranges.
+    pub rules: Vec<ClusteredRule>,
+    /// The cluster rectangles in bin coordinates.
+    pub clusters: Vec<Rect>,
+    /// The thresholds the optimizer settled on.
+    pub thresholds: Thresholds,
+    /// MDL score of the winning segmentation.
+    pub score: MdlScore,
+    /// Verification errors of the winning segmentation on the sample.
+    pub errors: ErrorCounts,
+    /// Number of tuples binned.
+    pub n_tuples: u64,
+    /// Number of (support, confidence) evaluations the optimizer ran.
+    pub evaluations: usize,
+}
+
+/// Per-group segmentation outcomes from [`Arcs::segment_all_groups`]:
+/// one `(group label, result)` entry per criterion value.
+pub type GroupSegmentations = Vec<(String, Result<Segmentation, ArcsError>)>;
+
+/// The configured ARCS system.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Arcs {
+    config: ArcsConfig,
+}
+
+impl Arcs {
+    /// Creates the system with the given configuration.
+    pub fn new(config: ArcsConfig) -> Result<Self, ArcsError> {
+        if config.n_x_bins == 0 || config.n_y_bins == 0 {
+            return Err(ArcsError::InvalidConfig("bin counts must be positive".into()));
+        }
+        if config.sample_size == 0 {
+            return Err(ArcsError::InvalidConfig("sample_size must be positive".into()));
+        }
+        Ok(Arcs { config })
+    }
+
+    /// Creates the system with the paper's default configuration.
+    pub fn with_defaults() -> Self {
+        Arcs { config: ArcsConfig::default() }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &ArcsConfig {
+        &self.config
+    }
+
+    /// Builds the binner for `(x_attr, y_attr, criterion_attr)`, realising
+    /// the configured binning strategy. Equi-depth and homogeneity need
+    /// the data columns, hence the optional `dataset`.
+    fn build_binner(
+        &self,
+        schema: &Schema,
+        x_attr: &str,
+        y_attr: &str,
+        criterion_attr: &str,
+        dataset: Option<&Dataset>,
+    ) -> Result<Binner, ArcsError> {
+        match self.config.strategy {
+            BinningStrategy::EquiWidth => Binner::equi_width(
+                schema,
+                x_attr,
+                y_attr,
+                criterion_attr,
+                self.config.n_x_bins,
+                self.config.n_y_bins,
+            ),
+            BinningStrategy::EquiDepth => {
+                let ds = dataset.ok_or_else(|| {
+                    ArcsError::InvalidConfig(
+                        "equi-depth binning requires in-memory data (use segment_dataset)".into(),
+                    )
+                })?;
+                let x_col = ds.quant_column(schema.require(x_attr)?)?;
+                let y_col = ds.quant_column(schema.require(y_attr)?)?;
+                let x_map = BinMap::equi_depth(&x_col, self.config.n_x_bins)?;
+                let y_map = BinMap::equi_depth(&y_col, self.config.n_y_bins)?;
+                Binner::with_maps(schema, x_attr, y_attr, criterion_attr, x_map, y_map)
+            }
+            BinningStrategy::Homogeneity { tolerance } => {
+                let ds = dataset.ok_or_else(|| {
+                    ArcsError::InvalidConfig(
+                        "homogeneity binning requires in-memory data (use segment_dataset)".into(),
+                    )
+                })?;
+                let x_col = ds.quant_column(schema.require(x_attr)?)?;
+                let y_col = ds.quant_column(schema.require(y_attr)?)?;
+                let x_map = BinMap::homogeneity(&x_col, self.config.n_x_bins, tolerance)?;
+                let y_map = BinMap::homogeneity(&y_col, self.config.n_y_bins, tolerance)?;
+                Binner::with_maps(schema, x_attr, y_attr, criterion_attr, x_map, y_map)
+            }
+        }
+    }
+
+    /// Resolves a criterion group label to its code.
+    fn group_code(
+        schema: &Schema,
+        criterion_attr: &str,
+        group_label: &str,
+    ) -> Result<u32, ArcsError> {
+        let idx = schema.require(criterion_attr)?;
+        let attr = schema.attribute(idx).expect("index from require");
+        match &attr.kind {
+            AttrKind::Categorical { labels } => labels
+                .iter()
+                .position(|l| l == group_label)
+                .map(|p| p as u32)
+                .ok_or_else(|| ArcsError::UnknownGroup(group_label.to_string())),
+            AttrKind::Quantitative { .. } => Err(ArcsError::AttributeKind {
+                attribute: attr.name.clone(),
+                expected: "a categorical criterion attribute",
+            }),
+        }
+    }
+
+    /// Segments an in-memory dataset: clusters the `(x_attr, y_attr)`
+    /// space for the tuples whose `criterion_attr` equals `group_label`.
+    pub fn segment_dataset(
+        &self,
+        dataset: &Dataset,
+        x_attr: &str,
+        y_attr: &str,
+        criterion_attr: &str,
+        group_label: &str,
+    ) -> Result<Segmentation, ArcsError> {
+        if dataset.is_empty() {
+            return Err(ArcsError::InvalidConfig("dataset is empty".into()));
+        }
+        let schema = dataset.schema();
+        let binner =
+            self.build_binner(schema, x_attr, y_attr, criterion_attr, Some(dataset))?;
+        let gk = Self::group_code(schema, criterion_attr, group_label)?;
+        let array = binner.bin_rows(dataset.iter())?;
+
+        let mut rng = StdRng::seed_from_u64(self.config.seed);
+        let k = self.config.sample_size.min(dataset.len());
+        let sample = sample_rows(dataset, k, &mut rng).map_err(ArcsError::Data)?;
+
+        self.finish(&array, &binner, &sample, schema, x_attr, y_attr, criterion_attr, group_label, gk)
+    }
+
+    /// Segments the dataset once per criterion group, re-using a single
+    /// `BinArray` and verification sample — the paper's §3.1 point that
+    /// keeping per-group counts lets "an entirely new segmentation for a
+    /// different value of the segmentation criteria" be computed "without
+    /// the need to re-bin the original data". Returns
+    /// `(group_label, segmentation result)` per group; groups for which no
+    /// segmentation exists (e.g. no rule ever qualifies) report their
+    /// error.
+    pub fn segment_all_groups(
+        &self,
+        dataset: &Dataset,
+        x_attr: &str,
+        y_attr: &str,
+        criterion_attr: &str,
+    ) -> Result<GroupSegmentations, ArcsError> {
+        if dataset.is_empty() {
+            return Err(ArcsError::InvalidConfig("dataset is empty".into()));
+        }
+        let schema = dataset.schema();
+        let binner =
+            self.build_binner(schema, x_attr, y_attr, criterion_attr, Some(dataset))?;
+        let criterion_idx = schema.require(criterion_attr)?;
+        let AttrKind::Categorical { labels } =
+            &schema.attribute(criterion_idx).expect("index valid").kind
+        else {
+            return Err(ArcsError::AttributeKind {
+                attribute: criterion_attr.to_string(),
+                expected: "a categorical criterion attribute",
+            });
+        };
+
+        // One pass over the data, one sample — shared by every group.
+        let array = binner.bin_rows(dataset.iter())?;
+        let mut rng = StdRng::seed_from_u64(self.config.seed);
+        let k = self.config.sample_size.min(dataset.len());
+        let sample = sample_rows(dataset, k, &mut rng).map_err(ArcsError::Data)?;
+
+        let mut out = Vec::with_capacity(labels.len());
+        for (gk, label) in labels.iter().enumerate() {
+            let seg = self.finish(
+                &array,
+                &binner,
+                &sample,
+                schema,
+                x_attr,
+                y_attr,
+                criterion_attr,
+                label,
+                gk as u32,
+            );
+            out.push((label.clone(), seg));
+        }
+        Ok(out)
+    }
+
+    /// Segments a tuple stream in one pass with an explicit verification
+    /// sample (which must share `schema`). Only [`BinningStrategy::EquiWidth`]
+    /// is possible here — the alternatives need a second look at the data.
+    #[allow(clippy::too_many_arguments)]
+    pub fn segment_stream<I>(
+        &self,
+        schema: &Schema,
+        tuples: I,
+        x_attr: &str,
+        y_attr: &str,
+        criterion_attr: &str,
+        group_label: &str,
+        sample: &Dataset,
+    ) -> Result<Segmentation, ArcsError>
+    where
+        I: IntoIterator<Item = Tuple>,
+    {
+        let binner = self.build_binner(schema, x_attr, y_attr, criterion_attr, None)?;
+        let gk = Self::group_code(schema, criterion_attr, group_label)?;
+        let array = binner.bin_stream(tuples)?;
+        let sample_refs: Vec<&Tuple> = sample.iter().collect();
+        self.finish(
+            &array,
+            &binner,
+            &sample_refs,
+            schema,
+            x_attr,
+            y_attr,
+            criterion_attr,
+            group_label,
+            gk,
+        )
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn finish(
+        &self,
+        array: &crate::binarray::BinArray,
+        binner: &Binner,
+        sample: &[&Tuple],
+        schema: &Schema,
+        x_attr: &str,
+        y_attr: &str,
+        criterion_attr: &str,
+        group_label: &str,
+        gk: u32,
+    ) -> Result<Segmentation, ArcsError> {
+        let result = optimize(array, gk, binner, sample, &self.config.optimizer)?;
+        let best = result.best;
+
+        let n = array.n_tuples();
+        let mut rules = Vec::with_capacity(best.clusters.len());
+        for &rect in &best.clusters {
+            // Aggregate support/confidence of the whole rectangle.
+            let mut group_count = 0u64;
+            let mut total_count = 0u64;
+            for (x, y) in rect.cells() {
+                group_count += array.group_count(x, y, gk) as u64;
+                total_count += array.cell_total(x, y) as u64;
+            }
+            let support = if n == 0 { 0.0 } else { group_count as f64 / n as f64 };
+            let confidence = if total_count == 0 {
+                0.0
+            } else {
+                group_count as f64 / total_count as f64
+            };
+            rules.push(ClusteredRule::from_rect(
+                rect,
+                binner.x_map(),
+                binner.y_map(),
+                x_attr,
+                y_attr,
+                criterion_attr,
+                group_label,
+                support,
+                confidence,
+            )?);
+        }
+        let _ = schema;
+
+        Ok(Segmentation {
+            rules,
+            clusters: best.clusters,
+            thresholds: best.thresholds,
+            score: best.score,
+            errors: best.errors,
+            n_tuples: n,
+            evaluations: result.trace.len(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use arcs_data::agrawal::{self, AgrawalFunction};
+    use arcs_data::generator::{AgrawalGenerator, GeneratorConfig};
+    use arcs_data::schema::Attribute;
+    use arcs_data::Value;
+
+    fn small_schema() -> Schema {
+        Schema::new(vec![
+            Attribute::quantitative("x", 0.0, 10.0),
+            Attribute::quantitative("y", 0.0, 10.0),
+            Attribute::categorical("g", ["A", "other"]),
+        ])
+        .unwrap()
+    }
+
+    fn blocky_dataset() -> Dataset {
+        let mut ds = Dataset::new(small_schema());
+        for ix in 0..10 {
+            for iy in 0..10 {
+                let x = ix as f64 + 0.5;
+                let y = iy as f64 + 0.5;
+                let in_block = (2..5).contains(&ix) && (2..5).contains(&iy);
+                let (n_a, n_other) = if in_block { (20, 2) } else { (0, 5) };
+                for _ in 0..n_a {
+                    ds.push(vec![Value::Quant(x), Value::Quant(y), Value::Cat(0)]).unwrap();
+                }
+                for _ in 0..n_other {
+                    ds.push(vec![Value::Quant(x), Value::Quant(y), Value::Cat(1)]).unwrap();
+                }
+            }
+        }
+        ds
+    }
+
+    fn small_config() -> ArcsConfig {
+        ArcsConfig {
+            n_x_bins: 10,
+            n_y_bins: 10,
+            optimizer: OptimizerConfig {
+                bitop: crate::bitop::BitOpConfig::no_pruning(),
+                ..OptimizerConfig::default()
+            },
+            ..ArcsConfig::default()
+        }
+    }
+
+    #[test]
+    fn segments_the_blocky_dataset() {
+        let ds = blocky_dataset();
+        let arcs = Arcs::new(small_config()).unwrap();
+        let seg = arcs.segment_dataset(&ds, "x", "y", "g", "A").unwrap();
+        assert_eq!(seg.clusters.len(), 1);
+        assert_eq!(seg.rules.len(), 1);
+        let rule = &seg.rules[0];
+        assert_eq!(rule.x_range, (2.0, 5.0));
+        assert_eq!(rule.y_range, (2.0, 5.0));
+        assert_eq!(rule.group_label, "A");
+        assert!(rule.confidence > 0.85);
+        assert!(rule.support > 0.0);
+        assert_eq!(seg.n_tuples, ds.len() as u64);
+        assert!(seg.evaluations > 0);
+    }
+
+    #[test]
+    fn unknown_labels_and_attrs_error() {
+        let ds = blocky_dataset();
+        let arcs = Arcs::new(small_config()).unwrap();
+        assert!(matches!(
+            arcs.segment_dataset(&ds, "x", "y", "g", "Z"),
+            Err(ArcsError::UnknownGroup(_))
+        ));
+        assert!(arcs.segment_dataset(&ds, "x", "y", "missing", "A").is_err());
+        assert!(arcs.segment_dataset(&ds, "missing", "y", "g", "A").is_err());
+    }
+
+    #[test]
+    fn empty_dataset_errors() {
+        let ds = Dataset::new(small_schema());
+        let arcs = Arcs::new(small_config()).unwrap();
+        assert!(arcs.segment_dataset(&ds, "x", "y", "g", "A").is_err());
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        assert!(Arcs::new(ArcsConfig { n_x_bins: 0, ..ArcsConfig::default() }).is_err());
+        assert!(Arcs::new(ArcsConfig { sample_size: 0, ..ArcsConfig::default() }).is_err());
+    }
+
+    #[test]
+    fn stream_and_dataset_agree() {
+        let ds = blocky_dataset();
+        let arcs = Arcs::new(small_config()).unwrap();
+        let from_ds = arcs.segment_dataset(&ds, "x", "y", "g", "A").unwrap();
+        // Stream the same tuples; use the full dataset as the sample.
+        let from_stream = arcs
+            .segment_stream(
+                ds.schema(),
+                ds.iter().cloned(),
+                "x",
+                "y",
+                "g",
+                "A",
+                &ds,
+            )
+            .unwrap();
+        assert_eq!(from_ds.clusters, from_stream.clusters);
+    }
+
+    #[test]
+    fn equi_depth_strategy_works_in_memory() {
+        let ds = blocky_dataset();
+        let config = ArcsConfig {
+            strategy: BinningStrategy::EquiDepth,
+            ..small_config()
+        };
+        let arcs = Arcs::new(config).unwrap();
+        let seg = arcs.segment_dataset(&ds, "x", "y", "g", "A").unwrap();
+        assert!(!seg.clusters.is_empty());
+    }
+
+    #[test]
+    fn homogeneity_strategy_works_in_memory() {
+        let ds = blocky_dataset();
+        // Homogeneity binning can merge to very few (wide) bins; disable
+        // smoothing so a one-bin-wide qualifying column is not eroded by
+        // the low-pass filter before clustering.
+        let mut config = ArcsConfig {
+            strategy: BinningStrategy::Homogeneity { tolerance: 0.05 },
+            ..small_config()
+        };
+        config.optimizer.smoothing = crate::smooth::SmoothConfig::disabled();
+        let arcs = Arcs::new(config).unwrap();
+        let seg = arcs.segment_dataset(&ds, "x", "y", "g", "A").unwrap();
+        assert!(!seg.clusters.is_empty());
+        // The block must be identified despite data-driven bin edges.
+        assert!(seg.errors.recall() > 0.8, "recall {}", seg.errors.recall());
+    }
+
+    #[test]
+    fn equi_depth_strategy_rejected_for_streams() {
+        let ds = blocky_dataset();
+        let config = ArcsConfig {
+            strategy: BinningStrategy::EquiDepth,
+            ..small_config()
+        };
+        let arcs = Arcs::new(config).unwrap();
+        let err = arcs
+            .segment_stream(ds.schema(), ds.iter().cloned(), "x", "y", "g", "A", &ds)
+            .unwrap_err();
+        assert!(matches!(err, ArcsError::InvalidConfig(_)));
+    }
+
+    #[test]
+    fn segment_all_groups_shares_one_binning() {
+        let ds = blocky_dataset();
+        let arcs = Arcs::new(small_config()).unwrap();
+        let all = arcs.segment_all_groups(&ds, "x", "y", "g").unwrap();
+        assert_eq!(all.len(), 2);
+        assert_eq!(all[0].0, "A");
+        assert_eq!(all[1].0, "other");
+        let seg_a = all[0].1.as_ref().unwrap();
+        assert_eq!(seg_a.clusters.len(), 1);
+        // Must agree with the single-group entry point.
+        let direct = arcs.segment_dataset(&ds, "x", "y", "g", "A").unwrap();
+        assert_eq!(seg_a.clusters, direct.clusters);
+        // The complement group segments too (it covers the background).
+        let seg_other = all[1].1.as_ref().unwrap();
+        assert!(!seg_other.clusters.is_empty());
+    }
+
+    /// The paper's headline qualitative result (§4.2): on Function 2 data
+    /// ARCS recovers three clustered rules closely matching the generating
+    /// disjuncts.
+    #[test]
+    fn recovers_f2_disjuncts() {
+        let mut gen = AgrawalGenerator::new(GeneratorConfig::paper_defaults(2024)).unwrap();
+        let ds = gen.generate(20_000);
+        let arcs = Arcs::with_defaults();
+        let seg = arcs.segment_dataset(&ds, "age", "salary", "group", "A").unwrap();
+        assert_eq!(
+            seg.rules.len(),
+            3,
+            "expected the three F2 disjuncts, got: {:#?}",
+            seg.rules.iter().map(ToString::to_string).collect::<Vec<_>>()
+        );
+        // Each recovered rule should match one true region with tolerant
+        // boundaries (binning granularity: 60/50 = 1.2 years, 2.6k salary).
+        let regions = agrawal::f2_regions();
+        for region in &regions {
+            let matched = seg.rules.iter().any(|r| {
+                (r.x_range.0 - region.x_lo).abs() <= 3.0
+                    && (r.x_range.1 - region.x_hi).abs() <= 3.0
+                    && (r.y_range.0 - region.y_lo).abs() <= 8_000.0
+                    && (r.y_range.1 - region.y_hi).abs() <= 8_000.0
+            });
+            assert!(
+                matched,
+                "no rule matches region {region:?}; rules: {:#?}",
+                seg.rules.iter().map(ToString::to_string).collect::<Vec<_>>()
+            );
+        }
+        let _ = AgrawalFunction::F2;
+    }
+}

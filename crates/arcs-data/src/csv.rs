@@ -1,0 +1,411 @@
+//! Minimal CSV load/store for datasets.
+//!
+//! The format is deliberately simple (no quoting — attribute labels and
+//! names must not contain commas or newlines): a header row with attribute
+//! names, then one row per tuple. Quantitative values are written as
+//! decimal numbers; categorical values are written as their labels and
+//! resolved back to codes on load.
+
+use std::io::{BufRead, BufWriter, Write};
+use std::path::Path;
+
+use crate::dataset::Dataset;
+use crate::error::DataError;
+use crate::schema::{AttrKind, Attribute, Schema};
+use crate::tuple::Value;
+
+/// Serialises `dataset` as CSV into `writer`.
+pub fn write_csv<W: Write>(dataset: &Dataset, writer: W) -> Result<(), DataError> {
+    let mut w = BufWriter::new(writer);
+    let schema = dataset.schema();
+    let header: Vec<&str> = schema.attributes().iter().map(|a| a.name.as_str()).collect();
+    writeln!(w, "{}", header.join(","))?;
+    for tuple in dataset.iter() {
+        let mut first = true;
+        for (idx, attr) in schema.attributes().iter().enumerate() {
+            if !first {
+                write!(w, ",")?;
+            }
+            first = false;
+            match (&attr.kind, tuple.get(idx)) {
+                (AttrKind::Quantitative { .. }, Some(Value::Quant(v))) => write!(w, "{v}")?,
+                (AttrKind::Categorical { .. }, Some(Value::Cat(c))) => {
+                    let label = attr.label(c).ok_or_else(|| DataError::CategoryOutOfRange {
+                        attribute: attr.name.clone(),
+                        code: c,
+                        cardinality: attr.kind.cardinality().unwrap_or(0),
+                    })?;
+                    write!(w, "{label}")?;
+                }
+                _ => {
+                    return Err(DataError::TypeMismatch {
+                        attribute: attr.name.clone(),
+                        expected: "a value matching the attribute kind",
+                    })
+                }
+            }
+        }
+        writeln!(w)?;
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Writes `dataset` to the file at `path`.
+pub fn save_csv(dataset: &Dataset, path: impl AsRef<Path>) -> Result<(), DataError> {
+    let file = std::fs::File::create(path)?;
+    write_csv(dataset, file)
+}
+
+/// Parses CSV from `reader` against a known `schema`. The header must match
+/// the schema's attribute names in order.
+pub fn read_csv<R: BufRead>(schema: Schema, reader: R) -> Result<Dataset, DataError> {
+    let mut lines = reader.lines().enumerate();
+    let (_, header) = lines.next().ok_or(DataError::Parse {
+        line: 1,
+        message: "empty input: missing header".into(),
+    })?;
+    let header = header?;
+    let names: Vec<&str> = header.split(',').collect();
+    let expected: Vec<&str> = schema.attributes().iter().map(|a| a.name.as_str()).collect();
+    if names != expected {
+        return Err(DataError::Parse {
+            line: 1,
+            message: format!("header {names:?} does not match schema {expected:?}"),
+        });
+    }
+
+    let mut ds = Dataset::new(schema);
+    for (i, line) in lines {
+        let line = line?;
+        if line.is_empty() {
+            continue;
+        }
+        let line_no = i + 1;
+        let fields: Vec<&str> = line.split(',').collect();
+        if fields.len() != ds.schema().arity() {
+            return Err(DataError::Parse {
+                line: line_no,
+                message: format!(
+                    "expected {} fields, found {}",
+                    ds.schema().arity(),
+                    fields.len()
+                ),
+            });
+        }
+        let mut values = Vec::with_capacity(fields.len());
+        for (idx, field) in fields.iter().enumerate() {
+            let attr = ds.schema().attribute(idx).expect("index in range");
+            match &attr.kind {
+                AttrKind::Quantitative { .. } => {
+                    let v: f64 = field.parse().map_err(|_| DataError::Parse {
+                        line: line_no,
+                        message: format!("`{field}` is not a number for attribute `{}`", attr.name),
+                    })?;
+                    values.push(Value::Quant(v));
+                }
+                AttrKind::Categorical { labels } => {
+                    let code = labels.iter().position(|l| l == field).ok_or_else(|| {
+                        DataError::Parse {
+                            line: line_no,
+                            message: format!(
+                                "`{field}` is not a known label of attribute `{}`",
+                                attr.name
+                            ),
+                        }
+                    })?;
+                    values.push(Value::Cat(code as u32));
+                }
+            }
+        }
+        ds.push(values).map_err(|e| DataError::Parse {
+            line: line_no,
+            message: e.to_string(),
+        })?;
+    }
+    Ok(ds)
+}
+
+/// Loads a dataset from the CSV file at `path` using a known `schema`.
+pub fn load_csv(schema: Schema, path: impl AsRef<Path>) -> Result<Dataset, DataError> {
+    let file = std::fs::File::open(path)?;
+    read_csv(schema, std::io::BufReader::new(file))
+}
+
+/// Infers a [`Schema`] from raw CSV text: a column whose every value
+/// parses as a number and takes more than `max_categories` distinct values
+/// becomes quantitative (domain = observed min..max, widened by 1 when
+/// degenerate); anything else becomes categorical with its distinct values
+/// as labels (in first-appearance order). The paper's real-world path
+/// ("we intend to examine real-world demographic data") needs exactly
+/// this: demographic extracts arrive as CSV without type annotations.
+pub fn infer_schema<R: BufRead>(reader: R, max_categories: usize) -> Result<Schema, DataError> {
+    let mut lines = reader.lines().enumerate();
+    let (_, header) = lines.next().ok_or(DataError::Parse {
+        line: 1,
+        message: "empty input: missing header".into(),
+    })?;
+    let header = header?;
+    let names: Vec<String> = header.split(',').map(str::to_string).collect();
+    let n_cols = names.len();
+
+    struct ColumnProbe {
+        all_numeric: bool,
+        min: f64,
+        max: f64,
+        distinct: Vec<String>,
+        overflowed: bool,
+    }
+    let mut probes: Vec<ColumnProbe> = (0..n_cols)
+        .map(|_| ColumnProbe {
+            all_numeric: true,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+            distinct: Vec::new(),
+            overflowed: false,
+        })
+        .collect();
+
+    let mut n_rows = 0usize;
+    for (i, line) in lines {
+        let line = line?;
+        if line.is_empty() {
+            continue;
+        }
+        let fields: Vec<&str> = line.split(',').collect();
+        if fields.len() != n_cols {
+            return Err(DataError::Parse {
+                line: i + 1,
+                message: format!("expected {n_cols} fields, found {}", fields.len()),
+            });
+        }
+        n_rows += 1;
+        for (probe, field) in probes.iter_mut().zip(&fields) {
+            match field.parse::<f64>() {
+                Ok(v) if v.is_finite() => {
+                    probe.min = probe.min.min(v);
+                    probe.max = probe.max.max(v);
+                }
+                _ => probe.all_numeric = false,
+            }
+            if !probe.overflowed && !probe.distinct.iter().any(|d| d == field) {
+                if probe.distinct.len() >= max_categories {
+                    probe.overflowed = true;
+                } else {
+                    probe.distinct.push(field.to_string());
+                }
+            }
+        }
+    }
+    if n_rows == 0 {
+        return Err(DataError::Parse {
+            line: 1,
+            message: "cannot infer a schema from a header-only file".into(),
+        });
+    }
+
+    let attributes = names
+        .into_iter()
+        .zip(probes)
+        .map(|(name, probe)| {
+            let treat_quantitative = probe.all_numeric && probe.overflowed;
+            if treat_quantitative {
+                let min = probe.min;
+                let max = if probe.max > min { probe.max } else { min + 1.0 };
+                Attribute::quantitative(name, min, max)
+            } else if probe.overflowed {
+                // Non-numeric with too many distinct values: unusable as a
+                // categorical attribute of bounded cardinality.
+                Attribute::categorical(name, Vec::<String>::new()) // rejected below
+            } else {
+                Attribute::categorical(name, probe.distinct)
+            }
+        })
+        .collect();
+    Schema::new(attributes)
+}
+
+/// Infers a schema (see [`infer_schema`]) and loads the data in one go.
+pub fn load_csv_inferred(
+    path: impl AsRef<Path>,
+    max_categories: usize,
+) -> Result<Dataset, DataError> {
+    let text = std::fs::read(path)?;
+    let schema = infer_schema(&text[..], max_categories)?;
+    read_csv(schema, &text[..])
+}
+
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Attribute;
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            Attribute::quantitative("age", 0.0, 100.0),
+            Attribute::categorical("group", ["A", "other"]),
+        ])
+        .unwrap()
+    }
+
+    fn dataset() -> Dataset {
+        let mut ds = Dataset::new(schema());
+        ds.push(vec![Value::Quant(30.5), Value::Cat(0)]).unwrap();
+        ds.push(vec![Value::Quant(62.0), Value::Cat(1)]).unwrap();
+        ds
+    }
+
+    #[test]
+    fn roundtrip_preserves_data() {
+        let ds = dataset();
+        let mut buf = Vec::new();
+        write_csv(&ds, &mut buf).unwrap();
+        let text = String::from_utf8(buf.clone()).unwrap();
+        assert!(text.starts_with("age,group\n"));
+        assert!(text.contains("30.5,A"));
+        assert!(text.contains("62,other"));
+
+        let back = read_csv(schema(), &buf[..]).unwrap();
+        assert_eq!(back.len(), 2);
+        assert_eq!(back.row(0).unwrap().quant(0), 30.5);
+        assert_eq!(back.row(0).unwrap().cat(1), 0);
+        assert_eq!(back.row(1).unwrap().cat(1), 1);
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let dir = std::env::temp_dir().join("arcs-csv-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("ds.csv");
+        let ds = dataset();
+        save_csv(&ds, &path).unwrap();
+        let back = load_csv(schema(), &path).unwrap();
+        assert_eq!(back.len(), ds.len());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn rejects_bad_header() {
+        let input = b"wrong,header\n1.0,A\n" as &[u8];
+        let err = read_csv(schema(), input).unwrap_err();
+        assert!(matches!(err, DataError::Parse { line: 1, .. }));
+    }
+
+    #[test]
+    fn rejects_missing_header() {
+        let err = read_csv(schema(), &b""[..]).unwrap_err();
+        assert!(matches!(err, DataError::Parse { line: 1, .. }));
+    }
+
+    #[test]
+    fn rejects_wrong_field_count() {
+        let input = b"age,group\n1.0\n" as &[u8];
+        let err = read_csv(schema(), input).unwrap_err();
+        assert!(matches!(err, DataError::Parse { line: 2, .. }));
+    }
+
+    #[test]
+    fn rejects_non_numeric_quantitative() {
+        let input = b"age,group\nabc,A\n" as &[u8];
+        let err = read_csv(schema(), input).unwrap_err();
+        assert!(matches!(err, DataError::Parse { line: 2, .. }));
+    }
+
+    #[test]
+    fn rejects_unknown_label() {
+        let input = b"age,group\n1.0,Z\n" as &[u8];
+        let err = read_csv(schema(), input).unwrap_err();
+        assert!(matches!(err, DataError::Parse { line: 2, .. }));
+    }
+
+    #[test]
+    fn skips_blank_lines() {
+        let input = b"age,group\n1.0,A\n\n2.0,other\n" as &[u8];
+        let ds = read_csv(schema(), input).unwrap();
+        assert_eq!(ds.len(), 2);
+    }
+
+    #[test]
+    fn infers_quantitative_and_categorical_columns() {
+        let mut text = String::from("age,group\n");
+        for i in 0..20 {
+            text.push_str(&format!("{}.5,{}\n", 20 + i, if i % 2 == 0 { "A" } else { "B" }));
+        }
+        let schema = infer_schema(text.as_bytes(), 5).unwrap();
+        assert_eq!(schema.arity(), 2);
+        let age = schema.attribute(0).unwrap();
+        assert!(age.kind.is_quantitative(), "age inferred as {:?}", age.kind);
+        if let crate::schema::AttrKind::Quantitative { min, max } = age.kind {
+            assert_eq!(min, 20.5);
+            assert_eq!(max, 39.5);
+        }
+        let group = schema.attribute(1).unwrap();
+        assert_eq!(group.kind.cardinality(), Some(2));
+        assert_eq!(group.label(0), Some("A"));
+        assert_eq!(group.label(1), Some("B"));
+    }
+
+    #[test]
+    fn numeric_low_cardinality_column_is_categorical() {
+        // Codes 0/1/2 repeated: numeric but only 3 distinct values, below
+        // the category cap -> categorical.
+        let mut text = String::from("code\n");
+        for i in 0..30 {
+            text.push_str(&format!("{}\n", i % 3));
+        }
+        let schema = infer_schema(text.as_bytes(), 10).unwrap();
+        assert!(schema.attribute(0).unwrap().kind.is_categorical());
+        assert_eq!(schema.attribute(0).unwrap().kind.cardinality(), Some(3));
+    }
+
+    #[test]
+    fn inference_rejects_unbounded_text_column() {
+        let mut text = String::from("id\n");
+        for i in 0..20 {
+            text.push_str(&format!("name-{i}\n"));
+        }
+        assert!(infer_schema(text.as_bytes(), 5).is_err());
+    }
+
+    #[test]
+    fn inference_rejects_empty_input() {
+        assert!(infer_schema(&b""[..], 5).is_err());
+        assert!(infer_schema(&b"age,group\n"[..], 5).is_err());
+    }
+
+    #[test]
+    fn inference_widens_degenerate_numeric_domain() {
+        let mut text = String::from("x\n");
+        for _ in 0..20 {
+            text.push_str("7.0\n");
+        }
+        // All-identical numeric: distinct = 1 <= cap, so categorical.
+        let schema = infer_schema(text.as_bytes(), 5).unwrap();
+        assert!(schema.attribute(0).unwrap().kind.is_categorical());
+        // With cap 0 it overflows and becomes quantitative with a widened
+        // domain.
+        let schema = infer_schema(text.as_bytes(), 0).unwrap();
+        if let crate::schema::AttrKind::Quantitative { min, max } =
+            schema.attribute(0).unwrap().kind
+        {
+            assert_eq!(min, 7.0);
+            assert_eq!(max, 8.0);
+        } else {
+            panic!("expected quantitative");
+        }
+    }
+
+    #[test]
+    fn inferred_roundtrip_through_load() {
+        let mut text = String::from("age,group\n");
+        for i in 0..25 {
+            text.push_str(&format!("{},{}\n", 20 + i, if i % 2 == 0 { "A" } else { "B" }));
+        }
+        let schema = infer_schema(text.as_bytes(), 5).unwrap();
+        let ds = read_csv(schema, text.as_bytes()).unwrap();
+        assert_eq!(ds.len(), 25);
+        assert_eq!(ds.row(0).unwrap().quant(0), 20.0);
+        assert_eq!(ds.row(1).unwrap().cat(1), 1);
+    }
+}

@@ -1,0 +1,56 @@
+//! # ARCS — Association Rule Clustering System
+//!
+//! A Rust reproduction of **Lent, Swami, Widom — "Clustering Association
+//! Rules", ICDE 1997**: mine two-dimensional association rules over binned
+//! data in a single pass, cluster them into rectangular regions with the
+//! BitOp algorithm, and tune support/confidence thresholds against an MDL
+//! quality measure to segment a database.
+//!
+//! This crate is a facade re-exporting the three library crates:
+//!
+//! * [`data`] ([`arcs_data`]) — schemas, tuples, datasets, the Agrawal
+//!   synthetic workload generator, CSV I/O, sampling;
+//! * [`core`] ([`arcs_core`]) — binning, the `BinArray`, the rule engine,
+//!   BitOp, smoothing, MDL, the optimizer, and the end-to-end pipeline;
+//! * [`classifier`] ([`arcs_classifier`]) — the C4.5-style baseline used
+//!   in the paper's evaluation.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use arcs::prelude::*;
+//!
+//! // The paper's synthetic workload: Agrawal Function 2, 40% "Group A",
+//! // 5% perturbation.
+//! let mut gen = AgrawalGenerator::new(GeneratorConfig::paper_defaults(42)).unwrap();
+//! let dataset = gen.generate(10_000);
+//!
+//! // Segment the (age, salary) space for Group A.
+//! let arcs = Arcs::with_defaults();
+//! let segmentation = arcs
+//!     .segment_dataset(&dataset, "age", "salary", "group", "A")
+//!     .unwrap();
+//!
+//! // ARCS recovers the three generating disjuncts (paper §4.2).
+//! assert_eq!(segmentation.rules.len(), 3);
+//! for rule in &segmentation.rules {
+//!     println!("{rule}");
+//! }
+//! ```
+
+pub use arcs_classifier as classifier;
+pub use arcs_core as core;
+pub use arcs_data as data;
+
+/// The most commonly used types, re-exported flat.
+pub mod prelude {
+    pub use arcs_classifier::{DecisionTree, RuleSet, RulesConfig, SliqConfig, SliqTree, TreeConfig};
+    pub use arcs_core::{
+        Arcs, ArcsConfig, ArcsError, BinArray, BinMap, BinnedRule, Binner, BinningStrategy,
+        BitOpConfig, ClusteredRule, ErrorCounts, Grid, MdlScore, MdlWeights, OptimizerConfig,
+        Rect, Segmentation, SmoothConfig, Thresholds,
+    };
+    pub use arcs_data::agrawal::AgrawalFunction;
+    pub use arcs_data::generator::{AgrawalGenerator, GeneratorConfig};
+    pub use arcs_data::{AttrKind, Attribute, DataError, Dataset, Schema, Tuple, Value};
+}

@@ -1,0 +1,377 @@
+//! Property-based tests (proptest) for the core data structures and
+//! invariants: the bitmap grid, BitOp cover properties, binning, the
+//! BinArray/engine consistency, MDL monotonicity, and the verifier.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+use arcs::core::bitop::{self, BitOpConfig};
+use arcs::core::cover::{connected_components, optimal_cover};
+use arcs::core::engine::{mine_rules, rule_grid, support_grid};
+use arcs::core::grid::for_each_run;
+use arcs::core::mdl::{mdl_cost, MdlWeights};
+use arcs::core::smooth::{smooth, SmoothConfig};
+use arcs::prelude::*;
+
+/// Strategy: a small random grid as (width, height, cell bits).
+fn grid_strategy() -> impl Strategy<Value = Grid> {
+    (1usize..80, 1usize..20).prop_flat_map(|(w, h)| {
+        vec(any::<bool>(), w * h).prop_map(move |bits| {
+            let mut grid = Grid::new(w, h).unwrap();
+            for (i, &b) in bits.iter().enumerate() {
+                if b {
+                    grid.set(i % w, i / w);
+                }
+            }
+            grid
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// BitOp without pruning is an exact cover: clusters are disjoint,
+    /// every cluster cell is set, and the union equals the set cells.
+    #[test]
+    fn bitop_is_an_exact_disjoint_cover(grid in grid_strategy()) {
+        let config = BitOpConfig {
+            min_area_fraction: 0.0,
+            min_area_cells: 1,
+            max_clusters: 100_000,
+            threads: 1,
+        };
+        let clusters = bitop::cluster(&grid, &config).unwrap();
+        // Disjoint.
+        for (i, a) in clusters.iter().enumerate() {
+            for b in &clusters[i + 1..] {
+                prop_assert!(!a.overlaps(b), "{a:?} overlaps {b:?}");
+            }
+        }
+        // Exact cover.
+        let covered: usize = clusters.iter().map(Rect::area).sum();
+        prop_assert_eq!(covered, grid.count_ones());
+        for rect in &clusters {
+            prop_assert!(grid.rect_is_full(*rect));
+        }
+    }
+
+    /// On small grids BitOp's greedy cover never uses fewer rectangles
+    /// than the exact optimum, and stays within the greedy set-cover
+    /// guarantee in practice (we assert a loose 3x bound; measured average
+    /// is ~1.01x, see `exp_clusterer_quality`).
+    #[test]
+    fn bitop_respects_the_optimal_cover_oracle(
+        bits in vec(any::<bool>(), 36..=36),
+    ) {
+        let mut grid = Grid::new(6, 6).unwrap();
+        for (i, &b) in bits.iter().enumerate() {
+            if b {
+                grid.set(i % 6, i / 6);
+            }
+        }
+        let optimal = optimal_cover(&grid).unwrap();
+        let greedy = bitop::cluster(
+            &grid,
+            &BitOpConfig { min_area_fraction: 0.0, min_area_cells: 1, ..BitOpConfig::default() },
+        )
+        .unwrap();
+        prop_assert!(greedy.len() >= optimal.len());
+        if !optimal.is_empty() {
+            prop_assert!(greedy.len() <= optimal.len() * 3);
+        }
+    }
+
+    /// Connected components partition the set cells: every set cell lies
+    /// in exactly one component's bounding box... (boxes may overlap on
+    /// unset cells, so we check membership by flood identity instead:
+    /// total boxes ≤ set cells, and every set cell is inside some box).
+    #[test]
+    fn connected_components_cover_every_set_cell(grid in grid_strategy()) {
+        let comps = connected_components(&grid);
+        prop_assert!(comps.len() <= grid.count_ones());
+        for (x, y) in grid.iter_set() {
+            prop_assert!(comps.iter().any(|r| r.contains(x, y)));
+        }
+    }
+
+    /// Candidate enumeration only returns rectangles fully set in the grid.
+    #[test]
+    fn bitop_candidates_are_fully_set(grid in grid_strategy()) {
+        for rect in bitop::enumerate_candidates(&grid) {
+            prop_assert!(grid.rect_is_full(rect), "candidate {rect:?} not full");
+        }
+    }
+
+    /// Run extraction reconstructs the exact bit pattern of a row mask.
+    #[test]
+    fn runs_reconstruct_the_mask(bits in vec(any::<bool>(), 1..200)) {
+        let width = bits.len();
+        let mut words = vec![0u64; width.div_ceil(64)];
+        for (i, &b) in bits.iter().enumerate() {
+            if b {
+                words[i / 64] |= 1 << (i % 64);
+            }
+        }
+        let mut reconstructed = vec![false; width];
+        for_each_run(&words, width, |x0, x1| {
+            reconstructed[x0..=x1].fill(true);
+        });
+        prop_assert_eq!(reconstructed, bits);
+    }
+
+    /// Equi-width binning: every value maps into a bin whose range
+    /// contains it (up to the closed last bin).
+    #[test]
+    fn equi_width_bin_contains_value(
+        lo in -1e6f64..1e6,
+        width in 1e-3f64..1e6,
+        n_bins in 1usize..200,
+        t in 0.0f64..1.0,
+    ) {
+        let hi = lo + width;
+        let map = BinMap::equi_width(lo, hi, n_bins).unwrap();
+        let v = lo + t * width;
+        let b = map.bin_of_value(v);
+        prop_assert!(b < n_bins);
+        let (blo, bhi) = map.range(b).unwrap();
+        prop_assert!(
+            (blo <= v && v < bhi) || (b == n_bins - 1 && v >= bhi),
+            "value {v} not in bin {b} = [{blo}, {bhi})"
+        );
+    }
+
+    /// Equi-depth binning: bins are non-empty intervals in ascending order
+    /// and every input value maps to a valid bin.
+    #[test]
+    fn equi_depth_bins_are_ordered(values in vec(-1e6f64..1e6, 1..300), n in 1usize..20) {
+        let map = BinMap::equi_depth(&values, n).unwrap();
+        prop_assert!(map.n_bins() >= 1 && map.n_bins() <= n);
+        let mut prev_hi = f64::NEG_INFINITY;
+        for b in 0..map.n_bins() {
+            let (lo, hi) = map.range(b).unwrap();
+            prop_assert!(lo < hi);
+            prop_assert!(lo >= prev_hi);
+            prev_hi = hi;
+        }
+        for &v in &values {
+            prop_assert!(map.bin_of_value(v) < map.n_bins());
+        }
+    }
+
+    /// BinArray bookkeeping: group counts sum to cell totals, totals sum
+    /// to the tuple count, support/confidence stay in [0, 1].
+    #[test]
+    fn binarray_counts_are_consistent(
+        adds in vec((0usize..6, 0usize..6, 0u32..3), 0..300),
+    ) {
+        let mut ba = BinArray::new(6, 6, 3).unwrap();
+        for &(x, y, g) in &adds {
+            ba.add(x, y, g);
+        }
+        prop_assert_eq!(ba.n_tuples(), adds.len() as u64);
+        let mut total = 0u64;
+        for y in 0..6 {
+            for x in 0..6 {
+                let cell: u32 = (0..3).map(|g| ba.group_count(x, y, g)).sum();
+                prop_assert_eq!(cell, ba.cell_total(x, y));
+                total += ba.cell_total(x, y) as u64;
+                for g in 0..3 {
+                    let s = ba.support(x, y, g);
+                    let c = ba.confidence(x, y, g);
+                    prop_assert!((0.0..=1.0).contains(&s));
+                    prop_assert!((0.0..=1.0).contains(&c));
+                }
+            }
+        }
+        prop_assert_eq!(total, ba.n_tuples());
+    }
+
+    /// Engine consistency: `rule_grid` sets exactly the cells `mine_rules`
+    /// returns, and tightening either threshold shrinks the rule set.
+    #[test]
+    fn engine_grid_matches_rules_and_is_monotone(
+        adds in vec((0usize..6, 0usize..6, 0u32..2), 1..300),
+        s1 in 0.0f64..0.3, s2 in 0.0f64..0.3,
+        c1 in 0.0f64..1.0, c2 in 0.0f64..1.0,
+    ) {
+        let mut ba = BinArray::new(6, 6, 2).unwrap();
+        for &(x, y, g) in &adds {
+            ba.add(x, y, g);
+        }
+        let (s_lo, s_hi) = if s1 <= s2 { (s1, s2) } else { (s2, s1) };
+        let (c_lo, c_hi) = if c1 <= c2 { (c1, c2) } else { (c2, c1) };
+
+        let t = Thresholds::new(s_lo, c_lo).unwrap();
+        let rules = mine_rules(&ba, 0, t);
+        let grid = rule_grid(&ba, 0, t).unwrap();
+        let from_rules: std::collections::HashSet<_> =
+            rules.iter().map(|r| (r.x, r.y)).collect();
+        let from_grid: std::collections::HashSet<_> = grid.iter_set().collect();
+        prop_assert_eq!(&from_rules, &from_grid);
+
+        let tighter_s = mine_rules(&ba, 0, Thresholds::new(s_hi, c_lo).unwrap());
+        let tighter_c = mine_rules(&ba, 0, Thresholds::new(s_lo, c_hi).unwrap());
+        prop_assert!(tighter_s.len() <= rules.len());
+        prop_assert!(tighter_c.len() <= rules.len());
+        // Subset, not just smaller.
+        let set_s: std::collections::HashSet<_> =
+            tighter_s.iter().map(|r| (r.x, r.y)).collect();
+        prop_assert!(set_s.is_subset(&from_rules));
+    }
+
+    /// Support grid entries are the per-cell supports and sum to the
+    /// group's share of the data.
+    #[test]
+    fn support_grid_sums_to_group_share(
+        adds in vec((0usize..5, 0usize..5, 0u32..2), 1..200),
+    ) {
+        let mut ba = BinArray::new(5, 5, 2).unwrap();
+        for &(x, y, g) in &adds {
+            ba.add(x, y, g);
+        }
+        let sg = support_grid(&ba, 0);
+        let total: f64 = sg.iter().sum();
+        let group0 = adds.iter().filter(|&&(_, _, g)| g == 0).count() as f64;
+        prop_assert!((total - group0 / adds.len() as f64).abs() < 1e-9);
+    }
+
+    /// MDL cost is monotone in both arguments and respects the weights.
+    #[test]
+    fn mdl_is_monotone(c1 in 1usize..1000, c2 in 1usize..1000,
+                       e1 in 1usize..100_000, e2 in 1usize..100_000) {
+        let w = MdlWeights::default();
+        let (c_lo, c_hi) = if c1 <= c2 { (c1, c2) } else { (c2, c1) };
+        let (e_lo, e_hi) = if e1 <= e2 { (e1, e2) } else { (e2, e1) };
+        prop_assert!(mdl_cost(c_lo, e_lo, w) <= mdl_cost(c_hi, e_lo, w) + 1e-12);
+        prop_assert!(mdl_cost(c_lo, e_lo, w) <= mdl_cost(c_lo, e_hi, w) + 1e-12);
+    }
+
+    /// Smoothing never panics and its output density change is bounded by
+    /// the neighbourhood argument: a completely empty grid stays empty and
+    /// a full grid keeps its interior.
+    #[test]
+    fn smoothing_boundary_behaviour(w in 3usize..40, h in 3usize..12) {
+        let empty = Grid::new(w, h).unwrap();
+        let smoothed = smooth(&empty, &SmoothConfig::default()).unwrap();
+        prop_assert!(smoothed.is_empty());
+
+        let mut full = Grid::new(w, h).unwrap();
+        full.set_rect(Rect { x0: 0, y0: 0, x1: w - 1, y1: h - 1 });
+        let smoothed = smooth(&full, &SmoothConfig::default()).unwrap();
+        for y in 1..h - 1 {
+            for x in 1..w - 1 {
+                prop_assert!(smoothed.get(x, y), "interior ({x},{y}) eroded");
+            }
+        }
+    }
+
+    /// The low-pass filter is monotone: adding set cells to the input can
+    /// only add (never remove) set cells in the output — every
+    /// neighbourhood sum is non-decreasing under insertion.
+    #[test]
+    fn smoothing_is_monotone(grid in grid_strategy(), extra in vec(any::<bool>(), 0..40)) {
+        let mut bigger = grid.clone();
+        let (w, h) = (grid.width(), grid.height());
+        for (i, &b) in extra.iter().enumerate() {
+            if b {
+                bigger.set((i * 7) % w, (i * 3) % h);
+            }
+        }
+        let small_smoothed = smooth(&grid, &SmoothConfig::default()).unwrap();
+        let big_smoothed = smooth(&bigger, &SmoothConfig::default()).unwrap();
+        for (x, y) in small_smoothed.iter_set() {
+            prop_assert!(
+                big_smoothed.get(x, y),
+                "cell ({x},{y}) lost by adding input cells"
+            );
+        }
+    }
+
+    /// The classifier's exact-binomial pessimistic bound really is the
+    /// inverse CDF: evaluating the binomial CDF at the returned rate gives
+    /// back the confidence factor.
+    #[test]
+    fn pessimistic_bound_inverts_the_binomial_cdf(
+        n in 1usize..60,
+        e_frac in 0.0f64..1.0,
+        cf in 0.05f64..0.95,
+    ) {
+        let errors = ((n as f64 * e_frac) as usize).min(n.saturating_sub(1));
+        let bound = arcs::classifier::tree::pessimistic_errors(errors, n, cf);
+        let p = bound / n as f64;
+        prop_assert!((0.0..=1.0 + 1e-9).contains(&p));
+        if cf <= 0.5 {
+            // At C4.5-style confidence factors the bound is pessimistic:
+            // at least the observed rate.
+            prop_assert!(p >= errors as f64 / n as f64 - 1e-9);
+        }
+        // Brute-force CDF at p.
+        let mut cdf = 0.0;
+        let mut term = (1.0 - p).powi(n as i32); // C(n,0) p^0 q^n
+        for i in 0..=errors {
+            cdf += term;
+            term *= (n - i) as f64 / (i + 1) as f64 * p / (1.0 - p);
+        }
+        prop_assert!((cdf - cf).abs() < 1e-3, "CDF({p}) = {cdf}, cf = {cf}");
+    }
+
+    /// CSV write/read round-trips arbitrary valid datasets exactly
+    /// (Rust's shortest-representation float formatting is lossless).
+    #[test]
+    fn csv_roundtrip_is_lossless(
+        rows in vec((0.0f64..100.0, 0u32..3), 1..60),
+    ) {
+        let schema = Schema::new(vec![
+            Attribute::quantitative("x", 0.0, 100.0),
+            Attribute::categorical("g", ["a", "b", "c"]),
+        ]).unwrap();
+        let mut ds = Dataset::new(schema.clone());
+        for &(x, g) in &rows {
+            ds.push(vec![Value::Quant(x), Value::Cat(g)]).unwrap();
+        }
+        let mut buf = Vec::new();
+        arcs::data::csv::write_csv(&ds, &mut buf).unwrap();
+        let back = arcs::data::csv::read_csv(schema, &buf[..]).unwrap();
+        prop_assert_eq!(back.rows(), ds.rows());
+    }
+
+    /// SQL predicates always quote the attribute names and bound both
+    /// ranges, whatever characters the names contain.
+    #[test]
+    fn sql_predicates_quote_safely(name in "[a-z\"']{1,12}") {
+        use arcs::core::sql::SqlPredicate;
+        let rule = arcs::core::ClusteredRule {
+            x_attr: name.clone(),
+            x_range: (1.0, 2.0),
+            y_attr: "y".into(),
+            y_range: (3.0, 4.0),
+            criterion_attr: "g".into(),
+            group_label: "A".into(),
+            rect: Rect { x0: 0, y0: 0, x1: 0, y1: 0 },
+            support: 0.0,
+            confidence: 0.0,
+        };
+        let sql = rule.to_sql_where();
+        // The doubled-quote escape keeps the identifier intact.
+        let quoted = format!("\"{}\"", name.replace('"', "\"\""));
+        prop_assert!(sql.contains(&quoted), "{sql}");
+        prop_assert!(sql.contains(">= 1"));
+        prop_assert!(sql.contains("< 2"));
+    }
+
+    /// Tuples generated by any Agrawal function always validate against
+    /// the schema, and labels are within the group cardinality.
+    #[test]
+    fn generator_tuples_always_validate(seed in 0u64..1000, func_idx in 0usize..10) {
+        let config = GeneratorConfig {
+            function: AgrawalFunction::ALL[func_idx],
+            ..GeneratorConfig::paper_defaults(seed)
+        };
+        let mut gen = AgrawalGenerator::new(config).unwrap();
+        let schema = arcs::data::agrawal::schema();
+        for t in gen.by_ref().take(50) {
+            prop_assert!(Tuple::validated(t.values().to_vec(), &schema).is_ok());
+        }
+    }
+}
