@@ -4,32 +4,52 @@
 
 use std::fmt::Write as _;
 
+use arcs_core::binner::{BadTuplePolicy, CheckpointSpec};
 use arcs_core::categorical::{segment_categorical, CategoricalConfig};
 use arcs_core::engine::rule_grid;
 use arcs_core::optimizer::ThresholdLattice;
 use arcs_core::render::render_clusters;
 use arcs_core::select::{rank_attributes, select_pair_joint};
-use arcs_core::{Arcs, ArcsConfig, Binner};
-use arcs_data::csv::{load_csv_inferred, save_csv};
+use arcs_core::{Arcs, ArcsConfig, ArcsError, Binner};
+use arcs_data::csv::{load_csv_inferred_with_policy, save_csv};
 use arcs_data::generator::{AgrawalGenerator, GeneratorConfig};
 use arcs_data::schema::AttrKind;
-use arcs_data::Dataset;
+use arcs_data::{Dataset, IngestPolicy, IngestReport};
 
 use crate::args::{Args, ArgsError};
 
-/// Top-level CLI error.
+/// Top-level CLI error. The three variants map to distinct process exit
+/// codes (see [`CliError::exit_code`]) so scripts can tell a typo from a
+/// corrupt input file from a bug.
 #[derive(Debug)]
 pub enum CliError {
-    /// Argument problems (includes the usage string to print).
+    /// Argument problems (includes the usage string to print). Exit 2.
     Usage(String),
-    /// Anything that went wrong while running.
+    /// The input data is bad: unreadable, malformed beyond the configured
+    /// tolerance, or it does not support the requested analysis. Exit 3.
+    Data(String),
+    /// Anything else that went wrong while running. Exit 4.
     Run(String),
+}
+
+impl CliError {
+    /// The process exit code for this error class: 2 usage, 3 data,
+    /// 4 internal.
+    pub fn exit_code(&self) -> u8 {
+        match self {
+            CliError::Usage(_) => 2,
+            CliError::Data(_) => 3,
+            CliError::Run(_) => 4,
+        }
+    }
 }
 
 impl std::fmt::Display for CliError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            CliError::Usage(msg) | CliError::Run(msg) => write!(f, "{msg}"),
+            CliError::Usage(msg) | CliError::Data(msg) | CliError::Run(msg) => {
+                write!(f, "{msg}")
+            }
         }
     }
 }
@@ -44,6 +64,24 @@ impl From<ArgsError> for CliError {
 
 fn run_err(err: impl std::fmt::Display) -> CliError {
     CliError::Run(err.to_string())
+}
+
+fn data_err(err: impl std::fmt::Display) -> CliError {
+    CliError::Data(err.to_string())
+}
+
+/// Classifies a pipeline error: conditions caused by the *content* of the
+/// input (no segmentation, bad tuples, unknown groups/attributes) are data
+/// errors; the rest are internal.
+fn pipeline_err(err: ArcsError) -> CliError {
+    match err {
+        ArcsError::NoSegmentation
+        | ArcsError::InvalidTuple { .. }
+        | ArcsError::UnknownGroup(_)
+        | ArcsError::AttributeKind { .. }
+        | ArcsError::Data(_) => CliError::Data(err.to_string()),
+        other => CliError::Run(other.to_string()),
+    }
 }
 
 /// The overall usage text.
@@ -73,10 +111,21 @@ arcs segment <FILE> --criterion <ATTR> --group <LABEL>
              [--x <ATTR> --y <ATTR>]      (default: auto-select by joint MI)
              [--bins 50] [--sample 2000] [--seed 0]
              [--max-categories 16] [--grid] [--svg <FILE>] [--categorical <ATTR>]
+             [--on-bad-row fail|skip|quarantine=<FILE>] [--max-bad-fraction 1.0]
+             [--checkpoint <FILE>] [--resume <FILE>] [--checkpoint-every 100000]
 
 Loads a CSV (schema inferred), segments the (x, y) space for the group,
 and prints the clustered association rules. With --categorical, uses the
-density-ordered categorical x-axis extension instead of --x.";
+density-ordered categorical x-axis extension instead of --x.
+
+Robustness options:
+  --on-bad-row        fail on the first malformed row (default), skip bad
+                      rows, or skip them and append the raw lines to a
+                      quarantine file; skip/quarantine print an ingest report
+  --max-bad-fraction  abort when more than this fraction of rows is bad
+  --checkpoint FILE   periodically checkpoint binning progress to FILE
+  --resume FILE       resume binning from an earlier checkpoint of the same
+                      run (the file must exist)";
 
 const EXPLORE_USAGE: &str = "\
 arcs explore <FILE> --x <ATTR> --y <ATTR> --criterion <ATTR> --group <LABEL>
@@ -144,14 +193,52 @@ pub fn generate(argv: &[String]) -> Result<String, CliError> {
     ))
 }
 
-fn load(args: &Args, usage: &str) -> Result<Dataset, CliError> {
+/// Parses `--on-bad-row` / `--max-bad-fraction` into an [`IngestPolicy`]
+/// plus the quarantine file path, if any.
+fn ingest_policy(args: &Args) -> Result<(IngestPolicy, Option<String>), CliError> {
+    let max_bad_fraction: f64 = args.get_or("max-bad-fraction", 1.0)?;
+    if !(0.0..=1.0).contains(&max_bad_fraction) {
+        return Err(CliError::Usage(format!(
+            "--max-bad-fraction must be in [0, 1], got {max_bad_fraction}"
+        )));
+    }
+    match args.get("on-bad-row").unwrap_or("fail") {
+        "fail" => Ok((IngestPolicy::Strict, None)),
+        "skip" => Ok((IngestPolicy::Skip { max_bad_fraction }, None)),
+        other => match other.split_once('=') {
+            Some(("quarantine", file)) if !file.is_empty() => Ok((
+                IngestPolicy::Quarantine { max_bad_fraction },
+                Some(file.to_string()),
+            )),
+            _ => Err(CliError::Usage(format!(
+                "--on-bad-row must be `fail`, `skip`, or `quarantine=<FILE>`, got `{other}`"
+            ))),
+        },
+    }
+}
+
+fn load(args: &Args, usage: &str) -> Result<(Dataset, IngestReport), CliError> {
     let [path] = args.positional() else {
         return Err(CliError::Usage(format!(
             "expected exactly one input file\n\n{usage}"
         )));
     };
     let max_categories: usize = args.get_or("max-categories", 16)?;
-    load_csv_inferred(path, max_categories).map_err(run_err)
+    let (policy, quarantine_path) = ingest_policy(args)?;
+    let mut sink = match &quarantine_path {
+        Some(file) => Some(std::fs::File::create(file).map_err(run_err)?),
+        None => None,
+    };
+    let quarantine = sink.as_mut().map(|f| f as &mut dyn std::io::Write);
+    load_csv_inferred_with_policy(path, max_categories, policy, quarantine).map_err(data_err)
+}
+
+/// Renders the ingest report when anything was skipped, quarantined, or
+/// repaired — clean strict loads stay silent.
+fn ingest_summary(out: &mut String, report: &IngestReport) {
+    if !report.is_clean() {
+        let _ = writeln!(out, "ingest: {}", report.summary());
+    }
 }
 
 /// `arcs segment`: the paper's end-to-end pipeline over a CSV file.
@@ -172,15 +259,24 @@ pub fn segment(argv: &[String]) -> Result<String, CliError> {
             "max-categories",
             "categorical",
             "svg",
+            "on-bad-row",
+            "max-bad-fraction",
+            "checkpoint",
+            "resume",
+            "checkpoint-every",
         ],
         &["grid"],
     )?;
-    let ds = load(&args, SEGMENT_USAGE)?;
+    let (ds, report) = load(&args, SEGMENT_USAGE)?;
+    if ds.is_empty() {
+        return Err(CliError::Data("no usable rows in the input".into()));
+    }
     let criterion = args.require("criterion")?;
     let group = args.require("group")?;
     let bins: usize = args.get_or("bins", 50)?;
 
     let mut out = String::new();
+    ingest_summary(&mut out, &report);
 
     // Categorical x-axis mode (§5 extension).
     if let Some(cat_attr) = args.get("categorical") {
@@ -190,7 +286,7 @@ pub fn segment(argv: &[String]) -> Result<String, CliError> {
             ..CategoricalConfig::default()
         };
         let seg = segment_categorical(&ds, cat_attr, y_attr, criterion, group, &config)
-            .map_err(run_err)?;
+            .map_err(pipeline_err)?;
         let _ = writeln!(
             out,
             "clustered rules for {criterion} = {group} ({} tuples, categorical x):",
@@ -239,10 +335,68 @@ pub fn segment(argv: &[String]) -> Result<String, CliError> {
         ..ArcsConfig::default()
     };
     let arcs = Arcs::new(config).map_err(run_err)?;
-    let seg = arcs
-        .segment_dataset(&ds, &x_attr, &y_attr, criterion, group)
-        .map_err(run_err)?;
 
+    // Checkpointed binning: bin as a stream with periodic snapshots, so an
+    // interrupted run restarts from the last checkpoint instead of row 0.
+    let ckpt_path = match (args.get("checkpoint"), args.get("resume")) {
+        (Some(c), Some(r)) if c != r => {
+            return Err(CliError::Usage(
+                "--checkpoint and --resume must name the same file \
+                 (resume continues checkpointing in place)"
+                    .into(),
+            ))
+        }
+        (c, r) => {
+            if let Some(r) = r {
+                if !std::path::Path::new(r).exists() {
+                    return Err(CliError::Data(format!(
+                        "--resume checkpoint `{r}` does not exist"
+                    )));
+                }
+            }
+            r.or(c)
+        }
+    };
+
+    let seg = if let Some(ckpt) = ckpt_path {
+        let every: u64 = args.get_or("checkpoint-every", 100_000u64)?;
+        let binner = Binner::equi_width(ds.schema(), &x_attr, &y_attr, criterion, bins, bins)
+            .map_err(pipeline_err)?;
+        let spec = CheckpointSpec { path: std::path::Path::new(ckpt), every };
+        let (array, stream) = binner
+            .bin_stream_checkpointed(ds.iter().cloned(), BadTuplePolicy::Fail, &spec)
+            .map_err(pipeline_err)?;
+        if stream.resumed_from > 0 {
+            let _ = writeln!(
+                out,
+                "resumed from checkpoint {ckpt} covering {} tuples",
+                stream.resumed_from
+            );
+        }
+        // The same verification sample segment_dataset would draw.
+        use rand::SeedableRng as _;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(arcs.config().seed);
+        let k = arcs.config().sample_size.min(ds.len());
+        let rows = arcs_data::sample::sample_rows(&ds, k, &mut rng).map_err(data_err)?;
+        let mut sample = Dataset::new(ds.schema().clone());
+        for row in rows {
+            sample.push_tuple(row.clone());
+        }
+        arcs.segment_binned(&array, &binner, &sample, &x_attr, &y_attr, criterion, group)
+            .map_err(pipeline_err)?
+    } else {
+        arcs.segment_dataset(&ds, &x_attr, &y_attr, criterion, group)
+            .map_err(pipeline_err)?
+    };
+
+    if seg.degraded {
+        let _ = writeln!(
+            out,
+            "note: thresholds were too tight for a normal segmentation; \
+             degraded result via relaxations: {}",
+            seg.relaxation_steps.join(" -> ")
+        );
+    }
     let _ = writeln!(
         out,
         "clustered rules for {criterion} = {group} ({} tuples, {} evaluations):",
@@ -304,10 +458,20 @@ pub fn explore(argv: &[String]) -> Result<String, CliError> {
     }
     let args = Args::parse(
         argv.iter().cloned(),
-        &["x", "y", "criterion", "group", "bins", "levels", "max-categories"],
+        &[
+            "x",
+            "y",
+            "criterion",
+            "group",
+            "bins",
+            "levels",
+            "max-categories",
+            "on-bad-row",
+            "max-bad-fraction",
+        ],
         &[],
     )?;
-    let ds = load(&args, EXPLORE_USAGE)?;
+    let (ds, report) = load(&args, EXPLORE_USAGE)?;
     let x = args.require("x")?;
     let y = args.require("y")?;
     let criterion = args.require("criterion")?;
@@ -329,8 +493,11 @@ pub fn explore(argv: &[String]) -> Result<String, CliError> {
     let array = binner.bin_rows(ds.iter()).map_err(run_err)?;
     let lattice = ThresholdLattice::build(&array, gk);
 
-    let mut out = format!(
-        "threshold lattice for {criterion} = {group}: {} distinct support levels\n\n",
+    let mut out = String::new();
+    ingest_summary(&mut out, &report);
+    let _ = writeln!(
+        out,
+        "threshold lattice for {criterion} = {group}: {} distinct support levels\n",
         lattice.supports().len()
     );
     let _ = writeln!(out, "{:>12} {:>12} {:>8}", "support", "confidences", "rules");
@@ -355,15 +522,17 @@ pub fn rank(argv: &[String]) -> Result<String, CliError> {
     }
     let args = Args::parse(
         argv.iter().cloned(),
-        &["criterion", "bins", "max-categories"],
+        &["criterion", "bins", "max-categories", "on-bad-row", "max-bad-fraction"],
         &[],
     )?;
-    let ds = load(&args, RANK_USAGE)?;
+    let (ds, report) = load(&args, RANK_USAGE)?;
     let criterion = args.require("criterion")?;
     let bins: usize = args.get_or("bins", 20)?;
 
-    let ranked = rank_attributes(&ds, criterion, bins).map_err(run_err)?;
-    let mut out = format!("mutual information with `{criterion}` ({bins} bins):\n");
+    let ranked = rank_attributes(&ds, criterion, bins).map_err(pipeline_err)?;
+    let mut out = String::new();
+    ingest_summary(&mut out, &report);
+    let _ = writeln!(out, "mutual information with `{criterion}` ({bins} bins):");
     for score in &ranked {
         let _ = writeln!(out, "  {:<20} {:.4} bits", score.name, score.mutual_information);
     }
@@ -545,17 +714,162 @@ mod tests {
     }
 
     #[test]
-    fn missing_file_is_a_run_error() {
+    fn missing_file_is_a_data_error() {
+        let err = dispatch(&argv(&[
+            "segment",
+            "/nonexistent/x.csv",
+            "--criterion",
+            "g",
+            "--group",
+            "A",
+        ]))
+        .unwrap_err();
+        assert!(matches!(err, CliError::Data(_)));
+        assert_eq!(err.exit_code(), 3);
+    }
+
+    #[test]
+    fn error_classes_map_to_exit_codes() {
+        assert_eq!(CliError::Usage(String::new()).exit_code(), 2);
+        assert_eq!(CliError::Data(String::new()).exit_code(), 3);
+        assert_eq!(CliError::Run(String::new()).exit_code(), 4);
+    }
+
+    #[test]
+    fn bad_on_bad_row_value_is_a_usage_error() {
+        let err = dispatch(&argv(&[
+            "segment", "x.csv", "--criterion", "g", "--group", "A", "--on-bad-row",
+            "explode",
+        ]))
+        .unwrap_err();
+        assert!(matches!(err, CliError::Usage(_)), "{err}");
+        let err = dispatch(&argv(&[
+            "segment", "x.csv", "--criterion", "g", "--group", "A",
+            "--max-bad-fraction", "1.5",
+        ]))
+        .unwrap_err();
+        assert!(matches!(err, CliError::Usage(_)), "{err}");
+    }
+
+    /// End-to-end robustness: a CSV with >5% corrupted rows fails under
+    /// the default strict policy, completes under skip with an accurate
+    /// ingest report, and quarantines the raw bad lines on request.
+    #[test]
+    fn segment_survives_corrupted_csv_under_skip() {
+        let clean = tmp("robust_clean.csv");
+        let clean_str = clean.to_str().expect("utf-8 path");
+        dispatch(&argv(&[
+            "generate", "--out", clean_str, "--n", "8000", "--seed", "11",
+        ]))
+        .unwrap();
+
+        // Corrupt ~10% of the data lines deterministically.
+        let text = std::fs::read_to_string(&clean).unwrap();
+        let mut lines: Vec<String> = text.lines().map(ToString::to_string).collect();
+        let mut corrupted = 0usize;
+        for (i, line) in lines.iter_mut().enumerate().skip(1) {
+            match i % 10 {
+                3 => *line = "not,even,numbers".to_string(),
+                7 => *line = line.rsplit_once(',').map(|(l, _)| l.to_string()).unwrap(),
+                _ => continue,
+            }
+            corrupted += 1;
+        }
+        let dirty = tmp("robust_dirty.csv");
+        let dirty_str = dirty.to_str().expect("utf-8 path");
+        std::fs::write(&dirty, lines.join("\n")).unwrap();
+
+        let base = [
+            "segment", dirty_str, "--x", "age", "--y", "salary", "--criterion",
+            "group", "--group", "A",
+        ];
+
+        // Default (fail): a data error naming the first bad line.
+        let err = dispatch(&argv(&base)).unwrap_err();
+        assert!(matches!(err, CliError::Data(_)), "{err}");
+        assert_eq!(err.exit_code(), 3);
+
+        // Skip: completes, and the report counts every injected bad row.
+        let mut skip_args = base.to_vec();
+        skip_args.extend(["--on-bad-row", "skip"]);
+        let out = dispatch(&argv(&skip_args)).unwrap();
+        assert!(out.contains("ingest:"), "{out}");
+        assert!(out.contains(&format!("skipped {corrupted}")), "{out}");
+        assert!(out.contains("=>  group = A"), "{out}");
+
+        // Quarantine: the raw bad lines land in the side file.
+        let qfile = tmp("robust_quarantine.csv");
+        let qarg = format!("quarantine={}", qfile.to_str().expect("utf-8 path"));
+        let mut q_args = base.to_vec();
+        q_args.extend(["--on-bad-row", &qarg]);
+        let out = dispatch(&argv(&q_args)).unwrap();
+        assert!(out.contains(&format!("quarantined {corrupted}")), "{out}");
+        let quarantined = std::fs::read_to_string(&qfile).unwrap();
+        assert_eq!(quarantined.lines().count(), corrupted);
+        assert!(quarantined.contains("not,even,numbers"), "{quarantined}");
+
+        // A bad-fraction ceiling below the corruption rate aborts.
+        let mut tight_args = skip_args.clone();
+        tight_args.extend(["--max-bad-fraction", "0.05"]);
+        let err = dispatch(&argv(&tight_args)).unwrap_err();
+        assert!(matches!(err, CliError::Data(_)), "{err}");
+
+        std::fs::remove_file(&clean).ok();
+        std::fs::remove_file(&dirty).ok();
+        std::fs::remove_file(&qfile).ok();
+    }
+
+    /// The --checkpoint/--resume flags: an interrupted binning pass picks
+    /// up from the snapshot and yields the same segmentation as a clean
+    /// run.
+    #[test]
+    fn segment_checkpoint_and_resume() {
+        let path = tmp("ckpt_data.csv");
+        let path_str = path.to_str().expect("utf-8 path");
+        dispatch(&argv(&[
+            "generate", "--out", path_str, "--n", "12000", "--seed", "3",
+        ]))
+        .unwrap();
+        let ckpt = tmp("ckpt_file.bin");
+        let ckpt_str = ckpt.to_str().expect("utf-8 path");
+        std::fs::remove_file(&ckpt).ok();
+
+        let base = [
+            "segment", path_str, "--x", "age", "--y", "salary", "--criterion",
+            "group", "--group", "A", "--bins", "30",
+        ];
+        let reference = dispatch(&argv(&base)).unwrap();
+
+        // Full checkpointed run: same rules as the plain run.
+        let mut ck_args = base.to_vec();
+        ck_args.extend(["--checkpoint", ckpt_str, "--checkpoint-every", "4000"]);
+        let checkpointed = dispatch(&argv(&ck_args)).unwrap();
+        assert_eq!(checkpointed, reference);
+
+        // The checkpoint now covers the whole file: a --resume run skips
+        // all binning work and reproduces the result.
+        let mut re_args = base.to_vec();
+        re_args.extend(["--resume", ckpt_str]);
+        let resumed = dispatch(&argv(&re_args)).unwrap();
+        assert!(resumed.contains("resumed from checkpoint"), "{resumed}");
+        assert!(resumed.contains("=>  group = A"), "{resumed}");
+        // Identical modulo the resume banner.
+        let resumed_body: String = resumed
+            .lines()
+            .filter(|l| !l.starts_with("resumed from checkpoint"))
+            .map(|l| format!("{l}\n"))
+            .collect();
+        assert_eq!(resumed_body, reference);
+
+        // Resuming from a missing file is a data error.
+        let mut missing_args = base.to_vec();
+        missing_args.extend(["--resume", "/nonexistent/ckpt.bin"]);
         assert!(matches!(
-            dispatch(&argv(&[
-                "segment",
-                "/nonexistent/x.csv",
-                "--criterion",
-                "g",
-                "--group",
-                "A"
-            ])),
-            Err(CliError::Run(_))
+            dispatch(&argv(&missing_args)).unwrap_err(),
+            CliError::Data(_)
         ));
+
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_file(&ckpt).ok();
     }
 }

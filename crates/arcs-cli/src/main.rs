@@ -21,7 +21,9 @@ fn main() -> ExitCode {
         }
         Err(err) => {
             eprintln!("{err}");
-            ExitCode::FAILURE
+            // Distinct exit codes per error class: 2 usage, 3 data,
+            // 4 internal. Scripts can branch on them.
+            ExitCode::from(err.exit_code())
         }
     }
 }

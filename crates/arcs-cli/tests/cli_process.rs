@@ -73,7 +73,78 @@ fn bad_flag_value_reports_usage_error() {
         .args(["generate", "--out", "/tmp/x.csv", "--n", "not-a-number"])
         .output()
         .expect("binary runs");
-    assert!(!out.status.success());
+    assert_eq!(out.status.code(), Some(2));
     let stderr = String::from_utf8(out.stderr).unwrap();
     assert!(stderr.contains("invalid value"), "{stderr}");
+}
+
+/// Writes a fixture whose data rows are >5% corrupted (truncated rows and
+/// non-numeric garbage), returning (path, bad-row count).
+fn corrupted_fixture(name: &str) -> (PathBuf, usize) {
+    let csv = tmp(name);
+    let mut text = String::from("age,salary,group\n");
+    let mut bad = 0usize;
+    for i in 0..600 {
+        match i % 12 {
+            4 => {
+                text.push_str("banana,50000,A\n"); // non-numeric
+                bad += 1;
+            }
+            9 => {
+                text.push_str("41.0,62000\n"); // truncated row
+                bad += 1;
+            }
+            _ => {
+                let group = if i % 3 == 0 { "A" } else { "B" };
+                let age = 20.0 + (i % 60) as f64;
+                let salary = 20_000.0 + (i * 211 % 130_000) as f64;
+                text.push_str(&format!("{age},{salary},{group}\n"));
+            }
+        }
+    }
+    std::fs::write(&csv, text).expect("fixture written");
+    (csv, bad)
+}
+
+/// The ISSUE acceptance scenario: a corrupted CSV (≥5% bad rows) errors
+/// cleanly with exit code 3 under the default fail policy, and completes
+/// `segment` under --on-bad-row skip with an accurate ingest report.
+#[test]
+fn corrupted_csv_exit_codes_and_skip_recovery() {
+    let (csv, bad) = corrupted_fixture("proc_corrupt.csv");
+    let csv_str = csv.to_str().expect("utf-8 path");
+    let base = [
+        "segment", csv_str, "--x", "age", "--y", "salary", "--criterion", "group",
+        "--group", "A", "--bins", "20",
+    ];
+
+    let out = arcs().args(base).output().expect("binary runs");
+    assert_eq!(out.status.code(), Some(3), "expected data-error exit");
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("line"), "{stderr}");
+    assert!(out.stdout.is_empty());
+
+    let out = arcs()
+        .args(base)
+        .args(["--on-bad-row", "skip"])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("ingest:"), "{stdout}");
+    assert!(stdout.contains(&format!("skipped {bad}")), "{stdout}");
+    assert!(stdout.contains("rows read 600"), "{stdout}");
+
+    std::fs::remove_file(&csv).ok();
+}
+
+/// Internal errors (e.g. an unwritable output path) exit with code 4,
+/// distinct from usage (2) and data (3) errors.
+#[test]
+fn unwritable_output_is_an_internal_error() {
+    let out = arcs()
+        .args(["generate", "--out", "/nonexistent-dir/x.csv", "--n", "100"])
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(4));
 }

@@ -12,7 +12,39 @@
 //! total. One cell's counts are contiguous, so the engine touches one cache
 //! line per cell.
 
+use std::io::{Read, Write};
+use std::path::Path;
+
 use crate::error::ArcsError;
+
+/// Magic prefix of the snapshot format; the trailing byte is the format
+/// version, bumped on any incompatible layout change.
+const SNAPSHOT_MAGIC: [u8; 8] = *b"ARCSBA\x00\x01";
+
+/// 64-bit FNV-1a, the checksum guarding snapshots against truncation and
+/// bit rot. Not cryptographic — it detects corruption, not tampering.
+pub(crate) fn fnv1a64(chunks: &[&[u8]]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for chunk in chunks {
+        for &byte in *chunk {
+            hash ^= byte as u64;
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    hash
+}
+
+fn read_exact_or<R: Read>(r: &mut R, buf: &mut [u8], what: &str) -> Result<(), ArcsError> {
+    r.read_exact(buf).map_err(|e| ArcsError::Checkpoint {
+        message: format!("truncated while reading {what}: {e}"),
+    })
+}
+
+fn read_u64<R: Read>(r: &mut R, what: &str) -> Result<u64, ArcsError> {
+    let mut buf = [0u8; 8];
+    read_exact_or(r, &mut buf, what)?;
+    Ok(u64::from_le_bytes(buf))
+}
 
 /// Per-cell, per-group tuple counts over a 2-D binned grid.
 #[derive(Debug, Clone, PartialEq)]
@@ -176,6 +208,117 @@ impl BinArray {
     pub fn memory_bytes(&self) -> usize {
         self.counts.len() * std::mem::size_of::<u32>()
     }
+
+    /// Serialises the array into `writer` in the versioned snapshot
+    /// format: an 8-byte magic+version header, the dimensions and tuple
+    /// count as little-endian `u64`s, the raw counts as little-endian
+    /// `u32`s, and a trailing FNV-1a checksum over everything before it.
+    pub fn write_to<W: Write>(&self, writer: &mut W) -> Result<(), ArcsError> {
+        let mut header = Vec::with_capacity(8 + 4 * 8);
+        header.extend_from_slice(&SNAPSHOT_MAGIC);
+        header.extend_from_slice(&(self.nx as u64).to_le_bytes());
+        header.extend_from_slice(&(self.ny as u64).to_le_bytes());
+        header.extend_from_slice(&(self.nseg as u64).to_le_bytes());
+        header.extend_from_slice(&self.n_tuples.to_le_bytes());
+        let mut payload = Vec::with_capacity(self.counts.len() * 4);
+        for &count in &self.counts {
+            payload.extend_from_slice(&count.to_le_bytes());
+        }
+        let checksum = fnv1a64(&[&header, &payload]);
+        writer.write_all(&header)?;
+        writer.write_all(&payload)?;
+        writer.write_all(&checksum.to_le_bytes())?;
+        Ok(())
+    }
+
+    /// Deserialises an array written by [`BinArray::write_to`],
+    /// verifying the magic, format version, dimensions, and checksum.
+    /// Corruption or version mismatch reports [`ArcsError::Checkpoint`].
+    pub fn read_from<R: Read>(reader: &mut R) -> Result<Self, ArcsError> {
+        let mut magic = [0u8; 8];
+        read_exact_or(reader, &mut magic, "snapshot header")?;
+        if magic[..7] != SNAPSHOT_MAGIC[..7] {
+            return Err(ArcsError::Checkpoint {
+                message: "not a BinArray snapshot (bad magic)".into(),
+            });
+        }
+        if magic[7] != SNAPSHOT_MAGIC[7] {
+            return Err(ArcsError::Checkpoint {
+                message: format!(
+                    "unsupported snapshot version {} (this build reads version {})",
+                    magic[7], SNAPSHOT_MAGIC[7]
+                ),
+            });
+        }
+        let nx = read_u64(reader, "nx")? as usize;
+        let ny = read_u64(reader, "ny")? as usize;
+        let nseg = read_u64(reader, "nseg")? as usize;
+        let n_tuples = read_u64(reader, "n_tuples")?;
+        // Cap the allocation a header can request *before* trusting it —
+        // the checksum is only verifiable after the payload is read, so a
+        // corrupt header must not be able to demand terabytes first.
+        const MAX_CELLS: u64 = 1 << 28;
+        let cells = (nx as u64)
+            .saturating_mul(ny as u64)
+            .saturating_mul(nseg as u64 + 1);
+        if cells > MAX_CELLS {
+            return Err(ArcsError::Checkpoint {
+                message: format!(
+                    "snapshot header requests {cells} counters (cap {MAX_CELLS}); refusing"
+                ),
+            });
+        }
+        // Re-validate dimensions through the constructor so a corrupt
+        // header cannot request an absurd allocation unchecked.
+        let mut array = BinArray::new(nx, ny, nseg).map_err(|e| ArcsError::Checkpoint {
+            message: format!("snapshot header holds invalid dimensions: {e}"),
+        })?;
+        array.n_tuples = n_tuples;
+        let mut payload = vec![0u8; array.counts.len() * 4];
+        read_exact_or(reader, &mut payload, "count payload")?;
+        for (slot, chunk) in array.counts.iter_mut().zip(payload.chunks_exact(4)) {
+            *slot = u32::from_le_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);
+        }
+        let stored = read_u64(reader, "checksum")?;
+        let mut header = Vec::with_capacity(8 + 4 * 8);
+        header.extend_from_slice(&magic);
+        header.extend_from_slice(&(nx as u64).to_le_bytes());
+        header.extend_from_slice(&(ny as u64).to_le_bytes());
+        header.extend_from_slice(&(nseg as u64).to_le_bytes());
+        header.extend_from_slice(&n_tuples.to_le_bytes());
+        let computed = fnv1a64(&[&header, &payload]);
+        if stored != computed {
+            return Err(ArcsError::Checkpoint {
+                message: format!(
+                    "checksum mismatch: stored {stored:#018x}, computed {computed:#018x}"
+                ),
+            });
+        }
+        Ok(array)
+    }
+
+    /// Writes a snapshot to `path` atomically: the bytes land in a
+    /// sibling temporary file first and replace `path` by rename, so a
+    /// crash mid-write never leaves a half-written snapshot behind.
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<(), ArcsError> {
+        let path = path.as_ref();
+        let mut tmp = path.as_os_str().to_owned();
+        tmp.push(".tmp");
+        let tmp = std::path::PathBuf::from(tmp);
+        {
+            let mut file = std::io::BufWriter::new(std::fs::File::create(&tmp)?);
+            self.write_to(&mut file)?;
+            file.flush()?;
+        }
+        std::fs::rename(&tmp, path)?;
+        Ok(())
+    }
+
+    /// Loads a snapshot written by [`BinArray::save`].
+    pub fn load(path: impl AsRef<Path>) -> Result<Self, ArcsError> {
+        let mut file = std::io::BufReader::new(std::fs::File::open(path)?);
+        Self::read_from(&mut file)
+    }
 }
 
 #[cfg(test)]
@@ -254,6 +397,78 @@ mod tests {
         ba.add(2, 1, 0);
         let cells: Vec<_> = ba.occupied_cells().collect();
         assert_eq!(cells, vec![(0, 0), (2, 1)]);
+    }
+
+    fn populated_array() -> BinArray {
+        let mut ba = BinArray::new(7, 5, 3).unwrap();
+        for i in 0..1_000u32 {
+            ba.add((i % 7) as usize, (i % 5) as usize, i % 3);
+        }
+        for i in 0..37 {
+            ba.add_background((i % 7) as usize, (i % 5) as usize);
+        }
+        ba
+    }
+
+    #[test]
+    fn snapshot_roundtrip_is_bit_identical() {
+        let ba = populated_array();
+        let mut bytes = Vec::new();
+        ba.write_to(&mut bytes).unwrap();
+        let back = BinArray::read_from(&mut &bytes[..]).unwrap();
+        assert_eq!(ba, back);
+        // Re-serialising the loaded array reproduces the same bytes.
+        let mut bytes2 = Vec::new();
+        back.write_to(&mut bytes2).unwrap();
+        assert_eq!(bytes, bytes2);
+    }
+
+    #[test]
+    fn snapshot_file_roundtrip() {
+        let dir = std::env::temp_dir().join("arcs-binarray-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("snap.bin");
+        let ba = populated_array();
+        ba.save(&path).unwrap();
+        let back = BinArray::load(&path).unwrap();
+        assert_eq!(ba, back);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn snapshot_rejects_corruption() {
+        let ba = populated_array();
+        let mut bytes = Vec::new();
+        ba.write_to(&mut bytes).unwrap();
+
+        // Flip one payload byte: checksum must catch it.
+        let mut corrupt = bytes.clone();
+        let mid = corrupt.len() / 2;
+        corrupt[mid] ^= 0xFF;
+        let err = BinArray::read_from(&mut &corrupt[..]).unwrap_err();
+        assert!(matches!(err, ArcsError::Checkpoint { .. }), "{err:?}");
+
+        // Truncation.
+        let err = BinArray::read_from(&mut &bytes[..bytes.len() - 9]).unwrap_err();
+        assert!(matches!(err, ArcsError::Checkpoint { .. }));
+
+        // Wrong magic.
+        let mut bad_magic = bytes.clone();
+        bad_magic[0] = b'X';
+        let err = BinArray::read_from(&mut &bad_magic[..]).unwrap_err();
+        assert!(err.to_string().contains("magic"), "{err}");
+
+        // Future format version.
+        let mut future = bytes.clone();
+        future[7] = 2;
+        let err = BinArray::read_from(&mut &future[..]).unwrap_err();
+        assert!(err.to_string().contains("version"), "{err}");
+
+        // Absurd header dimensions are refused before allocation.
+        let mut huge = bytes;
+        huge[8..16].copy_from_slice(&u64::MAX.to_le_bytes());
+        let err = BinArray::read_from(&mut &huge[..]).unwrap_err();
+        assert!(matches!(err, ArcsError::Checkpoint { .. }));
     }
 
     #[test]

@@ -67,7 +67,7 @@ impl BinMap {
             ));
         }
         let mut sorted = values.to_vec();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite values"));
+        sorted.sort_by(f64::total_cmp);
         let n = sorted.len();
         let mut edges = Vec::with_capacity(n_bins + 1);
         edges.push(sorted[0]);

@@ -183,8 +183,7 @@ pub fn segment_categorical(
     let mut ordering: Vec<u32> = (0..k as u32).collect();
     ordering.sort_by(|&a, &b| {
         density(b as usize)
-            .partial_cmp(&density(a as usize))
-            .expect("densities are finite")
+            .total_cmp(&density(a as usize))
             .then(a.cmp(&b))
     });
     // column_of[category code] = grid column.

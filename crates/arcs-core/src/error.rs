@@ -29,6 +29,24 @@ pub enum ArcsError {
     /// The optimizer exhausted its budget without finding any candidate
     /// segmentation (e.g. no cell ever met the thresholds).
     NoSegmentation,
+    /// A streamed tuple failed validation under [`BadTuplePolicy::Fail`]
+    /// (1-based stream position included for triage).
+    ///
+    /// [`BadTuplePolicy::Fail`]: crate::binner::BadTuplePolicy::Fail
+    InvalidTuple {
+        /// 1-based position of the tuple in the stream.
+        position: u64,
+        /// What was wrong with it.
+        message: String,
+    },
+    /// An I/O error occurred (message-only: `std::io::Error` is not `Clone`).
+    Io(String),
+    /// A checkpoint or snapshot file is corrupt, truncated, or written by
+    /// an incompatible version.
+    Checkpoint {
+        /// What failed while reading the file.
+        message: String,
+    },
 }
 
 impl fmt::Display for ArcsError {
@@ -46,6 +64,11 @@ impl fmt::Display for ArcsError {
             ArcsError::NoSegmentation => {
                 write!(f, "no segmentation found: no cell met any support/confidence threshold")
             }
+            ArcsError::InvalidTuple { position, message } => {
+                write!(f, "invalid tuple at stream position {position}: {message}")
+            }
+            ArcsError::Io(message) => write!(f, "I/O error: {message}"),
+            ArcsError::Checkpoint { message } => write!(f, "bad checkpoint: {message}"),
         }
     }
 }
@@ -62,6 +85,12 @@ impl std::error::Error for ArcsError {
 impl From<DataError> for ArcsError {
     fn from(err: DataError) -> Self {
         ArcsError::Data(err)
+    }
+}
+
+impl From<std::io::Error> for ArcsError {
+    fn from(err: std::io::Error) -> Self {
+        ArcsError::Io(err.to_string())
     }
 }
 

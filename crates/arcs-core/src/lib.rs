@@ -34,7 +34,7 @@ pub mod sql;
 pub mod verify;
 
 pub use binarray::BinArray;
-pub use binner::{Binner, BinningStrategy};
+pub use binner::{BadTuplePolicy, Binner, BinningStrategy, CheckpointSpec, StreamReport};
 pub use binning::BinMap;
 pub use bitop::BitOpConfig;
 pub use cluster::{ClusteredRule, Rect};

@@ -65,7 +65,7 @@ impl ThresholdLattice {
                 .filter(|&&(c, _)| c >= count)
                 .map(|&(_, conf)| conf)
                 .collect();
-            confs.sort_by(|a, b| a.partial_cmp(b).expect("confidences are finite"));
+            confs.sort_by(f64::total_cmp);
             confs.dedup();
             supports.push(count as f64 / n as f64);
             confidences.push(confs);

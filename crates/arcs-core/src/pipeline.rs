@@ -24,8 +24,9 @@ use crate::binning::BinMap;
 use crate::cluster::{ClusteredRule, Rect};
 use crate::engine::Thresholds;
 use crate::error::ArcsError;
+use crate::binarray::BinArray;
 use crate::mdl::MdlScore;
-use crate::optimizer::{optimize, OptimizerConfig};
+use crate::optimizer::{evaluate, optimize, Evaluation, OptimizerConfig};
 use crate::verify::ErrorCounts;
 
 /// Configuration of the whole ARCS system.
@@ -43,6 +44,12 @@ pub struct ArcsConfig {
     pub sample_size: usize,
     /// RNG seed for sampling.
     pub seed: u64,
+    /// When the optimizer finds no segmentation, walk the degradation
+    /// ladder (floor thresholds, then disable smoothing, then disable
+    /// pruning) instead of failing. The resulting [`Segmentation`] is
+    /// marked [`degraded`](Segmentation::degraded). Disable for strict
+    /// paper-faithful behaviour.
+    pub degrade_on_no_segmentation: bool,
 }
 
 impl Default for ArcsConfig {
@@ -54,6 +61,7 @@ impl Default for ArcsConfig {
             optimizer: OptimizerConfig::default(),
             sample_size: 2_000,
             seed: 0,
+            degrade_on_no_segmentation: true,
         }
     }
 }
@@ -76,6 +84,12 @@ pub struct Segmentation {
     pub n_tuples: u64,
     /// Number of (support, confidence) evaluations the optimizer ran.
     pub evaluations: usize,
+    /// Whether the result came from the degradation ladder rather than
+    /// the normal threshold search.
+    pub degraded: bool,
+    /// The relaxation steps tried, in order, when `degraded` — the last
+    /// entry is the one that produced this segmentation. Empty otherwise.
+    pub relaxation_steps: Vec<String>,
 }
 
 /// Per-group segmentation outcomes from [`Arcs::segment_all_groups`]:
@@ -293,10 +307,85 @@ impl Arcs {
         )
     }
 
+    /// Segments a pre-built [`BinArray`] (e.g. one resumed from a
+    /// checkpoint) against an explicit verification sample. The `binner`
+    /// must be the one that produced the array — its bin maps decode the
+    /// clusters back to attribute ranges.
+    #[allow(clippy::too_many_arguments)]
+    pub fn segment_binned(
+        &self,
+        array: &BinArray,
+        binner: &Binner,
+        sample: &Dataset,
+        x_attr: &str,
+        y_attr: &str,
+        criterion_attr: &str,
+        group_label: &str,
+    ) -> Result<Segmentation, ArcsError> {
+        let schema = sample.schema();
+        let gk = Self::group_code(schema, criterion_attr, group_label)?;
+        let sample_refs: Vec<&Tuple> = sample.iter().collect();
+        self.finish(
+            array,
+            binner,
+            &sample_refs,
+            schema,
+            x_attr,
+            y_attr,
+            criterion_attr,
+            group_label,
+            gk,
+        )
+    }
+
+    /// Runs the threshold search; when it finds nothing and degradation is
+    /// enabled, walks a bounded ladder of relaxations: (1) floor the
+    /// support/confidence thresholds at zero, (2) additionally disable
+    /// smoothing (whose low-pass filter can erase every sparse qualifying
+    /// cell), (3) additionally disable cluster pruning. The first step
+    /// yielding any cluster wins; each evaluation still runs the full
+    /// smooth → cluster → verify → score path.
+    fn search(
+        &self,
+        array: &BinArray,
+        gk: u32,
+        binner: &Binner,
+        sample: &[&Tuple],
+    ) -> Result<(Evaluation, usize, bool, Vec<String>), ArcsError> {
+        match optimize(array, gk, binner, sample, &self.config.optimizer) {
+            Ok(result) => Ok((result.best, result.trace.len(), false, Vec::new())),
+            Err(ArcsError::NoSegmentation) if self.config.degrade_on_no_segmentation => {
+                let floor = Thresholds::new(0.0, 0.0)?;
+                let mut relaxed = self.config.optimizer.clone();
+                type Relax = fn(&mut OptimizerConfig);
+                let ladder: [(&str, Relax); 3] = [
+                    ("floor-thresholds", |_| {}),
+                    ("disable-smoothing", |c| {
+                        c.smoothing = crate::smooth::SmoothConfig::disabled();
+                    }),
+                    ("disable-pruning", |c| {
+                        c.bitop = crate::bitop::BitOpConfig::no_pruning();
+                    }),
+                ];
+                let mut steps = Vec::new();
+                for (i, (name, relax)) in ladder.iter().enumerate() {
+                    relax(&mut relaxed);
+                    steps.push(name.to_string());
+                    let eval = evaluate(array, gk, binner, sample, floor, &relaxed)?;
+                    if !eval.clusters.is_empty() {
+                        return Ok((eval, i + 1, true, steps));
+                    }
+                }
+                Err(ArcsError::NoSegmentation)
+            }
+            Err(err) => Err(err),
+        }
+    }
+
     #[allow(clippy::too_many_arguments)]
     fn finish(
         &self,
-        array: &crate::binarray::BinArray,
+        array: &BinArray,
         binner: &Binner,
         sample: &[&Tuple],
         schema: &Schema,
@@ -306,8 +395,8 @@ impl Arcs {
         group_label: &str,
         gk: u32,
     ) -> Result<Segmentation, ArcsError> {
-        let result = optimize(array, gk, binner, sample, &self.config.optimizer)?;
-        let best = result.best;
+        let (best, evaluations, degraded, relaxation_steps) =
+            self.search(array, gk, binner, sample)?;
 
         let n = array.n_tuples();
         let mut rules = Vec::with_capacity(best.clusters.len());
@@ -346,7 +435,9 @@ impl Arcs {
             score: best.score,
             errors: best.errors,
             n_tuples: n,
-            evaluations: result.trace.len(),
+            evaluations,
+            degraded,
+            relaxation_steps,
         })
     }
 }
@@ -521,6 +612,114 @@ mod tests {
         // The complement group segments too (it covers the background).
         let seg_other = all[1].1.as_ref().unwrap();
         assert!(!seg_other.clusters.is_empty());
+    }
+
+    #[test]
+    fn normal_segmentations_are_not_degraded() {
+        let ds = blocky_dataset();
+        let arcs = Arcs::new(small_config()).unwrap();
+        let seg = arcs.segment_dataset(&ds, "x", "y", "g", "A").unwrap();
+        assert!(!seg.degraded);
+        assert!(seg.relaxation_steps.is_empty());
+    }
+
+    /// A dataset whose only group-A mass sits in one grid cell while the
+    /// pruner demands clusters of at least four cells: every point in the
+    /// threshold lattice clusters to nothing, so only the degradation
+    /// ladder (which disables pruning as its last step) can produce a
+    /// segmentation.
+    fn speck_dataset() -> Dataset {
+        let mut ds = Dataset::new(small_schema());
+        for _ in 0..30 {
+            ds.push(vec![Value::Quant(5.5), Value::Quant(5.5), Value::Cat(0)]).unwrap();
+        }
+        for ix in 0..10 {
+            for iy in 0..10 {
+                for _ in 0..3 {
+                    ds.push(vec![
+                        Value::Quant(ix as f64 + 0.5),
+                        Value::Quant(iy as f64 + 0.5),
+                        Value::Cat(1),
+                    ])
+                    .unwrap();
+                }
+            }
+        }
+        ds
+    }
+
+    fn strict_pruning_config() -> ArcsConfig {
+        let mut config = small_config();
+        config.optimizer.bitop = crate::bitop::BitOpConfig {
+            min_area_fraction: 0.0,
+            min_area_cells: 4,
+            max_clusters: 100,
+            threads: 1,
+        };
+        config
+    }
+
+    #[test]
+    fn degradation_ladder_rescues_no_segmentation() {
+        let ds = speck_dataset();
+        let arcs = Arcs::new(strict_pruning_config()).unwrap();
+        let seg = arcs.segment_dataset(&ds, "x", "y", "g", "A").unwrap();
+        assert!(seg.degraded);
+        assert_eq!(
+            seg.relaxation_steps,
+            vec!["floor-thresholds", "disable-smoothing", "disable-pruning"]
+        );
+        assert!(!seg.clusters.is_empty());
+        assert!(seg.clusters.iter().any(|r| r.contains(5, 5)));
+    }
+
+    #[test]
+    fn degradation_can_be_disabled() {
+        let ds = speck_dataset();
+        let mut config = strict_pruning_config();
+        config.degrade_on_no_segmentation = false;
+        let arcs = Arcs::new(config).unwrap();
+        assert!(matches!(
+            arcs.segment_dataset(&ds, "x", "y", "g", "A"),
+            Err(ArcsError::NoSegmentation)
+        ));
+    }
+
+    #[test]
+    fn ladder_cannot_conjure_rules_from_an_absent_group() {
+        // No group-A tuple at all: even the fully relaxed ladder must
+        // report NoSegmentation rather than invent clusters.
+        let mut ds = Dataset::new(small_schema());
+        for i in 0..100 {
+            ds.push(vec![
+                Value::Quant((i % 10) as f64 + 0.5),
+                Value::Quant((i / 10) as f64 + 0.5),
+                Value::Cat(1),
+            ])
+            .unwrap();
+        }
+        let arcs = Arcs::new(small_config()).unwrap();
+        assert!(matches!(
+            arcs.segment_dataset(&ds, "x", "y", "g", "A"),
+            Err(ArcsError::NoSegmentation)
+        ));
+    }
+
+    #[test]
+    fn segment_binned_matches_segment_dataset() {
+        let ds = blocky_dataset();
+        let arcs = Arcs::new(small_config()).unwrap();
+        let direct = arcs.segment_dataset(&ds, "x", "y", "g", "A").unwrap();
+
+        // Re-create the pipeline's binner and array externally — the
+        // checkpoint/resume path hands exactly this to segment_binned.
+        let binner = Binner::equi_width(ds.schema(), "x", "y", "g", 10, 10).unwrap();
+        let array = binner.bin_rows(ds.iter()).unwrap();
+        let seg = arcs
+            .segment_binned(&array, &binner, &ds, "x", "y", "g", "A")
+            .unwrap();
+        assert_eq!(seg.clusters, direct.clusters);
+        assert_eq!(seg.thresholds, direct.thresholds);
     }
 
     /// The paper's headline qualitative result (§4.2): on Function 2 data

@@ -68,11 +68,7 @@ pub fn rank_attributes(
             mutual_information: mutual_information(&joint),
         });
     }
-    scores.sort_by(|a, b| {
-        b.mutual_information
-            .partial_cmp(&a.mutual_information)
-            .expect("MI is finite")
-    });
+    scores.sort_by(|a, b| b.mutual_information.total_cmp(&a.mutual_information));
     Ok(scores)
 }
 

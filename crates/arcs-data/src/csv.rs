@@ -11,8 +11,21 @@ use std::path::Path;
 
 use crate::dataset::Dataset;
 use crate::error::DataError;
+use crate::ingest::{IngestPolicy, IngestReport, IssueKind};
 use crate::schema::{AttrKind, Attribute, Schema};
 use crate::tuple::Value;
+
+/// Strips a trailing carriage return so CRLF files parse like LF files.
+fn clean_line(line: &str) -> &str {
+    line.strip_suffix('\r').unwrap_or(line)
+}
+
+/// Whether a line is blank (empty or whitespace-only) and must be skipped.
+/// `read_csv` and `infer_schema` share this definition so the two passes
+/// always agree on which physical lines carry data.
+fn is_blank(line: &str) -> bool {
+    line.trim().is_empty()
+}
 
 /// Serialises `dataset` as CSV into `writer`.
 pub fn write_csv<W: Write>(dataset: &Dataset, writer: W) -> Result<(), DataError> {
@@ -57,15 +70,78 @@ pub fn save_csv(dataset: &Dataset, path: impl AsRef<Path>) -> Result<(), DataErr
     write_csv(dataset, file)
 }
 
-/// Parses CSV from `reader` against a known `schema`. The header must match
-/// the schema's attribute names in order.
-pub fn read_csv<R: BufRead>(schema: Schema, reader: R) -> Result<Dataset, DataError> {
+/// Parses one data row into values, clamping out-of-domain quantitative
+/// values into their attribute's declared domain. Returns the values and
+/// the number of clamps, or the issue that disqualifies the row.
+fn parse_row(
+    schema: &Schema,
+    line: &str,
+) -> Result<(Vec<Value>, usize), (IssueKind, String)> {
+    let fields: Vec<&str> = line.split(',').collect();
+    if fields.len() != schema.arity() {
+        return Err((
+            IssueKind::FieldCount,
+            format!("expected {} fields, found {}", schema.arity(), fields.len()),
+        ));
+    }
+    let mut values = Vec::with_capacity(fields.len());
+    let mut clamped = 0usize;
+    for (field, attr) in fields.iter().zip(schema.attributes()) {
+        match &attr.kind {
+            AttrKind::Quantitative { .. } => {
+                let v: f64 = field.parse().map_err(|_| {
+                    (
+                        IssueKind::NonNumeric,
+                        format!("`{field}` is not a number for attribute `{}`", attr.name),
+                    )
+                })?;
+                if !v.is_finite() {
+                    return Err((
+                        IssueKind::NonFinite,
+                        format!("`{field}` is not finite for attribute `{}`", attr.name),
+                    ));
+                }
+                let (v, was_clamped) = attr.kind.clamp_quant(v);
+                clamped += was_clamped as usize;
+                values.push(Value::Quant(v));
+            }
+            AttrKind::Categorical { labels } => {
+                let code = labels.iter().position(|l| l == *field).ok_or_else(|| {
+                    (
+                        IssueKind::UnknownLabel,
+                        format!("`{field}` is not a known label of attribute `{}`", attr.name),
+                    )
+                })?;
+                values.push(Value::Cat(code as u32));
+            }
+        }
+    }
+    Ok((values, clamped))
+}
+
+/// Parses CSV from `reader` against a known `schema`, applying `policy`
+/// to rows that fail to parse or validate. The header must match the
+/// schema's attribute names in order (a bad header is always fatal — it
+/// means the *file* is wrong, not a row).
+///
+/// Under [`IngestPolicy::Quarantine`] each rejected raw line is written
+/// to `quarantine` (one line per row); passing `None` downgrades the
+/// policy to counting only. Out-of-domain quantitative values are
+/// clamped and counted under every policy — see the [`crate::ingest`]
+/// module docs for the rationale.
+pub fn read_csv_with_policy<R: BufRead>(
+    schema: Schema,
+    reader: R,
+    policy: IngestPolicy,
+    mut quarantine: Option<&mut dyn Write>,
+) -> Result<(Dataset, IngestReport), DataError> {
     let mut lines = reader.lines().enumerate();
     let (_, header) = lines.next().ok_or(DataError::Parse {
         line: 1,
         message: "empty input: missing header".into(),
     })?;
     let header = header?;
+    let header = clean_line(&header);
     let names: Vec<&str> = header.split(',').collect();
     let expected: Vec<&str> = schema.attributes().iter().map(|a| a.name.as_str()).collect();
     if names != expected {
@@ -76,54 +152,57 @@ pub fn read_csv<R: BufRead>(schema: Schema, reader: R) -> Result<Dataset, DataEr
     }
 
     let mut ds = Dataset::new(schema);
+    let mut report = IngestReport::default();
     for (i, line) in lines {
         let line = line?;
-        if line.is_empty() {
+        let line = clean_line(&line);
+        if is_blank(line) {
             continue;
         }
         let line_no = i + 1;
-        let fields: Vec<&str> = line.split(',').collect();
-        if fields.len() != ds.schema().arity() {
-            return Err(DataError::Parse {
-                line: line_no,
-                message: format!(
-                    "expected {} fields, found {}",
-                    ds.schema().arity(),
-                    fields.len()
-                ),
+        report.rows_read += 1;
+        let issue = match parse_row(ds.schema(), line) {
+            Ok((values, clamps)) => match ds.push(values) {
+                Ok(()) => {
+                    report.rows_kept += 1;
+                    report.clamped_values += clamps;
+                    continue;
+                }
+                Err(e) => (IssueKind::Invalid, e.to_string()),
+            },
+            Err(issue) => issue,
+        };
+        let (kind, message) = issue;
+        if policy.is_strict() {
+            return Err(DataError::Parse { line: line_no, message });
+        }
+        report.rows_skipped += 1;
+        report.record(line_no, kind, message);
+        if let (IngestPolicy::Quarantine { .. }, Some(sink)) = (&policy, quarantine.as_mut()) {
+            writeln!(sink, "{line}")?;
+            report.rows_quarantined += 1;
+        }
+    }
+
+    if let Some(max) = policy.max_bad_fraction() {
+        if report.bad_fraction() > max {
+            return Err(DataError::TooManyBadRows {
+                skipped: report.rows_skipped,
+                read: report.rows_read,
+                max_bad_fraction: max,
             });
         }
-        let mut values = Vec::with_capacity(fields.len());
-        for (idx, field) in fields.iter().enumerate() {
-            let attr = ds.schema().attribute(idx).expect("index in range");
-            match &attr.kind {
-                AttrKind::Quantitative { .. } => {
-                    let v: f64 = field.parse().map_err(|_| DataError::Parse {
-                        line: line_no,
-                        message: format!("`{field}` is not a number for attribute `{}`", attr.name),
-                    })?;
-                    values.push(Value::Quant(v));
-                }
-                AttrKind::Categorical { labels } => {
-                    let code = labels.iter().position(|l| l == field).ok_or_else(|| {
-                        DataError::Parse {
-                            line: line_no,
-                            message: format!(
-                                "`{field}` is not a known label of attribute `{}`",
-                                attr.name
-                            ),
-                        }
-                    })?;
-                    values.push(Value::Cat(code as u32));
-                }
-            }
-        }
-        ds.push(values).map_err(|e| DataError::Parse {
-            line: line_no,
-            message: e.to_string(),
-        })?;
     }
-    Ok(ds)
+    Ok((ds, report))
+}
+
+/// Parses CSV from `reader` against a known `schema`. The header must match
+/// the schema's attribute names in order. Equivalent to
+/// [`read_csv_with_policy`] under [`IngestPolicy::Strict`]: the first bad
+/// row aborts the load with a [`DataError::Parse`] carrying its 1-based
+/// line number.
+pub fn read_csv<R: BufRead>(schema: Schema, reader: R) -> Result<Dataset, DataError> {
+    read_csv_with_policy(schema, reader, IngestPolicy::Strict, None).map(|(ds, _)| ds)
 }
 
 /// Loads a dataset from the CSV file at `path` using a known `schema`.
@@ -140,17 +219,35 @@ pub fn load_csv(schema: Schema, path: impl AsRef<Path>) -> Result<Dataset, DataE
 /// ("we intend to examine real-world demographic data") needs exactly
 /// this: demographic extracts arrive as CSV without type annotations.
 pub fn infer_schema<R: BufRead>(reader: R, max_categories: usize) -> Result<Schema, DataError> {
+    infer_schema_with_policy(reader, max_categories, IngestPolicy::Strict).map(|(s, _)| s)
+}
+
+/// Infers a [`Schema`] (see [`infer_schema`]) under an [`IngestPolicy`]:
+/// rows with the wrong field count are skipped and counted instead of
+/// aborting the probe when the policy is lenient, and a high-cardinality
+/// column whose values are *mostly* numeric stays quantitative despite
+/// stray garbage values (those rows surface as non-numeric issues during
+/// the load pass instead of silently flipping the column categorical).
+/// Quarantine sinks are *not* written here — inference is a read-only
+/// probe; the subsequent [`read_csv_with_policy`] pass owns the sink so
+/// each bad line is quarantined exactly once.
+pub fn infer_schema_with_policy<R: BufRead>(
+    reader: R,
+    max_categories: usize,
+    policy: IngestPolicy,
+) -> Result<(Schema, IngestReport), DataError> {
     let mut lines = reader.lines().enumerate();
     let (_, header) = lines.next().ok_or(DataError::Parse {
         line: 1,
         message: "empty input: missing header".into(),
     })?;
     let header = header?;
-    let names: Vec<String> = header.split(',').map(str::to_string).collect();
+    let names: Vec<String> = clean_line(&header).split(',').map(str::to_string).collect();
     let n_cols = names.len();
 
     struct ColumnProbe {
-        all_numeric: bool,
+        numeric: usize,
+        non_numeric: usize,
         min: f64,
         max: f64,
         distinct: Vec<String>,
@@ -158,7 +255,8 @@ pub fn infer_schema<R: BufRead>(reader: R, max_categories: usize) -> Result<Sche
     }
     let mut probes: Vec<ColumnProbe> = (0..n_cols)
         .map(|_| ColumnProbe {
-            all_numeric: true,
+            numeric: 0,
+            non_numeric: 0,
             min: f64::INFINITY,
             max: f64::NEG_INFINITY,
             distinct: Vec::new(),
@@ -166,27 +264,35 @@ pub fn infer_schema<R: BufRead>(reader: R, max_categories: usize) -> Result<Sche
         })
         .collect();
 
+    let mut report = IngestReport::default();
     let mut n_rows = 0usize;
     for (i, line) in lines {
         let line = line?;
-        if line.is_empty() {
+        let line = clean_line(&line);
+        if is_blank(line) {
             continue;
         }
+        report.rows_read += 1;
         let fields: Vec<&str> = line.split(',').collect();
         if fields.len() != n_cols {
-            return Err(DataError::Parse {
-                line: i + 1,
-                message: format!("expected {n_cols} fields, found {}", fields.len()),
-            });
+            let message = format!("expected {n_cols} fields, found {}", fields.len());
+            if policy.is_strict() {
+                return Err(DataError::Parse { line: i + 1, message });
+            }
+            report.rows_skipped += 1;
+            report.record(i + 1, IssueKind::FieldCount, message);
+            continue;
         }
         n_rows += 1;
+        report.rows_kept += 1;
         for (probe, field) in probes.iter_mut().zip(&fields) {
             match field.parse::<f64>() {
                 Ok(v) if v.is_finite() => {
+                    probe.numeric += 1;
                     probe.min = probe.min.min(v);
                     probe.max = probe.max.max(v);
                 }
-                _ => probe.all_numeric = false,
+                _ => probe.non_numeric += 1,
             }
             if !probe.overflowed && !probe.distinct.iter().any(|d| d == field) {
                 if probe.distinct.len() >= max_categories {
@@ -203,12 +309,27 @@ pub fn infer_schema<R: BufRead>(reader: R, max_categories: usize) -> Result<Sche
             message: "cannot infer a schema from a header-only file".into(),
         });
     }
+    if let Some(max) = policy.max_bad_fraction() {
+        if report.bad_fraction() > max {
+            return Err(DataError::TooManyBadRows {
+                skipped: report.rows_skipped,
+                read: report.rows_read,
+                max_bad_fraction: max,
+            });
+        }
+    }
 
     let attributes = names
         .into_iter()
         .zip(probes)
         .map(|(name, probe)| {
-            let treat_quantitative = probe.all_numeric && probe.overflowed;
+            // Strict inference demands a fully numeric column; lenient
+            // policies tolerate a minority of garbage values in an
+            // otherwise-numeric high-cardinality column (the garbage rows
+            // are rejected per-row by the load pass).
+            let mostly_numeric = probe.non_numeric == 0
+                || (!policy.is_strict() && probe.numeric > probe.non_numeric);
+            let treat_quantitative = mostly_numeric && probe.numeric > 0 && probe.overflowed;
             if treat_quantitative {
                 let min = probe.min;
                 let max = if probe.max > min { probe.max } else { min + 1.0 };
@@ -222,7 +343,7 @@ pub fn infer_schema<R: BufRead>(reader: R, max_categories: usize) -> Result<Sche
             }
         })
         .collect();
-    Schema::new(attributes)
+    Schema::new(attributes).map(|schema| (schema, report))
 }
 
 /// Infers a schema (see [`infer_schema`]) and loads the data in one go.
@@ -233,6 +354,21 @@ pub fn load_csv_inferred(
     let text = std::fs::read(path)?;
     let schema = infer_schema(&text[..], max_categories)?;
     read_csv(schema, &text[..])
+}
+
+/// Infers a schema and loads the data in one go under an
+/// [`IngestPolicy`]. The returned report is the *load* pass's report;
+/// the inference probe shares the same policy but never writes to the
+/// quarantine sink.
+pub fn load_csv_inferred_with_policy(
+    path: impl AsRef<Path>,
+    max_categories: usize,
+    policy: IngestPolicy,
+    quarantine: Option<&mut dyn Write>,
+) -> Result<(Dataset, IngestReport), DataError> {
+    let text = std::fs::read(path)?;
+    let (schema, _) = infer_schema_with_policy(&text[..], max_categories, policy)?;
+    read_csv_with_policy(schema, &text[..], policy, quarantine)
 }
 
 
@@ -324,6 +460,169 @@ mod tests {
         let input = b"age,group\n1.0,A\n\n2.0,other\n" as &[u8];
         let ds = read_csv(schema(), input).unwrap();
         assert_eq!(ds.len(), 2);
+    }
+
+    #[test]
+    fn skips_whitespace_and_crlf_blank_lines() {
+        // Whitespace-only and CR-only lines are blank; CRLF data rows parse.
+        let input = b"age,group\r\n1.0,A\r\n   \n\r\n2.0,other\r\n" as &[u8];
+        let ds = read_csv(schema(), input).unwrap();
+        assert_eq!(ds.len(), 2);
+        assert_eq!(ds.row(1).unwrap().quant(0), 2.0);
+    }
+
+    #[test]
+    fn read_and_infer_report_same_line_numbers() {
+        // A truncated row after a blank line: both passes must attribute
+        // the failure to the same 1-based physical line (line 4).
+        let input = b"age,group\n1.0,A\n\n2.0\n" as &[u8];
+        let read_err = read_csv(schema(), input).unwrap_err();
+        let infer_err = infer_schema(input, 5).unwrap_err();
+        assert_eq!(read_err, DataError::Parse { line: 4, message: "expected 2 fields, found 1".into() });
+        assert!(matches!(infer_err, DataError::Parse { line: 4, .. }), "{infer_err:?}");
+    }
+
+    #[test]
+    fn skip_policy_keeps_good_rows_and_counts_bad() {
+        let input = b"age,group\nbad,A\n1.0,A\n2.0\n3.0,Z\nNaN,A\ninf,other\n4.0,other\n" as &[u8];
+        let (ds, report) =
+            read_csv_with_policy(schema(), input, IngestPolicy::skip(), None).unwrap();
+        assert_eq!(ds.len(), 2);
+        assert_eq!(report.rows_read, 7);
+        assert_eq!(report.rows_kept, 2);
+        assert_eq!(report.rows_skipped, 5);
+        assert_eq!(report.rows_quarantined, 0);
+        assert_eq!(report.count_of(IssueKind::NonNumeric), 1);
+        assert_eq!(report.count_of(IssueKind::FieldCount), 1);
+        assert_eq!(report.count_of(IssueKind::UnknownLabel), 1);
+        assert_eq!(report.count_of(IssueKind::NonFinite), 2);
+        // Issue lines are 1-based physical lines.
+        assert_eq!(report.issues()[0].line, 2);
+        assert_eq!(report.issues()[1].line, 4);
+    }
+
+    #[test]
+    fn quarantine_policy_writes_bad_lines_to_sink() {
+        let input = b"age,group\nbad,A\n1.0,A\n2.0,Z\n" as &[u8];
+        let mut sink = Vec::new();
+        let (ds, report) = read_csv_with_policy(
+            schema(),
+            input,
+            IngestPolicy::quarantine(),
+            Some(&mut sink),
+        )
+        .unwrap();
+        assert_eq!(ds.len(), 1);
+        assert_eq!(report.rows_skipped, 2);
+        assert_eq!(report.rows_quarantined, 2);
+        assert_eq!(String::from_utf8(sink).unwrap(), "bad,A\n2.0,Z\n");
+    }
+
+    #[test]
+    fn max_bad_fraction_is_enforced() {
+        let input = b"age,group\nbad,A\n1.0,A\n2.0,A\n3.0,A\n" as &[u8];
+        // 1 of 4 rows bad = 25%: passes a 30% cap, trips a 20% cap.
+        let lenient = IngestPolicy::Skip { max_bad_fraction: 0.3 };
+        assert!(read_csv_with_policy(schema(), input, lenient, None).is_ok());
+        let tight = IngestPolicy::Skip { max_bad_fraction: 0.2 };
+        let err = read_csv_with_policy(schema(), input, tight, None).unwrap_err();
+        assert_eq!(
+            err,
+            DataError::TooManyBadRows { skipped: 1, read: 4, max_bad_fraction: 0.2 }
+        );
+    }
+
+    #[test]
+    fn out_of_domain_quant_values_are_clamped_and_counted() {
+        let input = b"age,group\n150.0,A\n-3.0,other\n50.0,A\n" as &[u8];
+        let (ds, report) =
+            read_csv_with_policy(schema(), input, IngestPolicy::skip(), None).unwrap();
+        assert_eq!(ds.len(), 3);
+        assert_eq!(report.clamped_values, 2);
+        assert_eq!(ds.row(0).unwrap().quant(0), 100.0);
+        assert_eq!(ds.row(1).unwrap().quant(0), 0.0);
+        assert_eq!(ds.row(2).unwrap().quant(0), 50.0);
+        // Clamping is a repair, not a bad row.
+        assert_eq!(report.rows_skipped, 0);
+        assert!(!report.is_clean());
+    }
+
+    #[test]
+    fn strict_policy_matches_plain_read_csv() {
+        let input = b"age,group\n1.0,A\nbad,A\n" as &[u8];
+        let via_policy =
+            read_csv_with_policy(schema(), input, IngestPolicy::Strict, None).unwrap_err();
+        let via_plain = read_csv(schema(), input).unwrap_err();
+        assert_eq!(via_policy, via_plain);
+        assert!(matches!(via_policy, DataError::Parse { line: 3, .. }));
+    }
+
+    #[test]
+    fn inference_skips_bad_rows_under_lenient_policy() {
+        let mut text = String::from("age,group\n");
+        for i in 0..20 {
+            text.push_str(&format!("{}.5,{}\n", 20 + i, if i % 2 == 0 { "A" } else { "B" }));
+        }
+        text.push_str("7.5\n"); // truncated row
+        assert!(infer_schema(text.as_bytes(), 5).is_err());
+        let (schema, report) =
+            infer_schema_with_policy(text.as_bytes(), 5, IngestPolicy::skip()).unwrap();
+        assert_eq!(schema.arity(), 2);
+        assert_eq!(report.rows_skipped, 1);
+        assert_eq!(report.count_of(IssueKind::FieldCount), 1);
+    }
+
+    #[test]
+    fn lenient_inference_keeps_mostly_numeric_columns_quantitative() {
+        let mut text = String::from("age,group\n");
+        for i in 0..20 {
+            text.push_str(&format!("{}.5,{}\n", 20 + i, if i % 2 == 0 { "A" } else { "B" }));
+        }
+        text.push_str("garbage,A\n"); // stray non-numeric age
+        // Strict inference refuses to call the column quantitative: with
+        // 21 distinct values it cannot be categorical either, so the
+        // schema is unusable.
+        assert!(infer_schema(text.as_bytes(), 5).is_err());
+        // Lenient inference keeps `age` quantitative; the garbage row is
+        // then rejected per-row by the load pass.
+        let (schema, _) =
+            infer_schema_with_policy(text.as_bytes(), 5, IngestPolicy::skip()).unwrap();
+        assert!(matches!(
+            schema.attribute(0).unwrap().kind,
+            AttrKind::Quantitative { .. }
+        ));
+        let (ds, report) =
+            read_csv_with_policy(schema, text.as_bytes(), IngestPolicy::skip(), None).unwrap();
+        assert_eq!(ds.len(), 20);
+        assert_eq!(report.rows_skipped, 1);
+        assert_eq!(report.count_of(IssueKind::NonNumeric), 1);
+        // A column where garbage is the majority still turns categorical.
+        let text = "x,group\na,A\nb,B\nc,A\n1.0,B\n";
+        let (schema, _) =
+            infer_schema_with_policy(text.as_bytes(), 8, IngestPolicy::skip()).unwrap();
+        assert!(matches!(
+            schema.attribute(0).unwrap().kind,
+            AttrKind::Categorical { .. }
+        ));
+    }
+
+    #[test]
+    fn inferred_load_with_policy_reports_load_pass() {
+        let dir = std::env::temp_dir().join("arcs-ingest-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("dirty.csv");
+        let mut text = String::from("age,group\n");
+        for i in 0..20 {
+            text.push_str(&format!("{},{}\n", 20 + i, if i % 2 == 0 { "A" } else { "B" }));
+        }
+        text.push_str("oops\n");
+        std::fs::write(&path, &text).unwrap();
+        let (ds, report) =
+            load_csv_inferred_with_policy(&path, 5, IngestPolicy::skip(), None).unwrap();
+        assert_eq!(ds.len(), 20);
+        assert_eq!(report.rows_kept, 20);
+        assert_eq!(report.rows_skipped, 1);
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

@@ -54,6 +54,15 @@ pub enum DataError {
     Io(String),
     /// A generator or sampler was configured with invalid parameters.
     InvalidConfig(String),
+    /// A lenient ingest run skipped more rows than its policy allows.
+    TooManyBadRows {
+        /// Rows that failed to parse or validate.
+        skipped: usize,
+        /// Total data rows read (kept + skipped).
+        read: usize,
+        /// The configured ceiling on `skipped / read`.
+        max_bad_fraction: f64,
+    },
 }
 
 impl fmt::Display for DataError {
@@ -82,6 +91,13 @@ impl fmt::Display for DataError {
             DataError::Parse { line, message } => write!(f, "parse error at line {line}: {message}"),
             DataError::Io(message) => write!(f, "I/O error: {message}"),
             DataError::InvalidConfig(message) => write!(f, "invalid configuration: {message}"),
+            DataError::TooManyBadRows { skipped, read, max_bad_fraction } => {
+                write!(
+                    f,
+                    "too many bad rows: {skipped} of {read} skipped (limit {:.1}%)",
+                    max_bad_fraction * 100.0
+                )
+            }
         }
     }
 }

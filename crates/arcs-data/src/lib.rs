@@ -28,6 +28,7 @@ pub mod csv;
 pub mod dataset;
 pub mod error;
 pub mod generator;
+pub mod ingest;
 pub mod sample;
 pub mod schema;
 pub mod stats;
@@ -36,5 +37,6 @@ pub mod tuple;
 
 pub use dataset::Dataset;
 pub use error::DataError;
+pub use ingest::{IngestIssue, IngestPolicy, IngestReport, IssueKind};
 pub use schema::{AttrKind, Attribute, Schema};
 pub use tuple::{Tuple, Value};

@@ -46,6 +46,33 @@ impl AttrKind {
             AttrKind::Quantitative { .. } => None,
         }
     }
+
+    /// The `[min, max]` domain of a quantitative attribute, `None` for
+    /// categorical.
+    pub fn quant_domain(&self) -> Option<(f64, f64)> {
+        match self {
+            AttrKind::Quantitative { min, max } => Some((*min, *max)),
+            AttrKind::Categorical { .. } => None,
+        }
+    }
+
+    /// Clamps a finite quantitative value into the attribute's declared
+    /// domain. Returns `(value, clamped?)`; categorical attributes pass the
+    /// value through untouched.
+    pub fn clamp_quant(&self, v: f64) -> (f64, bool) {
+        match self {
+            AttrKind::Quantitative { min, max } => {
+                if v < *min {
+                    (*min, true)
+                } else if v > *max {
+                    (*max, true)
+                } else {
+                    (v, false)
+                }
+            }
+            AttrKind::Categorical { .. } => (v, false),
+        }
+    }
 }
 
 /// A named attribute within a [`Schema`].

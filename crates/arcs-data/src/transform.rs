@@ -78,7 +78,7 @@ pub fn discretize(
                 ));
             }
             let mut values = dataset.quant_column(idx)?;
-            values.sort_by(|a, b| a.partial_cmp(b).expect("finite values"));
+            values.sort_by(f64::total_cmp);
             let len = values.len();
             let mut cuts: Vec<f64> = (1..*n)
                 .map(|i| values[(i * len / *n).min(len - 1)])

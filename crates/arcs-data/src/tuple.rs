@@ -61,6 +61,18 @@ impl Tuple {
     /// Creates a tuple, checking arity and per-attribute type/range
     /// conformance against `schema`.
     pub fn validated(values: Vec<Value>, schema: &Schema) -> Result<Self, DataError> {
+        Self::check_values(&values, schema)?;
+        Ok(Tuple::new(values))
+    }
+
+    /// Validates an already-built tuple against `schema` without consuming
+    /// it — the check [`Tuple::validated`] performs, usable on untrusted
+    /// tuples arriving from a stream.
+    pub fn check_against(&self, schema: &Schema) -> Result<(), DataError> {
+        Self::check_values(&self.values, schema)
+    }
+
+    fn check_values(values: &[Value], schema: &Schema) -> Result<(), DataError> {
         if values.len() != schema.arity() {
             return Err(DataError::ArityMismatch {
                 expected: schema.arity(),
@@ -100,7 +112,7 @@ impl Tuple {
                 }
             }
         }
-        Ok(Tuple::new(values))
+        Ok(())
     }
 
     /// Number of values.

@@ -46,11 +46,15 @@ pub use arcs_data as data;
 pub mod prelude {
     pub use arcs_classifier::{DecisionTree, RuleSet, RulesConfig, SliqConfig, SliqTree, TreeConfig};
     pub use arcs_core::{
-        Arcs, ArcsConfig, ArcsError, BinArray, BinMap, BinnedRule, Binner, BinningStrategy,
-        BitOpConfig, ClusteredRule, ErrorCounts, Grid, MdlScore, MdlWeights, OptimizerConfig,
-        Rect, Segmentation, SmoothConfig, Thresholds,
+        Arcs, ArcsConfig, ArcsError, BadTuplePolicy, BinArray, BinMap, BinnedRule, Binner,
+        BinningStrategy, BitOpConfig, CheckpointSpec, ClusteredRule, ErrorCounts, Grid,
+        MdlScore, MdlWeights, OptimizerConfig, Rect, Segmentation, SmoothConfig, StreamReport,
+        Thresholds,
     };
     pub use arcs_data::agrawal::AgrawalFunction;
     pub use arcs_data::generator::{AgrawalGenerator, GeneratorConfig};
-    pub use arcs_data::{AttrKind, Attribute, DataError, Dataset, Schema, Tuple, Value};
+    pub use arcs_data::{
+        AttrKind, Attribute, DataError, Dataset, IngestIssue, IngestPolicy, IngestReport,
+        IssueKind, Schema, Tuple, Value,
+    };
 }

@@ -1,0 +1,238 @@
+//! Robust-ingest properties: randomly corrupted CSV bytes must make the
+//! Strict policy error, must never panic (or mis-count) the lenient
+//! policies, and an interrupted checkpointed binning pass must resume to
+//! a bit-identical `BinArray`.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+use arcs::data::csv::{read_csv, read_csv_with_policy};
+use arcs::prelude::*;
+
+fn schema() -> Schema {
+    Schema::new(vec![
+        Attribute::quantitative("age", 0.0, 100.0),
+        Attribute::categorical("group", ["A", "B"]),
+    ])
+    .unwrap()
+}
+
+/// One injectable corruption: the raw line and the issue kind the report
+/// must attribute it to.
+fn bad_line(kind: u8) -> (&'static str, IssueKind) {
+    match kind % 5 {
+        0 => ("42.0", IssueKind::FieldCount),      // truncated row
+        1 => ("abc,A", IssueKind::NonNumeric),     // garbage number
+        2 => ("NaN,A", IssueKind::NonFinite),      // parses, not finite
+        3 => ("inf,B", IssueKind::NonFinite),
+        _ => ("42.0,Z", IssueKind::UnknownLabel),  // out-of-range category
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Corruptions injected at random positions: Strict errors on the
+    /// first bad line; Skip and Quarantine never panic, keep exactly the
+    /// clean rows, and the report counts match the injections exactly —
+    /// per kind, per line, and in the quarantine sink.
+    #[test]
+    fn corrupted_csv_counts_match_injections(
+        n_clean in 1usize..80,
+        injections in vec((0usize..200, 0u8..5), 0..25),
+    ) {
+        // Clean rows interleaved with tagged corruptions.
+        let mut lines: Vec<(String, Option<IssueKind>)> = (0..n_clean)
+            .map(|i| {
+                let label = if i % 2 == 0 { "A" } else { "B" };
+                (format!("{}.5,{label}", i % 99), None)
+            })
+            .collect();
+        for &(pos, kind) in &injections {
+            let (line, k) = bad_line(kind);
+            let idx = pos % (lines.len() + 1);
+            lines.insert(idx, (line.to_string(), Some(k)));
+        }
+        let mut csv = String::from("age,group\n");
+        for (l, _) in &lines {
+            csv.push_str(l);
+            csv.push('\n');
+        }
+        let n_bad = lines.iter().filter(|(_, k)| k.is_some()).count();
+
+        // Strict: the first corruption aborts with its 1-based file line
+        // (data starts on line 2, after the header).
+        let strict = read_csv(schema(), csv.as_bytes());
+        if n_bad == 0 {
+            prop_assert!(strict.is_ok());
+        } else {
+            let first_bad =
+                lines.iter().position(|(_, k)| k.is_some()).unwrap() + 2;
+            match strict {
+                Err(DataError::Parse { line, .. }) => prop_assert_eq!(line, first_bad),
+                other => prop_assert!(false, "expected Parse error, got ok={}", other.is_ok()),
+            }
+        }
+
+        // Skip: completes, keeps exactly the clean rows, exact counts.
+        let (ds, report) =
+            read_csv_with_policy(schema(), csv.as_bytes(), IngestPolicy::skip(), None)
+                .unwrap();
+        prop_assert_eq!(ds.len(), n_clean);
+        prop_assert_eq!(report.rows_read, n_clean + n_bad);
+        prop_assert_eq!(report.rows_kept, n_clean);
+        prop_assert_eq!(report.rows_skipped, n_bad);
+        prop_assert_eq!(report.rows_quarantined, 0);
+        for kind in IssueKind::ALL {
+            let expected = lines.iter().filter(|(_, k)| *k == Some(kind)).count();
+            prop_assert_eq!(report.count_of(kind), expected, "kind {}", kind);
+        }
+        // Every recorded issue points at the right file line.
+        for issue in report.issues() {
+            let (_, k) = &lines[issue.line - 2];
+            prop_assert_eq!(Some(issue.kind), *k);
+        }
+
+        // Quarantine: the sink holds exactly the raw bad lines, in order.
+        let mut sink = Vec::new();
+        let (ds2, report2) = read_csv_with_policy(
+            schema(),
+            csv.as_bytes(),
+            IngestPolicy::quarantine(),
+            Some(&mut sink),
+        )
+        .unwrap();
+        prop_assert_eq!(ds2.len(), n_clean);
+        prop_assert_eq!(report2.rows_quarantined, n_bad);
+        prop_assert_eq!(report2.rows_skipped, n_bad);
+        let expected: String = lines
+            .iter()
+            .filter(|(_, k)| k.is_some())
+            .map(|(l, _)| format!("{l}\n"))
+            .collect();
+        prop_assert_eq!(String::from_utf8(sink).unwrap(), expected);
+    }
+
+    /// The bad-row ceiling is exact: loading succeeds iff the bad fraction
+    /// does not exceed `max_bad_fraction`.
+    #[test]
+    fn max_bad_fraction_threshold_is_exact(
+        n_clean in 1usize..40,
+        n_bad in 0usize..40,
+        ceiling in 0.0f64..1.0,
+    ) {
+        let mut csv = String::from("age,group\n");
+        for i in 0..n_clean {
+            csv.push_str(&format!("{}.5,A\n", i % 99));
+        }
+        for _ in 0..n_bad {
+            csv.push_str("abc,A\n");
+        }
+        let policy = IngestPolicy::Skip { max_bad_fraction: ceiling };
+        let result = read_csv_with_policy(schema(), csv.as_bytes(), policy, None);
+        let fraction = n_bad as f64 / (n_clean + n_bad) as f64;
+        if fraction > ceiling {
+            let is_too_many = matches!(result, Err(DataError::TooManyBadRows { .. }));
+            prop_assert!(is_too_many);
+        } else {
+            prop_assert!(result.is_ok());
+        }
+    }
+}
+
+/// The kill-and-resume guarantee on real workload data: a binning pass
+/// killed mid-stream, then resumed from its last checkpoint over the same
+/// stream, produces a `BinArray` bit-identical to an uninterrupted run.
+#[test]
+fn interrupted_bin_stream_resumes_bit_identical() {
+    let mut gen = AgrawalGenerator::new(GeneratorConfig::paper_defaults(7)).unwrap();
+    let ds = gen.generate(5_000);
+    let binner = Binner::equi_width(ds.schema(), "age", "salary", "group", 30, 30).unwrap();
+    let reference = binner.bin_stream(ds.iter().cloned()).unwrap();
+
+    let dir = std::env::temp_dir().join("arcs-resume-e2e");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("e2e.ckpt");
+    std::fs::remove_file(&path).ok();
+    let spec = CheckpointSpec { path: &path, every: 1_000 };
+
+    // The process "dies" after 2_500 tuples — past the checkpoint at
+    // 2_000 — and its in-memory result is lost.
+    let _ = binner
+        .bin_stream_checkpointed(ds.iter().take(2_500).cloned(), BadTuplePolicy::Fail, &spec)
+        .unwrap();
+
+    // Restart over the same stream: the checkpoint (written at 2_500 on
+    // stream end) is honoured and the tail replayed.
+    let (resumed, report) = binner
+        .bin_stream_checkpointed(ds.iter().cloned(), BadTuplePolicy::Fail, &spec)
+        .unwrap();
+    assert_eq!(report.resumed_from, 2_500);
+    assert_eq!(report.seen, 5_000);
+    assert_eq!(resumed, reference);
+
+    // Bit-identical serialized form, not just structural equality.
+    let (mut a, mut b) = (Vec::new(), Vec::new());
+    reference.write_to(&mut a).unwrap();
+    resumed.write_to(&mut b).unwrap();
+    assert_eq!(a, b);
+
+    // The resumed array drives the pipeline to the same segmentation as
+    // an in-memory run over the full dataset.
+    let config = ArcsConfig { n_x_bins: 30, n_y_bins: 30, ..ArcsConfig::default() };
+    let arcs = Arcs::new(config).unwrap();
+    let from_resumed = arcs
+        .segment_binned(&resumed, &binner, &ds, "age", "salary", "group", "A")
+        .unwrap();
+    let from_reference = arcs
+        .segment_binned(&reference, &binner, &ds, "age", "salary", "group", "A")
+        .unwrap();
+    assert_eq!(from_resumed, from_reference);
+
+    std::fs::remove_file(&path).ok();
+}
+
+/// Acceptance scenario: a dataset whose qualifying cells are always
+/// pruned away yields a *degraded* segmentation (with its relaxation
+/// steps recorded) instead of `NoSegmentation`.
+#[test]
+fn too_tight_thresholds_degrade_instead_of_failing() {
+    let schema = Schema::new(vec![
+        Attribute::quantitative("x", 0.0, 10.0),
+        Attribute::quantitative("y", 0.0, 10.0),
+        Attribute::categorical("g", ["A", "other"]),
+    ])
+    .unwrap();
+    let mut ds = Dataset::new(schema);
+    for _ in 0..30 {
+        ds.push(vec![Value::Quant(5.5), Value::Quant(5.5), Value::Cat(0)]).unwrap();
+    }
+    for i in 0..300 {
+        ds.push(vec![
+            Value::Quant((i % 10) as f64 + 0.5),
+            Value::Quant(((i / 10) % 10) as f64 + 0.5),
+            Value::Cat(1),
+        ])
+        .unwrap();
+    }
+    let mut config = ArcsConfig { n_x_bins: 10, n_y_bins: 10, ..ArcsConfig::default() };
+    config.optimizer.bitop = BitOpConfig {
+        min_area_fraction: 0.0,
+        min_area_cells: 4, // group A only ever fills one cell
+        max_clusters: 100,
+        threads: 1,
+    };
+    let arcs = Arcs::new(config.clone()).unwrap();
+    let seg = arcs.segment_dataset(&ds, "x", "y", "g", "A").unwrap();
+    assert!(seg.degraded);
+    assert!(!seg.relaxation_steps.is_empty());
+    assert!(!seg.clusters.is_empty());
+
+    // With degradation off the same dataset is a hard NoSegmentation.
+    config.degrade_on_no_segmentation = false;
+    let strict = Arcs::new(config).unwrap();
+    assert!(matches!(
+        strict.segment_dataset(&ds, "x", "y", "g", "A"),
+        Err(ArcsError::NoSegmentation)
+    ));
+}
