@@ -10,7 +10,7 @@ use arcs_core::engine::rule_grid;
 use arcs_core::optimizer::ThresholdLattice;
 use arcs_core::render::render_clusters;
 use arcs_core::select::{rank_attributes, select_pair_joint};
-use arcs_core::{Arcs, ArcsConfig, ArcsError, Binner};
+use arcs_core::{Arcs, ArcsConfig, ArcsError, Binner, SegmentRequest};
 use arcs_data::csv::{load_csv_inferred_with_policy, save_csv};
 use arcs_data::generator::{AgrawalGenerator, GeneratorConfig};
 use arcs_data::schema::AttrKind;
@@ -110,6 +110,7 @@ const SEGMENT_USAGE: &str = "\
 arcs segment <FILE> --criterion <ATTR> --group <LABEL>
              [--x <ATTR> --y <ATTR>]      (default: auto-select by joint MI)
              [--bins 50] [--sample 2000] [--seed 0]
+             [--threads <N>] [--stats json]
              [--max-categories 16] [--grid] [--svg <FILE>] [--categorical <ATTR>]
              [--on-bad-row fail|skip|quarantine=<FILE>] [--max-bad-fraction 1.0]
              [--checkpoint <FILE>] [--resume <FILE>] [--checkpoint-every 100000]
@@ -117,6 +118,13 @@ arcs segment <FILE> --criterion <ATTR> --group <LABEL>
 Loads a CSV (schema inferred), segments the (x, y) space for the group,
 and prints the clustered association rules. With --categorical, uses the
 density-ordered categorical x-axis extension instead of --x.
+
+Execution and observability:
+  --threads N         worker threads for binning and the threshold search
+                      (default: all available cores); results are
+                      bit-identical at any thread count
+  --stats json        append a one-line JSON report of per-stage timings
+                      and pipeline work counters to the output
 
 Robustness options:
   --on-bad-row        fail on the first malformed row (default), skip bad
@@ -256,6 +264,8 @@ pub fn segment(argv: &[String]) -> Result<String, CliError> {
             "bins",
             "sample",
             "seed",
+            "threads",
+            "stats",
             "max-categories",
             "categorical",
             "svg",
@@ -274,6 +284,25 @@ pub fn segment(argv: &[String]) -> Result<String, CliError> {
     let criterion = args.require("criterion")?;
     let group = args.require("group")?;
     let bins: usize = args.get_or("bins", 50)?;
+    let want_stats = match args.get("stats") {
+        None => false,
+        Some("json") => true,
+        Some(other) => {
+            return Err(CliError::Usage(format!(
+                "--stats supports only `json`, got `{other}`"
+            )))
+        }
+    };
+    let threads: Option<usize> = match args.get("threads") {
+        None => None,
+        Some(_) => {
+            let t: usize = args.get_or("threads", 0)?;
+            if t == 0 {
+                return Err(CliError::Usage("--threads must be > 0".into()));
+            }
+            Some(t)
+        }
+    };
 
     let mut out = String::new();
     ingest_summary(&mut out, &report);
@@ -327,13 +356,17 @@ pub fn segment(argv: &[String]) -> Result<String, CliError> {
         }
     };
 
-    let config = ArcsConfig {
+    let mut config = ArcsConfig {
         n_x_bins: bins,
         n_y_bins: bins,
         sample_size: args.get_or("sample", 2_000)?,
         seed: args.get_or("seed", 0u64)?,
         ..ArcsConfig::default()
     };
+    if let Some(t) = threads {
+        config.threads = t;
+        config.optimizer.threads = t;
+    }
     let arcs = Arcs::new(config).map_err(run_err)?;
 
     // Checkpointed binning: bin as a stream with periodic snapshots, so an
@@ -358,7 +391,8 @@ pub fn segment(argv: &[String]) -> Result<String, CliError> {
         }
     };
 
-    let seg = if let Some(ckpt) = ckpt_path {
+    let request = SegmentRequest::new(&x_attr, &y_attr, criterion).group(group);
+    let (seg, stats_json) = if let Some(ckpt) = ckpt_path {
         let every: u64 = args.get_or("checkpoint-every", 100_000u64)?;
         let binner = Binner::equi_width(ds.schema(), &x_attr, &y_attr, criterion, bins, bins)
             .map_err(pipeline_err)?;
@@ -373,7 +407,7 @@ pub fn segment(argv: &[String]) -> Result<String, CliError> {
                 stream.resumed_from
             );
         }
-        // The same verification sample segment_dataset would draw.
+        // The same verification sample Arcs::open would draw.
         use rand::SeedableRng as _;
         let mut rng = rand::rngs::StdRng::seed_from_u64(arcs.config().seed);
         let k = arcs.config().sample_size.min(ds.len());
@@ -382,11 +416,14 @@ pub fn segment(argv: &[String]) -> Result<String, CliError> {
         for row in rows {
             sample.push_tuple(row.clone());
         }
-        arcs.segment_binned(&array, &binner, &sample, &x_attr, &y_attr, criterion, group)
-            .map_err(pipeline_err)?
+        let mut session =
+            arcs.open_binned(array, binner, &sample, request).map_err(pipeline_err)?;
+        let seg = session.segment().map_err(pipeline_err)?;
+        (seg, want_stats.then(|| session.report().to_json()))
     } else {
-        arcs.segment_dataset(&ds, &x_attr, &y_attr, criterion, group)
-            .map_err(pipeline_err)?
+        let mut session = arcs.open(&ds, request).map_err(pipeline_err)?;
+        let seg = session.segment().map_err(pipeline_err)?;
+        (seg, want_stats.then(|| session.report().to_json()))
     };
 
     if seg.degraded {
@@ -447,6 +484,9 @@ pub fn segment(argv: &[String]) -> Result<String, CliError> {
             std::fs::write(svg_path, svg).map_err(run_err)?;
             let _ = writeln!(out, "wrote cluster plot to {svg_path}");
         }
+    }
+    if let Some(json) = stats_json {
+        let _ = writeln!(out, "{json}");
     }
     Ok(out)
 }
@@ -817,6 +857,63 @@ mod tests {
         std::fs::remove_file(&clean).ok();
         std::fs::remove_file(&dirty).ok();
         std::fs::remove_file(&qfile).ok();
+    }
+
+    /// `--stats json` appends a machine-readable pipeline report; thread
+    /// count must not change the mined rules.
+    #[test]
+    fn segment_stats_json_and_threads() {
+        let path = tmp("f2_stats.csv");
+        let path_str = path.to_str().expect("utf-8 path");
+        dispatch(&argv(&[
+            "generate", "--out", path_str, "--n", "12000", "--seed", "5",
+        ]))
+        .unwrap();
+        let base = [
+            "segment", path_str, "--x", "age", "--y", "salary", "--criterion",
+            "group", "--group", "A", "--bins", "30",
+        ];
+
+        let mut stats_args = base.to_vec();
+        stats_args.extend(["--stats", "json", "--threads", "4"]);
+        let out = dispatch(&argv(&stats_args)).unwrap();
+        let json_line = out
+            .lines()
+            .find(|l| l.starts_with('{'))
+            .unwrap_or_else(|| panic!("no JSON stats line in: {out}"));
+        for key in [
+            "\"schema_version\":1",
+            "\"threads\":4",
+            "\"timings_ms\"",
+            "\"binning\"",
+            "\"counters\"",
+            "\"tuples_binned\":12000",
+            "\"rules_emitted\"",
+        ] {
+            assert!(json_line.contains(key), "missing {key} in: {json_line}");
+        }
+
+        // Same rules at 1 and 4 threads; stats line stripped (timings vary).
+        let body = |s: &str| -> String {
+            s.lines().filter(|l| !l.starts_with('{')).collect::<Vec<_>>().join("\n")
+        };
+        let mut t1 = base.to_vec();
+        t1.extend(["--threads", "1"]);
+        let mut t4 = base.to_vec();
+        t4.extend(["--threads", "4", "--stats", "json"]);
+        assert_eq!(
+            body(&dispatch(&argv(&t1)).unwrap()),
+            body(&dispatch(&argv(&t4)).unwrap())
+        );
+
+        // Bad values are usage errors.
+        let mut bad_stats = base.to_vec();
+        bad_stats.extend(["--stats", "yaml"]);
+        assert!(matches!(dispatch(&argv(&bad_stats)), Err(CliError::Usage(_))));
+        let mut bad_threads = base.to_vec();
+        bad_threads.extend(["--threads", "0"]);
+        assert!(matches!(dispatch(&argv(&bad_threads)), Err(CliError::Usage(_))));
+        std::fs::remove_file(&path).ok();
     }
 
     /// The --checkpoint/--resume flags: an interrupted binning pass picks

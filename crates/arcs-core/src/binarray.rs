@@ -202,6 +202,39 @@ impl BinArray {
         })
     }
 
+    /// Adds every count of `other` into `self`. Dimensions must match.
+    ///
+    /// Counts are element-wise `u32` sums, so merging the per-shard
+    /// arrays of a parallel binning run is commutative and associative:
+    /// any merge order yields an array bit-identical to a sequential
+    /// single-threaded pass over the same tuples. Overflowing a cell
+    /// counter is reported rather than wrapped.
+    pub fn merge(&mut self, other: &BinArray) -> Result<(), ArcsError> {
+        if self.nx != other.nx || self.ny != other.ny || self.nseg != other.nseg {
+            return Err(ArcsError::InvalidConfig(format!(
+                "cannot merge {}x{}x{} bin array into {}x{}x{}",
+                other.nx, other.ny, other.nseg, self.nx, self.ny, self.nseg
+            )));
+        }
+        for (slot, &add) in self.counts.iter_mut().zip(&other.counts) {
+            *slot = slot.checked_add(add).ok_or_else(|| {
+                ArcsError::InvalidConfig("cell counter overflow while merging bin arrays".into())
+            })?;
+        }
+        self.n_tuples += other.n_tuples;
+        Ok(())
+    }
+
+    /// FNV-1a checksum over the array's canonical serialised form
+    /// (dimensions, tuple count, and every cell counter). Two arrays have
+    /// equal checksums iff their snapshots are byte-identical — the
+    /// determinism suite uses this to assert parallel ≡ sequential.
+    pub fn checksum(&self) -> u64 {
+        let mut bytes = Vec::with_capacity(self.memory_bytes() + 48);
+        self.write_to(&mut bytes).expect("Vec write cannot fail");
+        fnv1a64(&[&bytes])
+    }
+
     /// Heap memory used by the count array, in bytes. The paper's
     /// constant-memory claim (§4.3) rests on this being independent of the
     /// number of tuples.
@@ -469,6 +502,58 @@ mod tests {
         huge[8..16].copy_from_slice(&u64::MAX.to_le_bytes());
         let err = BinArray::read_from(&mut &huge[..]).unwrap_err();
         assert!(matches!(err, ArcsError::Checkpoint { .. }));
+    }
+
+    #[test]
+    fn merge_is_equivalent_to_sequential_adds() {
+        let mut whole = BinArray::new(4, 3, 2).unwrap();
+        let mut left = BinArray::new(4, 3, 2).unwrap();
+        let mut right = BinArray::new(4, 3, 2).unwrap();
+        for i in 0..200u32 {
+            let (x, y, g) = ((i % 4) as usize, (i % 3) as usize, i % 2);
+            whole.add(x, y, g);
+            if i < 80 {
+                left.add(x, y, g);
+            } else {
+                right.add(x, y, g);
+            }
+        }
+        whole.add_background(0, 0);
+        left.add_background(0, 0);
+        left.merge(&right).unwrap();
+        assert_eq!(left, whole);
+        assert_eq!(left.checksum(), whole.checksum());
+    }
+
+    #[test]
+    fn merge_rejects_dimension_mismatch() {
+        let mut a = BinArray::new(4, 3, 2).unwrap();
+        let b = BinArray::new(4, 3, 3).unwrap();
+        assert!(matches!(a.merge(&b), Err(ArcsError::InvalidConfig(_))));
+        let c = BinArray::new(3, 4, 2).unwrap();
+        assert!(matches!(a.merge(&c), Err(ArcsError::InvalidConfig(_))));
+    }
+
+    #[test]
+    fn merge_reports_counter_overflow() {
+        let mut a = BinArray::new(1, 1, 1).unwrap();
+        let mut b = BinArray::new(1, 1, 1).unwrap();
+        for _ in 0..3 {
+            a.add(0, 0, 0);
+            b.add(0, 0, 0);
+        }
+        // Force the cell total to the brink of overflow.
+        a.counts[1] = u32::MAX - 1;
+        assert!(matches!(a.merge(&b), Err(ArcsError::InvalidConfig(_))));
+    }
+
+    #[test]
+    fn checksum_distinguishes_different_contents() {
+        let mut a = populated_array();
+        let b = populated_array();
+        assert_eq!(a.checksum(), b.checksum());
+        a.add(0, 0, 0);
+        assert_ne!(a.checksum(), b.checksum());
     }
 
     #[test]

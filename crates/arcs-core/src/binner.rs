@@ -304,6 +304,118 @@ impl Binner {
         Ok(array)
     }
 
+    /// Bins an in-memory slice of rows across `threads` scoped workers.
+    ///
+    /// Each worker fills a *private* [`BinArray`] over one contiguous
+    /// chunk of `rows`; the shards are then merged in chunk order via
+    /// [`BinArray::merge`]. Because the merge is an element-wise sum, the
+    /// result is bit-identical to [`Binner::bin_rows`] regardless of
+    /// thread count or scheduling. Small inputs fall back to the
+    /// sequential path — sharding has no payoff below a few chunks' worth
+    /// of tuples.
+    pub fn bin_rows_parallel(&self, rows: &[Tuple], threads: usize) -> Result<BinArray, ArcsError> {
+        if threads == 0 {
+            return Err(ArcsError::InvalidConfig(
+                "binning thread count must be positive".into(),
+            ));
+        }
+        // Below this many rows per worker, thread spawn + merge overhead
+        // exceeds the binning work itself.
+        const MIN_ROWS_PER_WORKER: usize = 4_096;
+        let workers = threads.min(rows.len() / MIN_ROWS_PER_WORKER).max(1);
+        if workers == 1 {
+            return self.bin_rows(rows.iter());
+        }
+        let chunk = rows.len().div_ceil(workers);
+        let shards: Result<Vec<BinArray>, ArcsError> = std::thread::scope(|scope| {
+            let handles: Vec<_> = rows
+                .chunks(chunk)
+                .map(|shard| scope.spawn(move || self.bin_rows(shard.iter())))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("binning worker panicked"))
+                .collect()
+        });
+        let mut shards = shards?.into_iter();
+        let mut merged = shards.next().expect("at least one shard");
+        for shard in shards {
+            merged.merge(&shard)?;
+        }
+        Ok(merged)
+    }
+
+    /// Streams `tuples` into a fresh [`BinArray`] using `threads` scoped
+    /// workers fed over a bounded channel.
+    ///
+    /// The calling thread plays producer: it pulls the iterator in chunks
+    /// and hands each chunk to whichever worker is free; every worker
+    /// fills a private array, and the shards are merged deterministically
+    /// at the end (see [`BinArray::merge`]). The result is bit-identical
+    /// to [`Binner::bin_stream`] for any thread count. With `threads == 1`
+    /// this *is* [`Binner::bin_stream`].
+    pub fn bin_stream_parallel<I>(&self, tuples: I, threads: usize) -> Result<BinArray, ArcsError>
+    where
+        I: IntoIterator<Item = Tuple>,
+    {
+        if threads == 0 {
+            return Err(ArcsError::InvalidConfig(
+                "binning thread count must be positive".into(),
+            ));
+        }
+        if threads == 1 {
+            return self.bin_stream(tuples);
+        }
+        // Chunk size balances channel traffic (bigger = fewer sends)
+        // against producer/worker overlap (smaller = earlier start).
+        const CHUNK: usize = 16_384;
+        use std::sync::mpsc;
+        use std::sync::{Arc, Mutex};
+        let shards: Result<Vec<BinArray>, ArcsError> = std::thread::scope(|scope| {
+            let (tx, rx) = mpsc::sync_channel::<Vec<Tuple>>(threads * 2);
+            let rx = Arc::new(Mutex::new(rx));
+            let handles: Vec<_> = (0..threads)
+                .map(|_| {
+                    let rx = Arc::clone(&rx);
+                    scope.spawn(move || -> Result<BinArray, ArcsError> {
+                        let mut array = self.new_bin_array()?;
+                        loop {
+                            // Hold the lock only for the receive itself so
+                            // other workers can pick up chunks while this
+                            // one bins.
+                            let chunk = match rx.lock().expect("receiver lock").recv() {
+                                Ok(chunk) => chunk,
+                                Err(_) => break, // producer done
+                            };
+                            for tuple in &chunk {
+                                self.bin_into(tuple, &mut array);
+                            }
+                        }
+                        Ok(array)
+                    })
+                })
+                .collect();
+            let mut iter = tuples.into_iter();
+            loop {
+                let chunk: Vec<Tuple> = iter.by_ref().take(CHUNK).collect();
+                if chunk.is_empty() || tx.send(chunk).is_err() {
+                    break;
+                }
+            }
+            drop(tx);
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("binning worker panicked"))
+                .collect()
+        });
+        let mut shards = shards?.into_iter();
+        let mut merged = shards.next().expect("at least one worker");
+        for shard in shards {
+            merged.merge(&shard)?;
+        }
+        Ok(merged)
+    }
+
     /// Validates one untrusted tuple against this binner's requirements —
     /// arity, LHS kind and finiteness, criterion kind and range — and
     /// returns its `(x, y, group)` projection, or the issue that
@@ -680,6 +792,51 @@ mod tests {
         let s = schema();
         let b = Binner::equi_width(&s, "age", "salary", "group", 6, 10).unwrap();
         assert!(b.bin_stream_single_group(Vec::new(), 2).is_err());
+    }
+
+    #[test]
+    fn parallel_rows_match_sequential_bitwise() {
+        let s = schema();
+        let b = Binner::equi_width(&s, "age", "salary", "group", 6, 10).unwrap();
+        // Enough rows to clear the per-worker minimum and use real shards.
+        let tuples: Vec<Tuple> = (0..20_000)
+            .map(|i| tuple(20.0 + (i % 60) as f64, (i * 997 % 100_000) as f64, i % 2))
+            .collect();
+        let sequential = b.bin_rows(tuples.iter()).unwrap();
+        for threads in [1, 2, 3, 4, 7] {
+            let parallel = b.bin_rows_parallel(&tuples, threads).unwrap();
+            assert_eq!(parallel, sequential, "threads = {threads}");
+            assert_eq!(parallel.checksum(), sequential.checksum());
+        }
+        assert!(b.bin_rows_parallel(&tuples, 0).is_err());
+    }
+
+    #[test]
+    fn parallel_stream_matches_sequential_bitwise() {
+        let s = schema();
+        let b = Binner::equi_width(&s, "age", "salary", "group", 6, 10).unwrap();
+        let make = || {
+            (0..50_000)
+                .map(|i| tuple(20.0 + (i % 60) as f64, (i * 31 % 100_000) as f64, i % 2))
+        };
+        let sequential = b.bin_stream(make()).unwrap();
+        for threads in [1, 2, 4] {
+            let parallel = b.bin_stream_parallel(make(), threads).unwrap();
+            assert_eq!(parallel, sequential, "threads = {threads}");
+        }
+        assert!(b.bin_stream_parallel(make(), 0).is_err());
+    }
+
+    #[test]
+    fn parallel_rows_handle_tiny_and_empty_inputs() {
+        let s = schema();
+        let b = Binner::equi_width(&s, "age", "salary", "group", 6, 10).unwrap();
+        let empty: Vec<Tuple> = Vec::new();
+        assert_eq!(b.bin_rows_parallel(&empty, 4).unwrap().n_tuples(), 0);
+        let few = vec![tuple(25.0, 5_000.0, 0), tuple(75.0, 95_000.0, 1)];
+        let parallel = b.bin_rows_parallel(&few, 8).unwrap();
+        assert_eq!(parallel, b.bin_rows(few.iter()).unwrap());
+        assert_eq!(b.bin_stream_parallel(Vec::new(), 4).unwrap().n_tuples(), 0);
     }
 
     fn mixed_tuples() -> Vec<Tuple> {

@@ -37,8 +37,9 @@ pub struct BitOpConfig {
     /// thousands of 1-cell clusters when pruning is disabled.
     pub max_clusters: usize,
     /// Worker threads for candidate enumeration (paper §5 notes the
-    /// algorithm parallelises trivially). `1` = sequential; results are
-    /// identical either way.
+    /// algorithm parallelises trivially). Defaults to
+    /// [`available_parallelism`](std::thread::available_parallelism);
+    /// `1` = sequential. Results are bit-identical either way.
     pub threads: usize,
 }
 
@@ -48,7 +49,7 @@ impl Default for BitOpConfig {
             min_area_fraction: 0.01,
             min_area_cells: 1,
             max_clusters: 10_000,
-            threads: 1,
+            threads: crate::metrics::default_threads(),
         }
     }
 }
@@ -178,19 +179,40 @@ fn emit_runs(mask: &[u64], width: usize, y0: usize, y1: usize, out: &mut Vec<Rec
     });
 }
 
+/// Work counters from one greedy clustering run. Independent of thread
+/// count — both describe what was enumerated, not how it was scheduled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ClusterStats {
+    /// Candidate rectangles enumerated across all greedy iterations.
+    pub candidates_enumerated: u64,
+    /// Residual candidates below the prune threshold when the loop
+    /// terminated (§3.5) — the clusters the area prune suppressed.
+    pub clusters_pruned: u64,
+}
+
 /// Runs the full greedy BitOp clustering on a copy of `grid`: enumerate
 /// candidates, select the largest (ties: bottom-most, then left-most),
 /// clear it, repeat until the grid is empty or no candidate reaches the
 /// prune threshold.
 pub fn cluster(grid: &Grid, config: &BitOpConfig) -> Result<Vec<Rect>, ArcsError> {
+    cluster_with_stats(grid, config).map(|(clusters, _)| clusters)
+}
+
+/// [`cluster`] plus [`ClusterStats`] for the observability layer.
+pub fn cluster_with_stats(
+    grid: &Grid,
+    config: &BitOpConfig,
+) -> Result<(Vec<Rect>, ClusterStats), ArcsError> {
     config.validate()?;
     let min_area = config.min_area(grid.width(), grid.height());
     let mut work = grid.clone();
     let mut clusters = Vec::new();
+    let mut stats = ClusterStats::default();
 
     while !work.is_empty() && clusters.len() < config.max_clusters {
         let candidates = enumerate_candidates_parallel(&work, config.threads);
-        let best = candidates.into_iter().max_by(|a, b| {
+        stats.candidates_enumerated += candidates.len() as u64;
+        let best = candidates.iter().copied().max_by(|a, b| {
             a.area()
                 .cmp(&b.area())
                 .then(b.y0.cmp(&a.y0)) // prefer smaller y0
@@ -202,11 +224,16 @@ pub fn cluster(grid: &Grid, config: &BitOpConfig) -> Result<Vec<Rect>, ArcsError
                 work.clear_rect(rect);
                 clusters.push(rect);
             }
-            // §3.5: no sufficiently large cluster remains — terminate.
-            _ => break,
+            // §3.5: no sufficiently large cluster remains — terminate,
+            // recording how many residual candidates the prune suppressed.
+            _ => {
+                stats.clusters_pruned +=
+                    candidates.iter().filter(|r| r.area() < min_area).count() as u64;
+                break;
+            }
         }
     }
-    Ok(clusters)
+    Ok((clusters, stats))
 }
 
 #[cfg(test)]
@@ -412,6 +439,46 @@ mod tests {
         };
         let found = cluster(&grid, &config).unwrap();
         assert_eq!(found.len(), 5);
+    }
+
+    #[test]
+    fn default_threads_track_available_parallelism() {
+        assert_eq!(
+            BitOpConfig::default().threads,
+            crate::metrics::default_threads()
+        );
+        assert!(BitOpConfig::default().threads >= 1);
+    }
+
+    #[test]
+    fn stats_count_candidates_and_pruned_residue() {
+        // A 4x4 block plus an isolated speck; min area 2 prunes the speck.
+        let grid = Grid::parse(
+            "
+            ####....
+            ####...#
+            ####....
+            ####....
+            ",
+        )
+        .unwrap();
+        let config = BitOpConfig {
+            min_area_fraction: 0.0,
+            min_area_cells: 2,
+            max_clusters: 100,
+            threads: 1,
+        };
+        let (clusters, stats) = cluster_with_stats(&grid, &config).unwrap();
+        assert_eq!(clusters, vec![Rect { x0: 0, y0: 0, x1: 3, y1: 3 }]);
+        assert!(stats.candidates_enumerated >= 2);
+        assert_eq!(stats.clusters_pruned, 1);
+        // Stats are schedule-independent.
+        let (_, parallel_stats) =
+            cluster_with_stats(&grid, &BitOpConfig { threads: 4, ..config }).unwrap();
+        assert_eq!(stats, parallel_stats);
+        // Without pruning nothing is suppressed.
+        let (_, loose) = cluster_with_stats(&grid, &BitOpConfig::no_pruning()).unwrap();
+        assert_eq!(loose.clusters_pruned, 0);
     }
 
     #[test]

@@ -109,6 +109,25 @@ pub fn mine_rules(array: &BinArray, gk: u32, thresholds: Thresholds) -> Vec<Binn
 /// BitOp, §3.2: "the (i, j) pairs are then used to create a bitmap grid").
 pub fn rule_grid(array: &BinArray, gk: u32, thresholds: Thresholds) -> Result<Grid, ArcsError> {
     let mut grid = Grid::new(array.nx(), array.ny())?;
+    rule_grid_into(array, gk, thresholds, &mut grid)?;
+    Ok(grid)
+}
+
+/// [`rule_grid`] into a caller-owned buffer. The grid is resized only on
+/// dimension mismatch; otherwise its allocation is reused, which matters
+/// in the threshold search and in `segment_all_groups`, where the same
+/// array is re-mined once per lattice cell / criterion group.
+pub fn rule_grid_into(
+    array: &BinArray,
+    gk: u32,
+    thresholds: Thresholds,
+    grid: &mut Grid,
+) -> Result<(), ArcsError> {
+    if grid.width() != array.nx() || grid.height() != array.ny() {
+        *grid = Grid::new(array.nx(), array.ny())?;
+    } else {
+        grid.reset();
+    }
     let min_support_count = min_support_count(array, thresholds.min_support);
     for y in 0..array.ny() {
         for x in 0..array.nx() {
@@ -122,7 +141,7 @@ pub fn rule_grid(array: &BinArray, gk: u32, thresholds: Thresholds) -> Result<Gr
             }
         }
     }
-    Ok(grid)
+    Ok(())
 }
 
 /// Builds a grid of per-cell support values for group `gk` (used by
@@ -273,6 +292,22 @@ mod tests {
             let from_grid: std::collections::HashSet<_> = grid.iter_set().collect();
             assert_eq!(from_rules, from_grid, "thresholds ({s}, {c})");
         }
+    }
+
+    #[test]
+    fn rule_grid_into_reuses_a_dirty_buffer() {
+        let ba = demo_array();
+        let loose = Thresholds::new(0.0, 0.0).unwrap();
+        let tight = Thresholds::new(0.1, 0.5).unwrap();
+        // Fill the buffer at loose thresholds, then re-mine tight into the
+        // same (now dirty) buffer: stale bits must not survive.
+        let mut buffer = rule_grid(&ba, 0, loose).unwrap();
+        rule_grid_into(&ba, 0, tight, &mut buffer).unwrap();
+        assert_eq!(buffer, rule_grid(&ba, 0, tight).unwrap());
+        // A wrong-shaped buffer is replaced, not misused.
+        let mut wrong = Grid::new(2, 2).unwrap();
+        rule_grid_into(&ba, 0, tight, &mut wrong).unwrap();
+        assert_eq!(wrong, rule_grid(&ba, 0, tight).unwrap());
     }
 
     #[test]

@@ -21,7 +21,7 @@ use crate::binarray::BinArray;
 use crate::binner::Binner;
 use crate::engine::Thresholds;
 use crate::error::ArcsError;
-use crate::optimizer::{evaluate, Evaluation, OptimizeResult, OptimizerConfig, ThresholdLattice};
+use crate::optimizer::{evaluate, Evaluation, OptimizeResult, OptimizerConfig, SearchStats, ThresholdLattice};
 
 /// Factorial-design search parameters.
 #[derive(Debug, Clone, PartialEq)]
@@ -148,7 +148,11 @@ pub fn factorial_search(
     }
 
     match best.or(best_any) {
-        Some(best) => Ok(OptimizeResult { best, trace }),
+        Some(best) => Ok(OptimizeResult {
+            best,
+            trace,
+            stats: SearchStats { occupied_cells: lattice.occupied_cells(), ..SearchStats::default() },
+        }),
         None => Err(ArcsError::NoSegmentation),
     }
 }

@@ -117,6 +117,12 @@ impl Grid {
         self.bits[word] &= !mask;
     }
 
+    /// Clears every bit, keeping the allocation — lets hot loops reuse one
+    /// grid buffer instead of reallocating per call.
+    pub fn reset(&mut self) {
+        self.bits.fill(0);
+    }
+
     /// Checked set.
     pub fn try_set(&mut self, x: usize, y: usize) -> Result<(), ArcsError> {
         if x >= self.width || y >= self.height {

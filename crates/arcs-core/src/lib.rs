@@ -24,11 +24,13 @@ pub mod error;
 pub mod factorial;
 pub mod grid;
 pub mod mdl;
+pub mod metrics;
 pub mod multidim;
 pub mod optimizer;
 pub mod pipeline;
 pub mod render;
 pub mod select;
+pub mod session;
 pub mod smooth;
 pub mod sql;
 pub mod verify;
@@ -41,8 +43,10 @@ pub use cluster::{ClusteredRule, Rect};
 pub use engine::{mine_rules, BinnedRule, Thresholds};
 pub use error::ArcsError;
 pub use grid::Grid;
-pub use optimizer::{optimize, OptimizerConfig, ThresholdLattice};
+pub use metrics::{Observer, PipelineCounters, PipelineReport, Stage, StageTimings};
+pub use optimizer::{optimize, OptimizerConfig, SearchStats, ThresholdLattice};
 pub use pipeline::{Arcs, ArcsConfig, Segmentation};
+pub use session::{SegmentRequest, Session};
 pub use mdl::{mdl_cost, MdlScore, MdlWeights};
 pub use smooth::{Kernel, SmoothConfig};
 pub use verify::ErrorCounts;

@@ -1,0 +1,305 @@
+//! Stage-level observability for the execution layer.
+//!
+//! The pipeline runs in well-defined stages (bin → sample → threshold
+//! search → decode); this module gives each a wall-clock timing, a set of
+//! work counters that make the parallel execution layer's speedups
+//! measurable, an [`Observer`] trait the pipeline reports into, and a
+//! dependency-free JSON rendering for `arcs segment --stats json` and the
+//! benchmark harness.
+
+use std::time::Duration;
+
+/// Resolves the default worker-thread count for the execution layer:
+/// [`std::thread::available_parallelism`], or 1 when the platform cannot
+/// report it.
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism().map_or(1, usize::from)
+}
+
+/// The pipeline stages reported to an [`Observer`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Stage {
+    /// Streaming tuples into the `BinArray` (the only stage that touches
+    /// the source data).
+    Binning,
+    /// Drawing the verification sample.
+    Sampling,
+    /// The threshold search: mine → smooth → cluster → verify per lattice
+    /// cell.
+    Search,
+    /// Decoding winning clusters back to attribute-range rules.
+    Decode,
+}
+
+impl Stage {
+    /// Stable lowercase stage name (used as the JSON key).
+    pub fn name(&self) -> &'static str {
+        match self {
+            Stage::Binning => "binning",
+            Stage::Sampling => "sampling",
+            Stage::Search => "search",
+            Stage::Decode => "decode",
+        }
+    }
+}
+
+/// Wall-clock time spent per pipeline stage. Repeated runs against one
+/// session (e.g. `segment_all`) accumulate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StageTimings {
+    /// Time binning tuples into the `BinArray`.
+    pub binning: Duration,
+    /// Time drawing the verification sample.
+    pub sampling: Duration,
+    /// Time in the threshold search (mine/smooth/cluster/verify).
+    pub search: Duration,
+    /// Time decoding clusters to rules.
+    pub decode: Duration,
+}
+
+impl StageTimings {
+    /// Sum of all stage timings.
+    pub fn total(&self) -> Duration {
+        self.binning + self.sampling + self.search + self.decode
+    }
+
+    /// Adds `elapsed` to the given stage's tally.
+    pub fn record(&mut self, stage: Stage, elapsed: Duration) {
+        let slot = match stage {
+            Stage::Binning => &mut self.binning,
+            Stage::Sampling => &mut self.sampling,
+            Stage::Search => &mut self.search,
+            Stage::Decode => &mut self.decode,
+        };
+        *slot += elapsed;
+    }
+}
+
+/// Work counters accumulated across a session's pipeline runs. Parallel
+/// execution reports exactly the same values as sequential execution —
+/// the counters describe the work, not the schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PipelineCounters {
+    /// Tuples streamed into the `BinArray`.
+    pub tuples_binned: u64,
+    /// Occupied `BinArray` cells scanned while building threshold
+    /// lattices.
+    pub occupied_cells: u64,
+    /// Rules emitted by the engine at the winning (or requested)
+    /// thresholds.
+    pub rules_emitted: u64,
+    /// Candidate rectangles enumerated by BitOp across all evaluations.
+    pub candidates_enumerated: u64,
+    /// Residual candidates suppressed by the minimum-area prune when the
+    /// greedy loop terminated.
+    pub clusters_pruned: u64,
+    /// `(support, confidence)` evaluations the threshold search ran.
+    pub evaluations: u64,
+    /// Verifier false positives of the winning segmentations.
+    pub verifier_false_positives: u64,
+    /// Verifier false negatives of the winning segmentations.
+    pub verifier_false_negatives: u64,
+}
+
+impl PipelineCounters {
+    /// Adds `other`'s tallies into `self`.
+    pub fn merge(&mut self, other: &PipelineCounters) {
+        self.tuples_binned += other.tuples_binned;
+        self.occupied_cells += other.occupied_cells;
+        self.rules_emitted += other.rules_emitted;
+        self.candidates_enumerated += other.candidates_enumerated;
+        self.clusters_pruned += other.clusters_pruned;
+        self.evaluations += other.evaluations;
+        self.verifier_false_positives += other.verifier_false_positives;
+        self.verifier_false_negatives += other.verifier_false_negatives;
+    }
+}
+
+/// Callback interface the pipeline reports into. All methods have empty
+/// defaults, so an observer implements only what it cares about.
+///
+/// Observers are driven at stage granularity from the session's thread —
+/// worker threads never call into an observer, so implementations need no
+/// internal synchronisation.
+pub trait Observer {
+    /// A pipeline stage finished.
+    fn stage_completed(&mut self, stage: Stage, elapsed: Duration) {
+        let _ = (stage, elapsed);
+    }
+
+    /// The session's cumulative counters changed.
+    fn counters_updated(&mut self, counters: &PipelineCounters) {
+        let _ = counters;
+    }
+}
+
+/// The full observability report of one session: stage timings, work
+/// counters, and the worker-thread count the execution layer used.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct PipelineReport {
+    /// Per-stage wall-clock timings.
+    pub timings: StageTimings,
+    /// Accumulated work counters.
+    pub counters: PipelineCounters,
+    /// Worker threads the execution layer was configured with.
+    pub threads: usize,
+}
+
+/// Version of the JSON schema emitted by [`PipelineReport::to_json`];
+/// bumped on any incompatible key change (CI validates against it).
+pub const REPORT_SCHEMA_VERSION: u32 = 1;
+
+fn push_ms(out: &mut String, key: &str, d: Duration, trailing_comma: bool) {
+    out.push_str(&format!(
+        "\"{key}\":{:.3}{}",
+        d.as_secs_f64() * 1e3,
+        if trailing_comma { "," } else { "" }
+    ));
+}
+
+impl PipelineReport {
+    /// Renders the report as a single-line JSON object (hand-rolled — the
+    /// offline build has no serde). Key set is stable under
+    /// [`REPORT_SCHEMA_VERSION`].
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(512);
+        out.push('{');
+        out.push_str(&format!("\"schema_version\":{REPORT_SCHEMA_VERSION},"));
+        out.push_str(&format!("\"threads\":{},", self.threads));
+        out.push_str("\"timings_ms\":{");
+        push_ms(&mut out, "binning", self.timings.binning, true);
+        push_ms(&mut out, "sampling", self.timings.sampling, true);
+        push_ms(&mut out, "search", self.timings.search, true);
+        push_ms(&mut out, "decode", self.timings.decode, true);
+        push_ms(&mut out, "total", self.timings.total(), false);
+        out.push_str("},");
+        let c = &self.counters;
+        out.push_str("\"counters\":{");
+        out.push_str(&format!("\"tuples_binned\":{},", c.tuples_binned));
+        out.push_str(&format!("\"occupied_cells\":{},", c.occupied_cells));
+        out.push_str(&format!("\"rules_emitted\":{},", c.rules_emitted));
+        out.push_str(&format!(
+            "\"candidates_enumerated\":{},",
+            c.candidates_enumerated
+        ));
+        out.push_str(&format!("\"clusters_pruned\":{},", c.clusters_pruned));
+        out.push_str(&format!("\"evaluations\":{},", c.evaluations));
+        out.push_str(&format!(
+            "\"verifier_false_positives\":{},",
+            c.verifier_false_positives
+        ));
+        out.push_str(&format!(
+            "\"verifier_false_negatives\":{}",
+            c.verifier_false_negatives
+        ));
+        out.push_str("}}");
+        out
+    }
+}
+
+/// An [`Observer`] that accumulates everything it is told into a
+/// [`PipelineReport`] — the built-in collector behind `--stats json`.
+#[derive(Debug, Clone, Default)]
+pub struct CollectingObserver {
+    /// The report built so far.
+    pub report: PipelineReport,
+}
+
+impl Observer for CollectingObserver {
+    fn stage_completed(&mut self, stage: Stage, elapsed: Duration) {
+        self.report.timings.record(stage, elapsed);
+    }
+
+    fn counters_updated(&mut self, counters: &PipelineCounters) {
+        self.report.counters = *counters;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timings_accumulate_and_total() {
+        let mut t = StageTimings::default();
+        t.record(Stage::Binning, Duration::from_millis(10));
+        t.record(Stage::Binning, Duration::from_millis(5));
+        t.record(Stage::Search, Duration::from_millis(20));
+        assert_eq!(t.binning, Duration::from_millis(15));
+        assert_eq!(t.total(), Duration::from_millis(35));
+    }
+
+    #[test]
+    fn counters_merge() {
+        let mut a = PipelineCounters { tuples_binned: 10, evaluations: 2, ..Default::default() };
+        let b = PipelineCounters {
+            tuples_binned: 5,
+            rules_emitted: 3,
+            verifier_false_negatives: 1,
+            ..Default::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.tuples_binned, 15);
+        assert_eq!(a.rules_emitted, 3);
+        assert_eq!(a.evaluations, 2);
+        assert_eq!(a.verifier_false_negatives, 1);
+    }
+
+    #[test]
+    fn json_contains_the_full_schema() {
+        let report = PipelineReport {
+            threads: 4,
+            timings: StageTimings {
+                binning: Duration::from_millis(12),
+                ..StageTimings::default()
+            },
+            counters: PipelineCounters { tuples_binned: 100, ..Default::default() },
+        };
+        let json = report.to_json();
+        for key in [
+            "\"schema_version\":1",
+            "\"threads\":4",
+            "\"timings_ms\"",
+            "\"binning\":12.000",
+            "\"sampling\"",
+            "\"search\"",
+            "\"decode\"",
+            "\"total\"",
+            "\"counters\"",
+            "\"tuples_binned\":100",
+            "\"occupied_cells\"",
+            "\"rules_emitted\"",
+            "\"candidates_enumerated\"",
+            "\"clusters_pruned\"",
+            "\"evaluations\"",
+            "\"verifier_false_positives\"",
+            "\"verifier_false_negatives\"",
+        ] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
+        assert!(json.starts_with('{') && json.ends_with('}'));
+    }
+
+    #[test]
+    fn collecting_observer_builds_a_report() {
+        let mut obs = CollectingObserver::default();
+        obs.stage_completed(Stage::Search, Duration::from_millis(7));
+        let counters = PipelineCounters { evaluations: 9, ..Default::default() };
+        obs.counters_updated(&counters);
+        assert_eq!(obs.report.timings.search, Duration::from_millis(7));
+        assert_eq!(obs.report.counters.evaluations, 9);
+    }
+
+    #[test]
+    fn default_threads_is_positive() {
+        assert!(default_threads() >= 1);
+    }
+
+    #[test]
+    fn stage_names_are_stable() {
+        assert_eq!(Stage::Binning.name(), "binning");
+        assert_eq!(Stage::Sampling.name(), "sampling");
+        assert_eq!(Stage::Search.name(), "search");
+        assert_eq!(Stage::Decode.name(), "decode");
+    }
+}

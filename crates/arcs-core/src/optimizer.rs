@@ -15,10 +15,11 @@ use arcs_data::Tuple;
 
 use crate::binarray::BinArray;
 use crate::binner::Binner;
-use crate::bitop::{self, BitOpConfig};
+use crate::bitop::{self, BitOpConfig, ClusterStats};
 use crate::cluster::Rect;
-use crate::engine::{rule_grid, Thresholds};
+use crate::engine::{rule_grid_into, Thresholds};
 use crate::error::ArcsError;
+use crate::grid::Grid;
 use crate::mdl::{MdlScore, MdlWeights};
 use crate::smooth::{smooth, SmoothConfig};
 use crate::verify::{verify_tuples, ErrorCounts};
@@ -32,6 +33,8 @@ pub struct ThresholdLattice {
     /// `confidences[i]`: ascending unique confidences among cells whose
     /// support is at least `supports[i]`.
     confidences: Vec<Vec<f64>>,
+    /// Occupied cells scanned while building (observability counter).
+    occupied: u64,
 }
 
 impl ThresholdLattice {
@@ -40,11 +43,17 @@ impl ThresholdLattice {
     pub fn build(array: &BinArray, gk: u32) -> Self {
         let n = array.n_tuples();
         if n == 0 {
-            return ThresholdLattice { supports: Vec::new(), confidences: Vec::new() };
+            return ThresholdLattice {
+                supports: Vec::new(),
+                confidences: Vec::new(),
+                occupied: 0,
+            };
         }
         // Pass 1: collect each occupied cell's (count, confidence).
+        let mut occupied = 0u64;
         let mut cells: Vec<(u32, f64)> = Vec::new();
         for (x, y) in array.occupied_cells() {
+            occupied += 1;
             let count = array.group_count(x, y, gk);
             if count > 0 {
                 cells.push((count, array.confidence(x, y, gk)));
@@ -70,12 +79,17 @@ impl ThresholdLattice {
             supports.push(count as f64 / n as f64);
             confidences.push(confs);
         }
-        ThresholdLattice { supports, confidences }
+        ThresholdLattice { supports, confidences, occupied }
     }
 
     /// The ascending unique support fractions.
     pub fn supports(&self) -> &[f64] {
         &self.supports
+    }
+
+    /// Number of occupied cells scanned while building the lattice.
+    pub fn occupied_cells(&self) -> u64 {
+        self.occupied
     }
 
     /// The confidence list for support level `i`.
@@ -144,6 +158,14 @@ pub struct OptimizerConfig {
     pub max_support_levels: usize,
     /// Cap on distinct confidence levels searched per support level.
     pub max_confidence_levels: usize,
+    /// Worker threads for the lattice search: a support level's
+    /// confidence cells are independent re-mines of the shared immutable
+    /// `BinArray`, so they evaluate concurrently. Defaults to
+    /// [`available_parallelism`](std::thread::available_parallelism);
+    /// results are bit-identical for any value. A `max_wall_time` budget
+    /// forces the sequential path (which evaluation the clock cuts off is
+    /// inherently timing-dependent).
+    pub threads: usize,
 }
 
 impl Default for OptimizerConfig {
@@ -160,12 +182,18 @@ impl Default for OptimizerConfig {
             max_wall_time: None,
             max_support_levels: 16,
             max_confidence_levels: 8,
+            threads: crate::metrics::default_threads(),
         }
     }
 }
 
 impl OptimizerConfig {
     fn validate(&self) -> Result<(), ArcsError> {
+        if self.threads == 0 {
+            return Err(ArcsError::InvalidConfig(
+                "optimizer threads must be > 0".into(),
+            ));
+        }
         if self.epsilon < 0.0 {
             return Err(ArcsError::InvalidConfig("epsilon must be >= 0".into()));
         }
@@ -203,6 +231,20 @@ pub struct Evaluation {
     pub score: MdlScore,
 }
 
+/// Work counters from one threshold search (schedule-independent: the
+/// parallel and sequential paths report identical values).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SearchStats {
+    /// Occupied cells scanned while building the threshold lattice.
+    pub occupied_cells: u64,
+    /// BitOp candidate rectangles enumerated across all traced
+    /// evaluations.
+    pub candidates_enumerated: u64,
+    /// Residual candidates the area prune suppressed across all traced
+    /// evaluations.
+    pub clusters_pruned: u64,
+}
+
 /// The optimizer's result: the best evaluation plus the full search trace.
 #[derive(Debug, Clone, PartialEq)]
 pub struct OptimizeResult {
@@ -210,6 +252,8 @@ pub struct OptimizeResult {
     pub best: Evaluation,
     /// Every evaluation performed, in search order.
     pub trace: Vec<Evaluation>,
+    /// Work counters of the search.
+    pub stats: SearchStats,
 }
 
 /// Evaluates a single `(support, confidence)` point: mine → smooth →
@@ -222,12 +266,126 @@ pub fn evaluate(
     thresholds: Thresholds,
     config: &OptimizerConfig,
 ) -> Result<Evaluation, ArcsError> {
-    let grid = rule_grid(array, gk, thresholds)?;
-    let smoothed = smooth(&grid, &config.smoothing)?;
-    let clusters = bitop::cluster(&smoothed, &config.bitop)?;
+    let mut scratch = Grid::new(array.nx(), array.ny())?;
+    evaluate_into(array, gk, binner, sample, thresholds, config, &mut scratch)
+        .map(|(eval, _)| eval)
+}
+
+/// [`evaluate`] into a reusable rule-grid buffer, also returning the
+/// BitOp work counters. The hot path of the search: every lattice cell
+/// re-mines through here without reallocating the grid.
+fn evaluate_into(
+    array: &BinArray,
+    gk: u32,
+    binner: &Binner,
+    sample: &[&Tuple],
+    thresholds: Thresholds,
+    config: &OptimizerConfig,
+    scratch: &mut Grid,
+) -> Result<(Evaluation, ClusterStats), ArcsError> {
+    rule_grid_into(array, gk, thresholds, scratch)?;
+    let smoothed = smooth(scratch, &config.smoothing)?;
+    let (clusters, cluster_stats) = bitop::cluster_with_stats(&smoothed, &config.bitop)?;
     let errors = verify_tuples(&clusters, binner, sample.iter().copied(), gk);
     let score = MdlScore::compute(clusters.len(), errors.total(), config.mdl_weights);
-    Ok(Evaluation { thresholds, clusters, errors, score })
+    Ok((Evaluation { thresholds, clusters, errors, score }, cluster_stats))
+}
+
+/// Evaluates `points` in order across up to `threads` scoped workers,
+/// each holding a private rule-grid scratch buffer against the shared
+/// immutable `BinArray`. Results come back in `points` order, so callers
+/// can replay the sequential selection logic over them unchanged.
+fn evaluate_batch(
+    array: &BinArray,
+    gk: u32,
+    binner: &Binner,
+    sample: &[&Tuple],
+    points: &[Thresholds],
+    config: &OptimizerConfig,
+    threads: usize,
+) -> Result<Vec<(Evaluation, ClusterStats)>, ArcsError> {
+    let workers = threads.min(points.len()).max(1);
+    if workers == 1 {
+        let mut scratch = Grid::new(array.nx(), array.ny())?;
+        return points
+            .iter()
+            .map(|&t| evaluate_into(array, gk, binner, sample, t, config, &mut scratch))
+            .collect();
+    }
+    let mut slots: Vec<Option<Result<(Evaluation, ClusterStats), ArcsError>>> =
+        (0..points.len()).map(|_| None).collect();
+    let per_worker = points.len().div_ceil(workers);
+    std::thread::scope(|scope| {
+        for (point_chunk, slot_chunk) in
+            points.chunks(per_worker).zip(slots.chunks_mut(per_worker))
+        {
+            scope.spawn(move || {
+                let mut scratch =
+                    Grid::new(array.nx(), array.ny()).expect("array dimensions are positive");
+                for (&point, slot) in point_chunk.iter().zip(slot_chunk.iter_mut()) {
+                    *slot = Some(evaluate_into(
+                        array, gk, binner, sample, point, config, &mut scratch,
+                    ));
+                }
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| slot.expect("every slot filled by its worker"))
+        .collect()
+}
+
+/// Mutable state of the greedy selection replayed over evaluations in
+/// search order — shared verbatim by the sequential and parallel paths so
+/// they cannot diverge.
+struct Selection<'a> {
+    config: &'a OptimizerConfig,
+    /// Best evaluation meeting the recall guard.
+    best: Option<Evaluation>,
+    /// Best evaluation regardless of the guard (fallback).
+    best_any: Option<Evaluation>,
+    trace: Vec<Evaluation>,
+    stats: SearchStats,
+}
+
+impl Selection<'_> {
+    /// Consumes one evaluation in search order. Returns `true` when the
+    /// current support level's confidence walk should stop
+    /// (`confidence_patience` consecutive non-improvements).
+    fn consume(
+        &mut self,
+        eval: Evaluation,
+        cluster_stats: ClusterStats,
+        improved: &mut bool,
+        conf_stale: &mut usize,
+    ) -> bool {
+        self.stats.candidates_enumerated += cluster_stats.candidates_enumerated;
+        self.stats.clusters_pruned += cluster_stats.clusters_pruned;
+        self.trace.push(eval.clone());
+        if eval.clusters.is_empty() {
+            return false; // never a candidate, never counts as stale progress
+        }
+        let beats = |incumbent: &Option<Evaluation>| match incumbent {
+            None => true,
+            Some(b) => eval.score.cost + self.config.epsilon < b.score.cost,
+        };
+        if beats(&self.best_any) {
+            self.best_any = Some(eval.clone());
+        }
+        let qualifies = eval.errors.recall() >= self.config.min_group_recall;
+        if qualifies && beats(&self.best) {
+            self.best = Some(eval);
+            *improved = true;
+            *conf_stale = 0;
+        } else if self.best.is_some() {
+            *conf_stale += 1;
+            if *conf_stale >= self.config.confidence_patience {
+                return true;
+            }
+        }
+        false
+    }
 }
 
 /// Runs the heuristic search (the Figure 2 feedback loop): ascending
@@ -235,6 +393,13 @@ pub fn evaluate(
 /// stopping on `patience` support levels without improvement or on budget
 /// exhaustion. Returns [`ArcsError::NoSegmentation`] when the lattice is
 /// empty or no evaluation produced any cluster.
+///
+/// With `config.threads > 1` each support level's confidence cells are
+/// evaluated concurrently against the shared immutable `BinArray`, then
+/// consumed in their sequential order — `best`, `trace`, and `stats` are
+/// bit-identical to a single-threaded run. (Speculative evaluations past
+/// an early-stop point are discarded, trading some redundant work for
+/// wall-clock time.)
 pub fn optimize(
     array: &BinArray,
     gk: u32,
@@ -250,16 +415,38 @@ pub fn optimize(
 
     let support_levels =
         ThresholdLattice::subsample(lattice.supports(), config.max_support_levels);
+    // A wall-clock budget forces the sequential path: which evaluation
+    // the clock cuts off cannot be reproduced by a parallel batch.
+    let sequential = config.threads == 1 || config.max_wall_time.is_some();
+    // Parallel-path workers keep BitOp single-threaded — the level batch
+    // already saturates `threads` cores; nested enumeration threads would
+    // only oversubscribe. The sequential path honours the caller's BitOp
+    // thread count unchanged.
+    let worker_config = if sequential {
+        config.clone()
+    } else {
+        OptimizerConfig {
+            bitop: BitOpConfig { threads: 1, ..config.bitop },
+            ..config.clone()
+        }
+    };
     // Two-tier best: candidates meeting the recall guard are preferred;
     // `best_any` is the fallback when nothing qualifies.
-    let mut best: Option<Evaluation> = None;
-    let mut best_any: Option<Evaluation> = None;
-    let mut trace = Vec::new();
+    let mut sel = Selection {
+        config,
+        best: None,
+        best_any: None,
+        trace: Vec::new(),
+        stats: SearchStats {
+            occupied_cells: lattice.occupied_cells(),
+            ..SearchStats::default()
+        },
+    };
     let mut stale = 0usize;
-    let mut evaluations = 0usize;
     let started = std::time::Instant::now();
+    let mut scratch = Grid::new(array.nx(), array.ny())?;
 
-    'search: for (i, &s) in support_levels.iter().enumerate() {
+    'search: for &s in &support_levels {
         // Map back to the lattice index to fetch this level's confidences.
         let li = lattice
             .supports()
@@ -271,65 +458,84 @@ pub fn optimize(
 
         let mut improved = false;
         let mut conf_stale = 0usize;
-        for &c in &conf_levels {
-            if evaluations >= config.max_evaluations {
-                break 'search;
-            }
-            if config
-                .max_wall_time
-                .is_some_and(|budget| started.elapsed() >= budget)
-            {
-                break 'search;
-            }
-            // Back off a hair below the observed values so cells *at* the
-            // threshold still qualify despite floating-point rounding.
-            let thresholds = Thresholds::new(
-                (s - 1e-12).max(0.0),
-                (c - 1e-12).max(0.0),
-            )?;
-            let eval = evaluate(array, gk, binner, sample, thresholds, config)?;
-            evaluations += 1;
-            trace.push(eval.clone());
-            if eval.clusters.is_empty() {
-                continue; // never a candidate, never counts as stale progress
-            }
-            let beats = |incumbent: &Option<Evaluation>| match incumbent {
-                None => true,
-                Some(b) => eval.score.cost + config.epsilon < b.score.cost,
-            };
-            if beats(&best_any) {
-                best_any = Some(eval.clone());
-            }
-            let qualifies = eval.errors.recall() >= config.min_group_recall;
-            let is_better = qualifies && beats(&best);
-            if is_better {
-                best = Some(eval);
-                improved = true;
-                conf_stale = 0;
-            } else if best.is_some() {
-                conf_stale += 1;
-                if conf_stale >= config.confidence_patience {
+        if sequential {
+            for &c in &conf_levels {
+                if sel.trace.len() >= config.max_evaluations {
+                    break 'search;
+                }
+                if config
+                    .max_wall_time
+                    .is_some_and(|budget| started.elapsed() >= budget)
+                {
+                    break 'search;
+                }
+                let thresholds = level_thresholds(s, c)?;
+                let (eval, cluster_stats) = evaluate_into(
+                    array, gk, binner, sample, thresholds, &worker_config, &mut scratch,
+                )?;
+                if sel.consume(eval, cluster_stats, &mut improved, &mut conf_stale) {
                     break;
                 }
+            }
+        } else {
+            let budget_left = config.max_evaluations.saturating_sub(sel.trace.len());
+            if budget_left == 0 {
+                break 'search;
+            }
+            // Evaluate up to the remaining budget concurrently, then
+            // replay the batch in order. Evaluations past a
+            // confidence-patience stop are computed but discarded —
+            // exactly what the sequential walk would never have run.
+            let take = conf_levels.len().min(budget_left);
+            let points: Vec<Thresholds> = conf_levels[..take]
+                .iter()
+                .map(|&c| level_thresholds(s, c))
+                .collect::<Result<_, _>>()?;
+            let batch = evaluate_batch(
+                array,
+                gk,
+                binner,
+                sample,
+                &points,
+                &worker_config,
+                config.threads,
+            )?;
+            let mut stopped_early = false;
+            for (eval, cluster_stats) in batch {
+                if sel.consume(eval, cluster_stats, &mut improved, &mut conf_stale) {
+                    stopped_early = true;
+                    break;
+                }
+            }
+            // The budget truncated this level's walk mid-way: the
+            // sequential search stops the whole run here, before any
+            // staleness bookkeeping.
+            if !stopped_early && take < conf_levels.len() {
+                break 'search;
             }
         }
 
         if improved {
             stale = 0;
-        } else if best.is_some() {
+        } else if sel.best.is_some() {
             // Only start counting staleness once something was found.
             stale += 1;
             if stale >= config.patience {
                 break;
             }
         }
-        let _ = i;
     }
 
-    match best.or(best_any) {
-        Some(best) => Ok(OptimizeResult { best, trace }),
+    match sel.best.or(sel.best_any) {
+        Some(best) => Ok(OptimizeResult { best, trace: sel.trace, stats: sel.stats }),
         None => Err(ArcsError::NoSegmentation),
     }
+}
+
+/// Backs a lattice point off a hair below the observed values so cells
+/// *at* the threshold still qualify despite floating-point rounding.
+fn level_thresholds(s: f64, c: f64) -> Result<Thresholds, ArcsError> {
+    Thresholds::new((s - 1e-12).max(0.0), (c - 1e-12).max(0.0))
 }
 
 #[cfg(test)]
@@ -478,6 +684,82 @@ mod tests {
         };
         let result = optimize(&ba, 0, &b, &sample, &config).unwrap();
         assert_eq!(result.trace.len(), 1);
+    }
+
+    #[test]
+    fn parallel_search_is_bit_identical_to_sequential() {
+        let ds = blocky_dataset();
+        let b = binner();
+        let ba = b.bin_rows(ds.iter()).unwrap();
+        let sample: Vec<&Tuple> = ds.iter().collect();
+        let base = OptimizerConfig {
+            bitop: BitOpConfig { threads: 1, ..BitOpConfig::no_pruning() },
+            threads: 1,
+            ..OptimizerConfig::default()
+        };
+        let sequential = optimize(&ba, 0, &b, &sample, &base).unwrap();
+        for threads in [2, 4, 8] {
+            let config = OptimizerConfig { threads, ..base.clone() };
+            let parallel = optimize(&ba, 0, &b, &sample, &config).unwrap();
+            assert_eq!(parallel.best, sequential.best, "threads = {threads}");
+            assert_eq!(parallel.trace, sequential.trace, "threads = {threads}");
+            assert_eq!(parallel.stats, sequential.stats, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn parallel_search_respects_tight_budgets_identically() {
+        let ds = blocky_dataset();
+        let b = binner();
+        let ba = b.bin_rows(ds.iter()).unwrap();
+        let sample: Vec<&Tuple> = ds.iter().collect();
+        for max_evaluations in [1, 2, 3, 5] {
+            let base = OptimizerConfig {
+                max_evaluations,
+                bitop: BitOpConfig { threads: 1, ..BitOpConfig::no_pruning() },
+                threads: 1,
+                ..OptimizerConfig::default()
+            };
+            let sequential = optimize(&ba, 0, &b, &sample, &base).unwrap();
+            assert_eq!(sequential.trace.len().min(max_evaluations), sequential.trace.len());
+            let parallel = optimize(
+                &ba,
+                0,
+                &b,
+                &sample,
+                &OptimizerConfig { threads: 4, ..base },
+            )
+            .unwrap();
+            assert_eq!(parallel.trace, sequential.trace, "budget {max_evaluations}");
+            assert_eq!(parallel.best, sequential.best, "budget {max_evaluations}");
+        }
+    }
+
+    #[test]
+    fn search_stats_count_lattice_and_bitop_work() {
+        let ds = blocky_dataset();
+        let b = binner();
+        let ba = b.bin_rows(ds.iter()).unwrap();
+        let sample: Vec<&Tuple> = ds.iter().collect();
+        let config = OptimizerConfig {
+            bitop: BitOpConfig::no_pruning(),
+            ..OptimizerConfig::default()
+        };
+        let result = optimize(&ba, 0, &b, &sample, &config).unwrap();
+        // Every cell of the 10x10 demo grid is occupied.
+        assert_eq!(result.stats.occupied_cells, 100);
+        assert!(result.stats.candidates_enumerated > 0);
+    }
+
+    #[test]
+    fn zero_threads_rejected() {
+        let b = binner();
+        let ba = b.new_bin_array().unwrap();
+        let bad = OptimizerConfig { threads: 0, ..OptimizerConfig::default() };
+        assert!(matches!(
+            optimize(&ba, 0, &b, &[], &bad),
+            Err(ArcsError::InvalidConfig(_))
+        ));
     }
 
     #[test]

@@ -4,19 +4,12 @@
 //! (smooth + BitOp + prune) → verifier → heuristic optimizer, and decodes
 //! the winning clusters into user-facing [`ClusteredRule`]s.
 //!
-//! Two entry points:
-//!
-//! * [`Arcs::segment_dataset`] — in-memory data; the verification sample
-//!   is drawn from the dataset itself.
-//! * [`Arcs::segment_stream`] — a single pass over an arbitrarily large
-//!   tuple stream (the paper's constant-memory mode, §4.3), with an
-//!   explicit verification sample.
+//! The primary entry points are the session constructors —
+//! [`Arcs::open`], [`Arcs::open_stream`] and [`Arcs::open_binned`] — which
+//! bin once and return a [`Session`](crate::session::Session) for mining,
+//! re-mining, and re-clustering. The `segment_*` methods on [`Arcs`] are
+//! retained as thin convenience wrappers over a one-shot session.
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
-
-use arcs_data::sample::sample_rows;
-use arcs_data::schema::AttrKind;
 use arcs_data::{Dataset, Schema, Tuple};
 
 use crate::binner::{Binner, BinningStrategy};
@@ -26,7 +19,8 @@ use crate::engine::Thresholds;
 use crate::error::ArcsError;
 use crate::binarray::BinArray;
 use crate::mdl::MdlScore;
-use crate::optimizer::{evaluate, optimize, Evaluation, OptimizerConfig};
+use crate::optimizer::OptimizerConfig;
+use crate::session::SegmentRequest;
 use crate::verify::ErrorCounts;
 
 /// Configuration of the whole ARCS system.
@@ -44,6 +38,11 @@ pub struct ArcsConfig {
     pub sample_size: usize,
     /// RNG seed for sampling.
     pub seed: u64,
+    /// Worker threads for the binning pass (sharded bin arrays merged
+    /// deterministically). Defaults to the machine's available
+    /// parallelism; the optimizer's search parallelism is configured
+    /// separately via [`OptimizerConfig::threads`].
+    pub threads: usize,
     /// When the optimizer finds no segmentation, walk the degradation
     /// ladder (floor thresholds, then disable smoothing, then disable
     /// pruning) instead of failing. The resulting [`Segmentation`] is
@@ -61,6 +60,7 @@ impl Default for ArcsConfig {
             optimizer: OptimizerConfig::default(),
             sample_size: 2_000,
             seed: 0,
+            threads: crate::metrics::default_threads(),
             degrade_on_no_segmentation: true,
         }
     }
@@ -111,6 +111,9 @@ impl Arcs {
         if config.sample_size == 0 {
             return Err(ArcsError::InvalidConfig("sample_size must be positive".into()));
         }
+        if config.threads == 0 {
+            return Err(ArcsError::InvalidConfig("threads must be positive".into()));
+        }
         Ok(Arcs { config })
     }
 
@@ -127,7 +130,7 @@ impl Arcs {
     /// Builds the binner for `(x_attr, y_attr, criterion_attr)`, realising
     /// the configured binning strategy. Equi-depth and homogeneity need
     /// the data columns, hence the optional `dataset`.
-    fn build_binner(
+    pub(crate) fn build_binner(
         &self,
         schema: &Schema,
         x_attr: &str,
@@ -171,29 +174,12 @@ impl Arcs {
         }
     }
 
-    /// Resolves a criterion group label to its code.
-    fn group_code(
-        schema: &Schema,
-        criterion_attr: &str,
-        group_label: &str,
-    ) -> Result<u32, ArcsError> {
-        let idx = schema.require(criterion_attr)?;
-        let attr = schema.attribute(idx).expect("index from require");
-        match &attr.kind {
-            AttrKind::Categorical { labels } => labels
-                .iter()
-                .position(|l| l == group_label)
-                .map(|p| p as u32)
-                .ok_or_else(|| ArcsError::UnknownGroup(group_label.to_string())),
-            AttrKind::Quantitative { .. } => Err(ArcsError::AttributeKind {
-                attribute: attr.name.clone(),
-                expected: "a categorical criterion attribute",
-            }),
-        }
-    }
-
     /// Segments an in-memory dataset: clusters the `(x_attr, y_attr)`
     /// space for the tuples whose `criterion_attr` equals `group_label`.
+    ///
+    /// **Deprecated** in favour of the session API, which names the
+    /// attributes once and keeps the binned state for re-mining:
+    /// `arcs.open(&ds, SegmentRequest::new(x, y, criterion).group(label))?.segment()`.
     pub fn segment_dataset(
         &self,
         dataset: &Dataset,
@@ -202,20 +188,9 @@ impl Arcs {
         criterion_attr: &str,
         group_label: &str,
     ) -> Result<Segmentation, ArcsError> {
-        if dataset.is_empty() {
-            return Err(ArcsError::InvalidConfig("dataset is empty".into()));
-        }
-        let schema = dataset.schema();
-        let binner =
-            self.build_binner(schema, x_attr, y_attr, criterion_attr, Some(dataset))?;
-        let gk = Self::group_code(schema, criterion_attr, group_label)?;
-        let array = binner.bin_rows(dataset.iter())?;
-
-        let mut rng = StdRng::seed_from_u64(self.config.seed);
-        let k = self.config.sample_size.min(dataset.len());
-        let sample = sample_rows(dataset, k, &mut rng).map_err(ArcsError::Data)?;
-
-        self.finish(&array, &binner, &sample, schema, x_attr, y_attr, criterion_attr, group_label, gk)
+        let request =
+            SegmentRequest::new(x_attr, y_attr, criterion_attr).group(group_label);
+        self.open(dataset, request)?.segment()
     }
 
     /// Segments the dataset once per criterion group, re-using a single
@@ -226,6 +201,9 @@ impl Arcs {
     /// `(group_label, segmentation result)` per group; groups for which no
     /// segmentation exists (e.g. no rule ever qualifies) report their
     /// error.
+    ///
+    /// **Deprecated** in favour of
+    /// `arcs.open(&ds, SegmentRequest::new(x, y, criterion))?.segment_all()`.
     pub fn segment_all_groups(
         &self,
         dataset: &Dataset,
@@ -233,49 +211,16 @@ impl Arcs {
         y_attr: &str,
         criterion_attr: &str,
     ) -> Result<GroupSegmentations, ArcsError> {
-        if dataset.is_empty() {
-            return Err(ArcsError::InvalidConfig("dataset is empty".into()));
-        }
-        let schema = dataset.schema();
-        let binner =
-            self.build_binner(schema, x_attr, y_attr, criterion_attr, Some(dataset))?;
-        let criterion_idx = schema.require(criterion_attr)?;
-        let AttrKind::Categorical { labels } =
-            &schema.attribute(criterion_idx).expect("index valid").kind
-        else {
-            return Err(ArcsError::AttributeKind {
-                attribute: criterion_attr.to_string(),
-                expected: "a categorical criterion attribute",
-            });
-        };
-
-        // One pass over the data, one sample — shared by every group.
-        let array = binner.bin_rows(dataset.iter())?;
-        let mut rng = StdRng::seed_from_u64(self.config.seed);
-        let k = self.config.sample_size.min(dataset.len());
-        let sample = sample_rows(dataset, k, &mut rng).map_err(ArcsError::Data)?;
-
-        let mut out = Vec::with_capacity(labels.len());
-        for (gk, label) in labels.iter().enumerate() {
-            let seg = self.finish(
-                &array,
-                &binner,
-                &sample,
-                schema,
-                x_attr,
-                y_attr,
-                criterion_attr,
-                label,
-                gk as u32,
-            );
-            out.push((label.clone(), seg));
-        }
-        Ok(out)
+        self.open(dataset, SegmentRequest::new(x_attr, y_attr, criterion_attr))?
+            .segment_all()
     }
 
     /// Segments a tuple stream in one pass with an explicit verification
     /// sample (which must share `schema`). Only [`BinningStrategy::EquiWidth`]
     /// is possible here — the alternatives need a second look at the data.
+    ///
+    /// **Deprecated** in favour of [`Arcs::open_stream`] + a
+    /// [`SegmentRequest`].
     #[allow(clippy::too_many_arguments)]
     pub fn segment_stream<I>(
         &self,
@@ -290,27 +235,18 @@ impl Arcs {
     where
         I: IntoIterator<Item = Tuple>,
     {
-        let binner = self.build_binner(schema, x_attr, y_attr, criterion_attr, None)?;
-        let gk = Self::group_code(schema, criterion_attr, group_label)?;
-        let array = binner.bin_stream(tuples)?;
-        let sample_refs: Vec<&Tuple> = sample.iter().collect();
-        self.finish(
-            &array,
-            &binner,
-            &sample_refs,
-            schema,
-            x_attr,
-            y_attr,
-            criterion_attr,
-            group_label,
-            gk,
-        )
+        let request =
+            SegmentRequest::new(x_attr, y_attr, criterion_attr).group(group_label);
+        self.open_stream(schema, tuples, request, sample)?.segment()
     }
 
     /// Segments a pre-built [`BinArray`] (e.g. one resumed from a
     /// checkpoint) against an explicit verification sample. The `binner`
     /// must be the one that produced the array — its bin maps decode the
     /// clusters back to attribute ranges.
+    ///
+    /// **Deprecated** in favour of [`Arcs::open_binned`] + a
+    /// [`SegmentRequest`] (which take ownership and avoid this clone).
     #[allow(clippy::too_many_arguments)]
     pub fn segment_binned(
         &self,
@@ -322,123 +258,9 @@ impl Arcs {
         criterion_attr: &str,
         group_label: &str,
     ) -> Result<Segmentation, ArcsError> {
-        let schema = sample.schema();
-        let gk = Self::group_code(schema, criterion_attr, group_label)?;
-        let sample_refs: Vec<&Tuple> = sample.iter().collect();
-        self.finish(
-            array,
-            binner,
-            &sample_refs,
-            schema,
-            x_attr,
-            y_attr,
-            criterion_attr,
-            group_label,
-            gk,
-        )
-    }
-
-    /// Runs the threshold search; when it finds nothing and degradation is
-    /// enabled, walks a bounded ladder of relaxations: (1) floor the
-    /// support/confidence thresholds at zero, (2) additionally disable
-    /// smoothing (whose low-pass filter can erase every sparse qualifying
-    /// cell), (3) additionally disable cluster pruning. The first step
-    /// yielding any cluster wins; each evaluation still runs the full
-    /// smooth → cluster → verify → score path.
-    fn search(
-        &self,
-        array: &BinArray,
-        gk: u32,
-        binner: &Binner,
-        sample: &[&Tuple],
-    ) -> Result<(Evaluation, usize, bool, Vec<String>), ArcsError> {
-        match optimize(array, gk, binner, sample, &self.config.optimizer) {
-            Ok(result) => Ok((result.best, result.trace.len(), false, Vec::new())),
-            Err(ArcsError::NoSegmentation) if self.config.degrade_on_no_segmentation => {
-                let floor = Thresholds::new(0.0, 0.0)?;
-                let mut relaxed = self.config.optimizer.clone();
-                type Relax = fn(&mut OptimizerConfig);
-                let ladder: [(&str, Relax); 3] = [
-                    ("floor-thresholds", |_| {}),
-                    ("disable-smoothing", |c| {
-                        c.smoothing = crate::smooth::SmoothConfig::disabled();
-                    }),
-                    ("disable-pruning", |c| {
-                        c.bitop = crate::bitop::BitOpConfig::no_pruning();
-                    }),
-                ];
-                let mut steps = Vec::new();
-                for (i, (name, relax)) in ladder.iter().enumerate() {
-                    relax(&mut relaxed);
-                    steps.push(name.to_string());
-                    let eval = evaluate(array, gk, binner, sample, floor, &relaxed)?;
-                    if !eval.clusters.is_empty() {
-                        return Ok((eval, i + 1, true, steps));
-                    }
-                }
-                Err(ArcsError::NoSegmentation)
-            }
-            Err(err) => Err(err),
-        }
-    }
-
-    #[allow(clippy::too_many_arguments)]
-    fn finish(
-        &self,
-        array: &BinArray,
-        binner: &Binner,
-        sample: &[&Tuple],
-        schema: &Schema,
-        x_attr: &str,
-        y_attr: &str,
-        criterion_attr: &str,
-        group_label: &str,
-        gk: u32,
-    ) -> Result<Segmentation, ArcsError> {
-        let (best, evaluations, degraded, relaxation_steps) =
-            self.search(array, gk, binner, sample)?;
-
-        let n = array.n_tuples();
-        let mut rules = Vec::with_capacity(best.clusters.len());
-        for &rect in &best.clusters {
-            // Aggregate support/confidence of the whole rectangle.
-            let mut group_count = 0u64;
-            let mut total_count = 0u64;
-            for (x, y) in rect.cells() {
-                group_count += array.group_count(x, y, gk) as u64;
-                total_count += array.cell_total(x, y) as u64;
-            }
-            let support = if n == 0 { 0.0 } else { group_count as f64 / n as f64 };
-            let confidence = if total_count == 0 {
-                0.0
-            } else {
-                group_count as f64 / total_count as f64
-            };
-            rules.push(ClusteredRule::from_rect(
-                rect,
-                binner.x_map(),
-                binner.y_map(),
-                x_attr,
-                y_attr,
-                criterion_attr,
-                group_label,
-                support,
-                confidence,
-            )?);
-        }
-        let _ = schema;
-
-        Ok(Segmentation {
-            rules,
-            clusters: best.clusters,
-            thresholds: best.thresholds,
-            score: best.score,
-            errors: best.errors,
-            n_tuples: n,
-            evaluations,
-            degraded,
-            relaxation_steps,
-        })
+        let request =
+            SegmentRequest::new(x_attr, y_attr, criterion_attr).group(group_label);
+        self.open_binned(array.clone(), binner.clone(), sample, request)?.segment()
     }
 }
 

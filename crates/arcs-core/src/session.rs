@@ -1,0 +1,805 @@
+//! The session API: bin once, then mine, cluster, and re-mine at will.
+//!
+//! [`Arcs::open`] runs the expensive front half of the pipeline — binning
+//! and sampling — and hands back a [`Session`] that **owns** the populated
+//! [`BinArray`], the binner, and the verification sample. Everything after
+//! that point (threshold search, re-mining at explicit thresholds,
+//! re-clustering under a different BitOp configuration) operates on the
+//! session alone; the source data can be dropped. This is the paper's §3.2
+//! observation made concrete: once the bin array holds per-group counts,
+//! "an entirely new segmentation" is available "without the need to re-bin
+//! the original data".
+//!
+//! A [`SegmentRequest`] names the attributes once, up front, replacing the
+//! stringly five-argument calls of the original API:
+//!
+//! ```text
+//! // before:
+//! arcs.segment_dataset(&ds, "age", "salary", "group", "A")?
+//! // after:
+//! let mut session = arcs.open(&ds, SegmentRequest::new("age", "salary", "group").group("A"))?;
+//! let seg = session.segment()?;
+//! let rules = session.remine(Thresholds::new(0.01, 0.5)?)?;   // instant, §3.2
+//! ```
+//!
+//! Sessions also carry the observability state of PR 2: a
+//! [`PipelineReport`] of per-stage wall-clock timings and work counters,
+//! and an optional [`Observer`] notified as stages complete.
+
+use std::time::{Duration, Instant};
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use arcs_data::sample::sample_rows;
+use arcs_data::schema::AttrKind;
+use arcs_data::{Dataset, Schema, Tuple};
+
+use crate::binarray::BinArray;
+use crate::binner::Binner;
+use crate::bitop::{self, BitOpConfig};
+use crate::cluster::{ClusteredRule, Rect};
+use crate::engine::{self, BinnedRule, Thresholds};
+use crate::error::ArcsError;
+use crate::metrics::{Observer, PipelineReport, Stage};
+use crate::optimizer::{evaluate, optimize, Evaluation, OptimizerConfig, SearchStats};
+use crate::pipeline::{Arcs, ArcsConfig, GroupSegmentations, Segmentation};
+use crate::smooth::smooth;
+
+/// Names the attributes of one segmentation task: the two quantitative
+/// LHS attributes (`x`, `y`), the categorical segmentation criterion, and
+/// optionally the criterion group to target.
+///
+/// Built once and handed to [`Arcs::open`]; replaces the positional
+/// `(x_attr, y_attr, criterion_attr, group_label)` string arguments of
+/// the deprecated `segment_*` methods.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SegmentRequest {
+    x: String,
+    y: String,
+    criterion: String,
+    group: Option<String>,
+}
+
+impl SegmentRequest {
+    /// A request clustering the `(x, y)` plane by `criterion`.
+    pub fn new(
+        x: impl Into<String>,
+        y: impl Into<String>,
+        criterion: impl Into<String>,
+    ) -> Self {
+        SegmentRequest {
+            x: x.into(),
+            y: y.into(),
+            criterion: criterion.into(),
+            group: None,
+        }
+    }
+
+    /// Targets one criterion group, enabling [`Session::segment`],
+    /// [`Session::remine`] and [`Session::recluster`] without an explicit
+    /// label. Without it, use the `*_group` / [`Session::segment_all`]
+    /// forms.
+    pub fn group(mut self, label: impl Into<String>) -> Self {
+        self.group = Some(label.into());
+        self
+    }
+
+    /// The x (first LHS) attribute name.
+    pub fn x_attr(&self) -> &str {
+        &self.x
+    }
+
+    /// The y (second LHS) attribute name.
+    pub fn y_attr(&self) -> &str {
+        &self.y
+    }
+
+    /// The segmentation criterion attribute name.
+    pub fn criterion_attr(&self) -> &str {
+        &self.criterion
+    }
+
+    /// The targeted criterion group, if one was set.
+    pub fn group_label(&self) -> Option<&str> {
+        self.group.as_deref()
+    }
+}
+
+/// Outcome of the threshold search, including degradation-ladder
+/// bookkeeping and the work counters accumulated along the way.
+struct SearchOutcome {
+    best: Evaluation,
+    evaluations: usize,
+    degraded: bool,
+    relaxation_steps: Vec<String>,
+    stats: SearchStats,
+}
+
+/// Runs the threshold search; when it finds nothing and degradation is
+/// enabled, walks a bounded ladder of relaxations: (1) floor the
+/// support/confidence thresholds at zero, (2) additionally disable
+/// smoothing (whose low-pass filter can erase every sparse qualifying
+/// cell), (3) additionally disable cluster pruning. The first step
+/// yielding any cluster wins; each evaluation still runs the full
+/// smooth → cluster → verify → score path.
+fn run_search(
+    config: &ArcsConfig,
+    array: &BinArray,
+    gk: u32,
+    binner: &Binner,
+    sample: &[&Tuple],
+) -> Result<SearchOutcome, ArcsError> {
+    match optimize(array, gk, binner, sample, &config.optimizer) {
+        Ok(result) => Ok(SearchOutcome {
+            best: result.best,
+            evaluations: result.trace.len(),
+            degraded: false,
+            relaxation_steps: Vec::new(),
+            stats: result.stats,
+        }),
+        Err(ArcsError::NoSegmentation) if config.degrade_on_no_segmentation => {
+            let floor = Thresholds::new(0.0, 0.0)?;
+            let mut relaxed = config.optimizer.clone();
+            type Relax = fn(&mut OptimizerConfig);
+            let ladder: [(&str, Relax); 3] = [
+                ("floor-thresholds", |_| {}),
+                ("disable-smoothing", |c| {
+                    c.smoothing = crate::smooth::SmoothConfig::disabled();
+                }),
+                ("disable-pruning", |c| {
+                    c.bitop = crate::bitop::BitOpConfig::no_pruning();
+                }),
+            ];
+            let mut steps = Vec::new();
+            for (i, (name, relax)) in ladder.iter().enumerate() {
+                relax(&mut relaxed);
+                steps.push(name.to_string());
+                let eval = evaluate(array, gk, binner, sample, floor, &relaxed)?;
+                if !eval.clusters.is_empty() {
+                    return Ok(SearchOutcome {
+                        best: eval,
+                        evaluations: i + 1,
+                        degraded: true,
+                        relaxation_steps: steps,
+                        stats: SearchStats::default(),
+                    });
+                }
+            }
+            Err(ArcsError::NoSegmentation)
+        }
+        Err(err) => Err(err),
+    }
+}
+
+/// The labels of a categorical criterion attribute, or an error when the
+/// attribute is quantitative.
+fn criterion_labels(schema: &Schema, criterion_attr: &str) -> Result<Vec<String>, ArcsError> {
+    let idx = schema.require(criterion_attr)?;
+    let attr = schema.attribute(idx).expect("index from require");
+    match &attr.kind {
+        AttrKind::Categorical { labels } => Ok(labels.clone()),
+        AttrKind::Quantitative { .. } => Err(ArcsError::AttributeKind {
+            attribute: attr.name.clone(),
+            expected: "a categorical criterion attribute",
+        }),
+    }
+}
+
+/// A populated pipeline: the bin array, binner, and verification sample
+/// for one [`SegmentRequest`], independent of the source data.
+///
+/// Created by [`Arcs::open`], [`Arcs::open_stream`] or
+/// [`Arcs::open_binned`]. Mining operations ([`segment`](Session::segment),
+/// [`remine`](Session::remine), [`recluster`](Session::recluster)) borrow
+/// the session mutably only to update its [`PipelineReport`]; the bin
+/// array itself is never modified after construction, so results are
+/// reproducible across repeated calls.
+pub struct Session {
+    config: ArcsConfig,
+    request: SegmentRequest,
+    binner: Binner,
+    array: BinArray,
+    /// Owned copy of the verification sample — what lets the source
+    /// dataset be dropped while `remine`/`segment` keep working.
+    sample: Vec<Tuple>,
+    /// Criterion group labels, in code order.
+    labels: Vec<String>,
+    /// Thresholds of the most recent mine (search winner or explicit
+    /// `remine` argument); `recluster` reuses them.
+    thresholds: Option<Thresholds>,
+    report: PipelineReport,
+    observer: Option<Box<dyn Observer>>,
+}
+
+impl std::fmt::Debug for Session {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Session")
+            .field("request", &self.request)
+            .field("n_tuples", &self.array.n_tuples())
+            .field("sample_len", &self.sample.len())
+            .field("labels", &self.labels)
+            .field("thresholds", &self.thresholds)
+            .field("report", &self.report)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Arcs {
+    /// Opens a session over an in-memory dataset: builds the binner, bins
+    /// every tuple (in parallel across [`ArcsConfig::threads`] workers),
+    /// and draws the verification sample. The returned [`Session`] owns
+    /// everything it needs; `dataset` may be dropped afterwards.
+    pub fn open(&self, dataset: &Dataset, request: SegmentRequest) -> Result<Session, ArcsError> {
+        if dataset.is_empty() {
+            return Err(ArcsError::InvalidConfig("dataset is empty".into()));
+        }
+        let schema = dataset.schema();
+        let binner = self.build_binner(
+            schema,
+            request.x_attr(),
+            request.y_attr(),
+            request.criterion_attr(),
+            Some(dataset),
+        )?;
+        let labels = criterion_labels(schema, request.criterion_attr())?;
+        check_group(&labels, &request)?;
+
+        let threads = self.config().threads;
+        let mut report = PipelineReport { threads, ..PipelineReport::default() };
+
+        let start = Instant::now();
+        let array = binner.bin_rows_parallel(dataset.rows(), threads)?;
+        report.timings.record(Stage::Binning, start.elapsed());
+        report.counters.tuples_binned = array.n_tuples();
+
+        let start = Instant::now();
+        let mut rng = StdRng::seed_from_u64(self.config().seed);
+        let k = self.config().sample_size.min(dataset.len());
+        let sample: Vec<Tuple> = sample_rows(dataset, k, &mut rng)
+            .map_err(ArcsError::Data)?
+            .into_iter()
+            .cloned()
+            .collect();
+        report.timings.record(Stage::Sampling, start.elapsed());
+
+        Ok(Session {
+            config: self.config().clone(),
+            request,
+            binner,
+            array,
+            sample,
+            labels,
+            thresholds: None,
+            report,
+            observer: None,
+        })
+    }
+
+    /// Opens a session over a tuple stream in one pass, with an explicit
+    /// verification sample (which must share `schema`). Only
+    /// [`crate::binner::BinningStrategy::EquiWidth`] is possible here —
+    /// the alternatives need a second look at the data.
+    pub fn open_stream<I>(
+        &self,
+        schema: &Schema,
+        tuples: I,
+        request: SegmentRequest,
+        sample: &Dataset,
+    ) -> Result<Session, ArcsError>
+    where
+        I: IntoIterator<Item = Tuple>,
+    {
+        let binner = self.build_binner(
+            schema,
+            request.x_attr(),
+            request.y_attr(),
+            request.criterion_attr(),
+            None,
+        )?;
+        let labels = criterion_labels(schema, request.criterion_attr())?;
+        check_group(&labels, &request)?;
+
+        let threads = self.config().threads;
+        let mut report = PipelineReport { threads, ..PipelineReport::default() };
+
+        let start = Instant::now();
+        let array = binner.bin_stream_parallel(tuples, threads)?;
+        report.timings.record(Stage::Binning, start.elapsed());
+        report.counters.tuples_binned = array.n_tuples();
+
+        let start = Instant::now();
+        let sample: Vec<Tuple> = sample.rows().to_vec();
+        report.timings.record(Stage::Sampling, start.elapsed());
+
+        Ok(Session {
+            config: self.config().clone(),
+            request,
+            binner,
+            array,
+            sample,
+            labels,
+            thresholds: None,
+            report,
+            observer: None,
+        })
+    }
+
+    /// Opens a session around a pre-built [`BinArray`] (e.g. one resumed
+    /// from a checkpoint). The `binner` must be the one that produced the
+    /// array — its bin maps decode clusters back to attribute ranges. The
+    /// `sample` provides both the verification tuples and the schema.
+    pub fn open_binned(
+        &self,
+        array: BinArray,
+        binner: Binner,
+        sample: &Dataset,
+        request: SegmentRequest,
+    ) -> Result<Session, ArcsError> {
+        let labels = criterion_labels(sample.schema(), request.criterion_attr())?;
+        check_group(&labels, &request)?;
+        let mut report = PipelineReport {
+            threads: self.config().threads,
+            ..PipelineReport::default()
+        };
+        report.counters.tuples_binned = array.n_tuples();
+        Ok(Session {
+            config: self.config().clone(),
+            request,
+            binner,
+            array,
+            sample: sample.rows().to_vec(),
+            labels,
+            thresholds: None,
+            report,
+            observer: None,
+        })
+    }
+}
+
+/// Fails fast when the request targets a group the criterion does not have.
+fn check_group(labels: &[String], request: &SegmentRequest) -> Result<(), ArcsError> {
+    if let Some(group) = request.group_label() {
+        if !labels.iter().any(|l| l == group) {
+            return Err(ArcsError::UnknownGroup(group.to_string()));
+        }
+    }
+    Ok(())
+}
+
+impl Session {
+    /// Segments the group named in the request. Errors with
+    /// [`ArcsError::InvalidConfig`] when the request has no group — use
+    /// [`SegmentRequest::group`], [`segment_group`](Session::segment_group)
+    /// or [`segment_all`](Session::segment_all).
+    pub fn segment(&mut self) -> Result<Segmentation, ArcsError> {
+        let label = self.request_group("segment")?;
+        self.segment_group(&label)
+    }
+
+    /// Runs the threshold search and decodes the winning clusters for one
+    /// criterion group, updating the session's timings and counters.
+    pub fn segment_group(&mut self, group_label: &str) -> Result<Segmentation, ArcsError> {
+        let gk = self.group_code(group_label)?;
+
+        let start = Instant::now();
+        let outcome = {
+            let sample_refs: Vec<&Tuple> = self.sample.iter().collect();
+            run_search(&self.config, &self.array, gk, &self.binner, &sample_refs)
+        };
+        self.record_stage(Stage::Search, start.elapsed());
+        let outcome = outcome?;
+
+        {
+            let c = &mut self.report.counters;
+            c.occupied_cells += outcome.stats.occupied_cells;
+            c.candidates_enumerated += outcome.stats.candidates_enumerated;
+            c.clusters_pruned += outcome.stats.clusters_pruned;
+            c.evaluations += outcome.evaluations as u64;
+            c.verifier_false_positives += outcome.best.errors.false_positives as u64;
+            c.verifier_false_negatives += outcome.best.errors.false_negatives as u64;
+        }
+
+        let start = Instant::now();
+        let rules = self.decode(&outcome.best.clusters, gk, group_label)?;
+        self.report.counters.rules_emitted +=
+            engine::mine_rules(&self.array, gk, outcome.best.thresholds).len() as u64;
+        self.record_stage(Stage::Decode, start.elapsed());
+        self.notify_counters();
+
+        self.thresholds = Some(outcome.best.thresholds);
+        Ok(Segmentation {
+            rules,
+            clusters: outcome.best.clusters,
+            thresholds: outcome.best.thresholds,
+            score: outcome.best.score,
+            errors: outcome.best.errors,
+            n_tuples: self.array.n_tuples(),
+            evaluations: outcome.evaluations,
+            degraded: outcome.degraded,
+            relaxation_steps: outcome.relaxation_steps,
+        })
+    }
+
+    /// Segments every criterion group against the one shared bin array
+    /// and sample (paper §3.1). Returns `(group label, result)` per group;
+    /// groups for which no segmentation exists report their error.
+    pub fn segment_all(&mut self) -> Result<GroupSegmentations, ArcsError> {
+        let labels = self.labels.clone();
+        Ok(labels
+            .into_iter()
+            .map(|label| {
+                let seg = self.segment_group(&label);
+                (label, seg)
+            })
+            .collect())
+    }
+
+    /// Re-mines association rules at explicit thresholds against the
+    /// already-populated bin array — the paper's §3.2 instant re-mining;
+    /// no pass over the source data. Targets the request's group.
+    pub fn remine(&mut self, thresholds: Thresholds) -> Result<Vec<BinnedRule>, ArcsError> {
+        let label = self.request_group("remine")?;
+        self.remine_group(&label, thresholds)
+    }
+
+    /// [`remine`](Session::remine) for an explicit criterion group.
+    pub fn remine_group(
+        &mut self,
+        group_label: &str,
+        thresholds: Thresholds,
+    ) -> Result<Vec<BinnedRule>, ArcsError> {
+        let gk = self.group_code(group_label)?;
+        let start = Instant::now();
+        let rules = engine::mine_rules(&self.array, gk, thresholds);
+        self.record_stage(Stage::Search, start.elapsed());
+        self.report.counters.rules_emitted += rules.len() as u64;
+        self.notify_counters();
+        self.thresholds = Some(thresholds);
+        Ok(rules)
+    }
+
+    /// Re-clusters at the session's current thresholds (from the last
+    /// [`segment`](Session::segment) or [`remine`](Session::remine)) under
+    /// a different BitOp configuration, returning decoded rules. Errors
+    /// when no thresholds have been established yet.
+    pub fn recluster(&mut self, bitop_config: &BitOpConfig) -> Result<Vec<ClusteredRule>, ArcsError> {
+        let label = self.request_group("recluster")?;
+        self.recluster_group(&label, bitop_config)
+    }
+
+    /// [`recluster`](Session::recluster) for an explicit criterion group.
+    pub fn recluster_group(
+        &mut self,
+        group_label: &str,
+        bitop_config: &BitOpConfig,
+    ) -> Result<Vec<ClusteredRule>, ArcsError> {
+        let gk = self.group_code(group_label)?;
+        let thresholds = self.thresholds.ok_or_else(|| {
+            ArcsError::InvalidConfig(
+                "no thresholds established yet — call segment or remine first".into(),
+            )
+        })?;
+
+        let start = Instant::now();
+        let grid = engine::rule_grid(&self.array, gk, thresholds)?;
+        let smoothed = smooth(&grid, &self.config.optimizer.smoothing)?;
+        let (clusters, stats) = bitop::cluster_with_stats(&smoothed, bitop_config)?;
+        self.record_stage(Stage::Search, start.elapsed());
+        self.report.counters.candidates_enumerated += stats.candidates_enumerated;
+        self.report.counters.clusters_pruned += stats.clusters_pruned;
+
+        let start = Instant::now();
+        let rules = self.decode(&clusters, gk, group_label)?;
+        self.report.counters.rules_emitted += rules.len() as u64;
+        self.record_stage(Stage::Decode, start.elapsed());
+        self.notify_counters();
+        Ok(rules)
+    }
+
+    /// Decodes cluster rectangles into [`ClusteredRule`]s with aggregate
+    /// support/confidence computed from the bin array.
+    fn decode(
+        &self,
+        clusters: &[Rect],
+        gk: u32,
+        group_label: &str,
+    ) -> Result<Vec<ClusteredRule>, ArcsError> {
+        let n = self.array.n_tuples();
+        let mut rules = Vec::with_capacity(clusters.len());
+        for &rect in clusters {
+            // Aggregate support/confidence of the whole rectangle.
+            let mut group_count = 0u64;
+            let mut total_count = 0u64;
+            for (x, y) in rect.cells() {
+                group_count += self.array.group_count(x, y, gk) as u64;
+                total_count += self.array.cell_total(x, y) as u64;
+            }
+            let support = if n == 0 { 0.0 } else { group_count as f64 / n as f64 };
+            let confidence = if total_count == 0 {
+                0.0
+            } else {
+                group_count as f64 / total_count as f64
+            };
+            rules.push(ClusteredRule::from_rect(
+                rect,
+                self.binner.x_map(),
+                self.binner.y_map(),
+                self.request.x_attr(),
+                self.request.y_attr(),
+                self.request.criterion_attr(),
+                group_label,
+                support,
+                confidence,
+            )?);
+        }
+        Ok(rules)
+    }
+
+    /// Installs an observer notified as stages complete and counters
+    /// change. Replaces any previous observer.
+    pub fn observe(&mut self, observer: Box<dyn Observer>) {
+        self.observer = Some(observer);
+    }
+
+    /// The populated bin array.
+    pub fn bin_array(&self) -> &BinArray {
+        &self.array
+    }
+
+    /// The binner that produced the array (bin maps included).
+    pub fn binner(&self) -> &Binner {
+        &self.binner
+    }
+
+    /// The request this session was opened with.
+    pub fn request(&self) -> &SegmentRequest {
+        &self.request
+    }
+
+    /// Criterion group labels, in code order.
+    pub fn group_labels(&self) -> &[String] {
+        &self.labels
+    }
+
+    /// Number of tuples in the owned verification sample.
+    pub fn sample_len(&self) -> usize {
+        self.sample.len()
+    }
+
+    /// Thresholds of the most recent mine, if any.
+    pub fn thresholds(&self) -> Option<Thresholds> {
+        self.thresholds
+    }
+
+    /// Accumulated stage timings and work counters.
+    pub fn report(&self) -> &PipelineReport {
+        &self.report
+    }
+
+    fn request_group(&self, op: &str) -> Result<String, ArcsError> {
+        self.request.group_label().map(str::to_string).ok_or_else(|| {
+            ArcsError::InvalidConfig(format!(
+                "the segment request names no group — add .group(..) to the \
+                 request or use {op}_group / segment_all"
+            ))
+        })
+    }
+
+    fn group_code(&self, label: &str) -> Result<u32, ArcsError> {
+        self.labels
+            .iter()
+            .position(|l| l == label)
+            .map(|p| p as u32)
+            .ok_or_else(|| ArcsError::UnknownGroup(label.to_string()))
+    }
+
+    fn record_stage(&mut self, stage: Stage, elapsed: Duration) {
+        self.report.timings.record(stage, elapsed);
+        if let Some(observer) = self.observer.as_deref_mut() {
+            observer.stage_completed(stage, elapsed);
+        }
+    }
+
+    fn notify_counters(&mut self) {
+        if let Some(observer) = self.observer.as_deref_mut() {
+            observer.counters_updated(&self.report.counters);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::PipelineCounters;
+    use crate::optimizer::OptimizerConfig;
+    use arcs_data::schema::Attribute;
+    use arcs_data::Value;
+
+    fn small_schema() -> Schema {
+        Schema::new(vec![
+            Attribute::quantitative("x", 0.0, 10.0),
+            Attribute::quantitative("y", 0.0, 10.0),
+            Attribute::categorical("g", ["A", "other"]),
+        ])
+        .unwrap()
+    }
+
+    fn blocky_dataset() -> Dataset {
+        let mut ds = Dataset::new(small_schema());
+        for ix in 0..10 {
+            for iy in 0..10 {
+                let x = ix as f64 + 0.5;
+                let y = iy as f64 + 0.5;
+                let in_block = (2..5).contains(&ix) && (2..5).contains(&iy);
+                let (n_a, n_other) = if in_block { (20, 2) } else { (0, 5) };
+                for _ in 0..n_a {
+                    ds.push(vec![Value::Quant(x), Value::Quant(y), Value::Cat(0)]).unwrap();
+                }
+                for _ in 0..n_other {
+                    ds.push(vec![Value::Quant(x), Value::Quant(y), Value::Cat(1)]).unwrap();
+                }
+            }
+        }
+        ds
+    }
+
+    fn small_config() -> ArcsConfig {
+        ArcsConfig {
+            n_x_bins: 10,
+            n_y_bins: 10,
+            optimizer: OptimizerConfig {
+                bitop: crate::bitop::BitOpConfig::no_pruning(),
+                ..OptimizerConfig::default()
+            },
+            ..ArcsConfig::default()
+        }
+    }
+
+    #[test]
+    fn session_matches_the_deprecated_entry_point() {
+        let ds = blocky_dataset();
+        let arcs = Arcs::new(small_config()).unwrap();
+        let legacy = arcs.segment_dataset(&ds, "x", "y", "g", "A").unwrap();
+        let mut session = arcs
+            .open(&ds, SegmentRequest::new("x", "y", "g").group("A"))
+            .unwrap();
+        let seg = session.segment().unwrap();
+        assert_eq!(seg, legacy);
+    }
+
+    #[test]
+    fn remine_works_after_the_dataset_is_dropped() {
+        let arcs = Arcs::new(small_config()).unwrap();
+        let mut session = {
+            let ds = blocky_dataset();
+            arcs.open(&ds, SegmentRequest::new("x", "y", "g").group("A")).unwrap()
+            // `ds` dropped here — the session owns all it needs.
+        };
+        let seg = session.segment().unwrap();
+        assert_eq!(seg.clusters.len(), 1);
+
+        // §3.2 instant re-mining: lower thresholds, no pass over the data.
+        let loose = session.remine(Thresholds::new(0.0, 0.5).unwrap()).unwrap();
+        assert!(!loose.is_empty());
+        let strict = session.remine(Thresholds::new(0.5, 0.99).unwrap()).unwrap();
+        assert!(strict.len() <= loose.len());
+    }
+
+    #[test]
+    fn recluster_reuses_the_last_thresholds() {
+        let ds = blocky_dataset();
+        let arcs = Arcs::new(small_config()).unwrap();
+        let mut session = arcs
+            .open(&ds, SegmentRequest::new("x", "y", "g").group("A"))
+            .unwrap();
+
+        // Before any mine, recluster has no thresholds to work with.
+        assert!(matches!(
+            session.recluster(&BitOpConfig::no_pruning()),
+            Err(ArcsError::InvalidConfig(_))
+        ));
+
+        let seg = session.segment().unwrap();
+        let rules = session.recluster(&BitOpConfig::no_pruning()).unwrap();
+        assert_eq!(rules.len(), seg.rules.len());
+
+        // An aggressive pruning config may cluster differently, but must
+        // not panic and must still decode against the same array.
+        let strict = BitOpConfig {
+            min_area_fraction: 0.0,
+            min_area_cells: 100,
+            max_clusters: 100,
+            threads: 1,
+        };
+        let pruned = session.recluster(&strict).unwrap();
+        assert!(pruned.len() <= rules.len());
+    }
+
+    #[test]
+    fn segment_without_group_requires_the_group_forms() {
+        let ds = blocky_dataset();
+        let arcs = Arcs::new(small_config()).unwrap();
+        let mut session = arcs.open(&ds, SegmentRequest::new("x", "y", "g")).unwrap();
+        assert!(matches!(session.segment(), Err(ArcsError::InvalidConfig(_))));
+        let seg = session.segment_group("A").unwrap();
+        assert_eq!(seg.clusters.len(), 1);
+        let all = session.segment_all().unwrap();
+        assert_eq!(all.len(), 2);
+        assert_eq!(all[0].1.as_ref().unwrap().clusters, seg.clusters);
+    }
+
+    #[test]
+    fn unknown_groups_rejected_at_open() {
+        let ds = blocky_dataset();
+        let arcs = Arcs::new(small_config()).unwrap();
+        assert!(matches!(
+            arcs.open(&ds, SegmentRequest::new("x", "y", "g").group("Z")),
+            Err(ArcsError::UnknownGroup(_))
+        ));
+    }
+
+    #[test]
+    fn report_accumulates_timings_and_counters() {
+        let ds = blocky_dataset();
+        let arcs = Arcs::new(small_config()).unwrap();
+        let mut session = arcs
+            .open(&ds, SegmentRequest::new("x", "y", "g").group("A"))
+            .unwrap();
+        assert_eq!(session.report().counters.tuples_binned, ds.len() as u64);
+        session.segment().unwrap();
+        let c = &session.report().counters;
+        assert!(c.evaluations > 0);
+        assert!(c.occupied_cells > 0);
+        assert!(c.rules_emitted > 0);
+        assert!(session.report().timings.total() > Duration::ZERO);
+        assert_eq!(session.report().threads, arcs.config().threads);
+    }
+
+    #[derive(Default)]
+    struct Recording {
+        stages: Vec<Stage>,
+        counter_updates: usize,
+    }
+
+    struct SharedRecorder(std::sync::Arc<std::sync::Mutex<Recording>>);
+
+    impl Observer for SharedRecorder {
+        fn stage_completed(&mut self, stage: Stage, _elapsed: Duration) {
+            self.0.lock().unwrap().stages.push(stage);
+        }
+        fn counters_updated(&mut self, _counters: &PipelineCounters) {
+            self.0.lock().unwrap().counter_updates += 1;
+        }
+    }
+
+    #[test]
+    fn observer_sees_stage_completions() {
+        let ds = blocky_dataset();
+        let arcs = Arcs::new(small_config()).unwrap();
+        let mut session = arcs
+            .open(&ds, SegmentRequest::new("x", "y", "g").group("A"))
+            .unwrap();
+        let recording = std::sync::Arc::new(std::sync::Mutex::new(Recording::default()));
+        session.observe(Box::new(SharedRecorder(recording.clone())));
+        session.segment().unwrap();
+        let seen = recording.lock().unwrap();
+        assert_eq!(seen.stages, vec![Stage::Search, Stage::Decode]);
+        assert!(seen.counter_updates >= 1);
+    }
+
+    #[test]
+    fn open_stream_matches_open() {
+        let ds = blocky_dataset();
+        let arcs = Arcs::new(small_config()).unwrap();
+        let request = SegmentRequest::new("x", "y", "g").group("A");
+        let mut a = arcs.open(&ds, request.clone()).unwrap();
+        let mut b = arcs
+            .open_stream(ds.schema(), ds.iter().cloned(), request, &ds)
+            .unwrap();
+        assert_eq!(a.bin_array().checksum(), b.bin_array().checksum());
+        let seg_a = a.segment().unwrap();
+        let seg_b = b.segment().unwrap();
+        assert_eq!(seg_a.clusters, seg_b.clusters);
+    }
+}

@@ -1,12 +1,12 @@
-//! Quickstart: generate the paper's synthetic workload, run ARCS, and
-//! print the clustered association rules.
+//! Quickstart: generate the paper's synthetic workload, run ARCS through
+//! the session API, and print the clustered association rules.
 //!
 //! ```sh
 //! cargo run --release --example quickstart
 //! ```
 
-use arcs::core::render::render_clusters;
 use arcs::core::engine::rule_grid;
+use arcs::core::render::render_clusters;
 use arcs::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -16,11 +16,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let dataset = gen.generate(50_000);
     println!("generated {} tuples over {} attributes", dataset.len(), dataset.schema().arity());
 
-    // 2. Run the full ARCS pipeline: bin (50x50), mine, smooth, cluster
-    //    with BitOp, verify, and let the heuristic optimizer pick the
-    //    MDL-best thresholds.
+    // 2. Open a session: one parallel binning pass (50x50) plus one
+    //    verification sample. The session owns the populated BinArray —
+    //    everything below runs without touching the dataset again.
     let arcs = Arcs::with_defaults();
-    let seg = arcs.segment_dataset(&dataset, "age", "salary", "group", "A")?;
+    let mut session = arcs.open(
+        &dataset,
+        SegmentRequest::new("age", "salary", "group").group("A"),
+    )?;
+
+    // 3. Segment: mine, smooth, cluster with BitOp, verify, and let the
+    //    heuristic optimizer pick the MDL-best thresholds.
+    let seg = session.segment()?;
 
     println!("\nclustered association rules for group = A:");
     for rule in &seg.rules {
@@ -41,12 +48,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         seg.errors.rate() * 100.0
     );
 
-    // 3. Visualise: re-mine the grid at the chosen thresholds and overlay
+    // 4. Visualise: re-mine the grid at the chosen thresholds and overlay
     //    the clusters (paper Figure 1 style; age bins on x, salary on y).
-    let binner = Binner::equi_width(dataset.schema(), "age", "salary", "group", 50, 50)?;
-    let array = binner.bin_rows(dataset.iter())?;
-    let grid = rule_grid(&array, 0, seg.thresholds)?;
+    let grid = rule_grid(session.bin_array(), 0, seg.thresholds)?;
     println!("\nrule grid with clusters (A/B/C = cluster cells, # = unclustered rule):");
     print!("{}", render_clusters(&grid, &seg.clusters));
+
+    // 5. Observability: where did the time go, and how much work was done?
+    println!("\npipeline report: {}", session.report().to_json());
     Ok(())
 }

@@ -61,3 +61,72 @@ fn generator_streams_are_reproducible_across_iterator_and_generate() {
         AgrawalGenerator::new(config).unwrap().take(500).collect();
     assert_eq!(ds.rows(), &by_iter[..]);
 }
+
+/// Builds an `Arcs` with every thread knob pinned to `threads`.
+fn arcs_with_threads(threads: usize) -> Arcs {
+    let config = ArcsConfig {
+        threads,
+        optimizer: OptimizerConfig { threads, ..OptimizerConfig::default() },
+        ..ArcsConfig::default()
+    };
+    Arcs::new(config).unwrap()
+}
+
+/// PR 2 tentpole guarantee: the parallel execution layer is bit-identical
+/// to the sequential one — same `BinArray` checksum after sharded binning
+/// and the same rules in the same order after the parallel threshold
+/// search — on the paper's Agrawal F2 workload.
+#[test]
+fn parallel_execution_is_bit_identical_on_agrawal_f2() {
+    let mut gen = AgrawalGenerator::new(GeneratorConfig::paper_defaults(99)).unwrap();
+    let ds = gen.generate(30_000);
+    let request = SegmentRequest::new("age", "salary", "group").group("A");
+
+    let mut baseline = arcs_with_threads(1).open(&ds, request.clone()).unwrap();
+    let base_checksum = baseline.bin_array().checksum();
+    let base_seg = baseline.segment().unwrap();
+
+    for threads in [2, 4] {
+        let mut session = arcs_with_threads(threads).open(&ds, request.clone()).unwrap();
+        assert_eq!(
+            session.bin_array().checksum(),
+            base_checksum,
+            "bin array diverged at {threads} threads"
+        );
+        let seg = session.segment().unwrap();
+        assert_eq!(seg.rules, base_seg.rules, "rules diverged at {threads} threads");
+        assert_eq!(seg, base_seg, "segmentation diverged at {threads} threads");
+    }
+}
+
+/// The same bit-identity on an adversarially clumped dataset (all mass in
+/// a few cells, sizes not divisible by the chunk size) rather than the
+/// smooth synthetic workload.
+#[test]
+fn parallel_binning_is_bit_identical_on_a_clumped_dataset() {
+    let schema = Schema::new(vec![
+        Attribute::quantitative("x", 0.0, 100.0),
+        Attribute::quantitative("y", 0.0, 100.0),
+        Attribute::categorical("g", ["A", "B", "C"]),
+    ])
+    .unwrap();
+    let mut ds = Dataset::new(schema);
+    // 10_007 rows (prime, so no chunking divides evenly), heavily skewed.
+    for i in 0..10_007u64 {
+        let cell = (i * i + 17) % 7;
+        let x = (cell as f64) * 13.0 + 1.5;
+        let y = ((i % 3) as f64) * 30.0 + 2.5;
+        let g = (i % 5).min(2) as u32;
+        ds.push(vec![Value::Quant(x), Value::Quant(y), Value::Cat(g)]).unwrap();
+    }
+    let request = SegmentRequest::new("x", "y", "g");
+    let base = arcs_with_threads(1).open(&ds, request.clone()).unwrap();
+    for threads in [2, 3, 4, 8] {
+        let session = arcs_with_threads(threads).open(&ds, request.clone()).unwrap();
+        assert_eq!(
+            session.bin_array().checksum(),
+            base.bin_array().checksum(),
+            "checksum diverged at {threads} threads"
+        );
+    }
+}

@@ -360,6 +360,32 @@ proptest! {
         prop_assert!(sql.contains("< 2"));
     }
 
+    /// Sharded parallel binning merges to the exact same `BinArray` as the
+    /// sequential pass — same counts, same checksum — for arbitrary
+    /// datasets and thread counts, in both the slice and stream forms.
+    #[test]
+    fn parallel_binning_matches_sequential(
+        rows in vec((0.0f64..50.0, 0.0f64..50.0, 0u32..3), 1..400),
+        threads in 2usize..6,
+    ) {
+        let schema = Schema::new(vec![
+            Attribute::quantitative("x", 0.0, 50.0),
+            Attribute::quantitative("y", 0.0, 50.0),
+            Attribute::categorical("g", ["a", "b", "c"]),
+        ]).unwrap();
+        let mut ds = Dataset::new(schema.clone());
+        for &(x, y, g) in &rows {
+            ds.push(vec![Value::Quant(x), Value::Quant(y), Value::Cat(g)]).unwrap();
+        }
+        let binner = Binner::equi_width(&schema, "x", "y", "g", 8, 8).unwrap();
+        let sequential = binner.bin_rows(ds.iter()).unwrap();
+        let parallel = binner.bin_rows_parallel(ds.rows(), threads).unwrap();
+        prop_assert_eq!(&parallel, &sequential);
+        prop_assert_eq!(parallel.checksum(), sequential.checksum());
+        let streamed = binner.bin_stream_parallel(ds.iter().cloned(), threads).unwrap();
+        prop_assert_eq!(&streamed, &sequential);
+    }
+
     /// Tuples generated by any Agrawal function always validate against
     /// the schema, and labels are within the group cardinality.
     #[test]
