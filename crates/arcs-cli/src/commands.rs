@@ -110,7 +110,7 @@ const SEGMENT_USAGE: &str = "\
 arcs segment <FILE> --criterion <ATTR> --group <LABEL>
              [--x <ATTR> --y <ATTR>]      (default: auto-select by joint MI)
              [--bins 50] [--sample 2000] [--seed 0]
-             [--threads <N>] [--stats json]
+             [--threads <N>] [--stats json] [--memory-budget <BYTES>]
              [--max-categories 16] [--grid] [--svg <FILE>] [--categorical <ATTR>]
              [--on-bad-row fail|skip|quarantine=<FILE>] [--max-bad-fraction 1.0]
              [--checkpoint <FILE>] [--resume <FILE>] [--checkpoint-every 100000]
@@ -131,6 +131,10 @@ Robustness options:
                       rows, or skip them and append the raw lines to a
                       quarantine file; skip/quarantine print an ingest report
   --max-bad-fraction  abort when more than this fraction of rows is bad
+  --memory-budget B   cap the bin array at B bytes; when the requested grid
+                      does not fit, bins are halved until it does (the run
+                      then exits with code 5), and a budget too small for
+                      even the coarsest grid refuses to start
   --checkpoint FILE   periodically checkpoint binning progress to FILE
   --resume FILE       resume binning from an earlier checkpoint of the same
                       run (the file must exist)";
@@ -148,17 +152,24 @@ arcs rank <FILE> --criterion <ATTR> [--bins 20] [--max-categories 16]
 Ranks quantitative attributes by mutual information with the criterion and
 suggests the best pair by joint MI.";
 
-/// Dispatches a full argument vector (without the program name).
-pub fn dispatch(argv: &[String]) -> Result<String, CliError> {
+/// Exit code for runs that completed, but only because the memory budget
+/// forced the grid to a coarser resolution than requested.
+pub const EXIT_BUDGET_DEGRADED: u8 = 5;
+
+/// Dispatches a full argument vector (without the program name),
+/// returning the rendered output plus the process exit status: `0` for a
+/// clean run, [`EXIT_BUDGET_DEGRADED`] when the command succeeded under a
+/// memory budget only by coarsening the grid.
+pub fn dispatch_with_status(argv: &[String]) -> Result<(String, u8), CliError> {
     let Some((command, rest)) = argv.split_first() else {
         return Err(CliError::Usage(USAGE.to_string()));
     };
     match command.as_str() {
-        "generate" => generate(rest),
-        "segment" => segment(rest),
-        "explore" => explore(rest),
-        "rank" => rank(rest),
-        "help" | "--help" | "-h" => Ok(USAGE.to_string()),
+        "generate" => generate(rest).map(|out| (out, 0)),
+        "segment" => segment_with_status(rest),
+        "explore" => explore(rest).map(|out| (out, 0)),
+        "rank" => rank(rest).map(|out| (out, 0)),
+        "help" | "--help" | "-h" => Ok((USAGE.to_string(), 0)),
         other => Err(CliError::Usage(format!(
             "unknown command `{other}`\n\n{USAGE}"
         ))),
@@ -250,9 +261,11 @@ fn ingest_summary(out: &mut String, report: &IngestReport) {
 }
 
 /// `arcs segment`: the paper's end-to-end pipeline over a CSV file.
-pub fn segment(argv: &[String]) -> Result<String, CliError> {
+/// Returns the rendered output plus the exit status (0 clean,
+/// [`EXIT_BUDGET_DEGRADED`] when a memory budget forced a coarser grid).
+fn segment_with_status(argv: &[String]) -> Result<(String, u8), CliError> {
     if wants_help(argv) {
-        return Ok(SEGMENT_USAGE.to_string());
+        return Ok((SEGMENT_USAGE.to_string(), 0));
     }
     let args = Args::parse(
         argv.iter().cloned(),
@@ -266,6 +279,7 @@ pub fn segment(argv: &[String]) -> Result<String, CliError> {
             "seed",
             "threads",
             "stats",
+            "memory-budget",
             "max-categories",
             "categorical",
             "svg",
@@ -303,6 +317,16 @@ pub fn segment(argv: &[String]) -> Result<String, CliError> {
             Some(t)
         }
     };
+    let memory_budget: Option<usize> = match args.get("memory-budget") {
+        None => None,
+        Some(_) => {
+            let bytes: usize = args.get_or("memory-budget", 0)?;
+            if bytes == 0 {
+                return Err(CliError::Usage("--memory-budget must be > 0 bytes".into()));
+            }
+            Some(bytes)
+        }
+    };
 
     let mut out = String::new();
     ingest_summary(&mut out, &report);
@@ -334,7 +358,7 @@ pub fn segment(argv: &[String]) -> Result<String, CliError> {
             seg.errors.rate() * 100.0,
             seg.score.cost
         );
-        return Ok(out);
+        return Ok((out, 0));
     }
 
     // Standard quantitative x/y mode; auto-select attributes when omitted.
@@ -361,6 +385,7 @@ pub fn segment(argv: &[String]) -> Result<String, CliError> {
         n_y_bins: bins,
         sample_size: args.get_or("sample", 2_000)?,
         seed: args.get_or("seed", 0u64)?,
+        memory_budget,
         ..ArcsConfig::default()
     };
     if let Some(t) = threads {
@@ -392,7 +417,7 @@ pub fn segment(argv: &[String]) -> Result<String, CliError> {
     };
 
     let request = SegmentRequest::new(&x_attr, &y_attr, criterion).group(group);
-    let (seg, stats_json) = if let Some(ckpt) = ckpt_path {
+    let (seg, stats_json, budget_steps) = if let Some(ckpt) = ckpt_path {
         let every: u64 = args.get_or("checkpoint-every", 100_000u64)?;
         let binner = Binner::equi_width(ds.schema(), &x_attr, &y_attr, criterion, bins, bins)
             .map_err(pipeline_err)?;
@@ -419,19 +444,34 @@ pub fn segment(argv: &[String]) -> Result<String, CliError> {
         let mut session =
             arcs.open_binned(array, binner, &sample, request).map_err(pipeline_err)?;
         let seg = session.segment().map_err(pipeline_err)?;
-        (seg, want_stats.then(|| session.report().to_json()))
+        let steps = session.budget_coarsening_steps();
+        (seg, want_stats.then(|| session.report().to_json()), steps)
     } else {
         let mut session = arcs.open(&ds, request).map_err(pipeline_err)?;
         let seg = session.segment().map_err(pipeline_err)?;
-        (seg, want_stats.then(|| session.report().to_json()))
+        let steps = session.budget_coarsening_steps();
+        (seg, want_stats.then(|| session.report().to_json()), steps)
     };
 
-    if seg.degraded {
+    if budget_steps > 0 {
+        let _ = writeln!(
+            out,
+            "note: the memory budget forced {budget_steps} bin-halving step(s); \
+             results use a coarser grid than requested (exit code {EXIT_BUDGET_DEGRADED})"
+        );
+    }
+    let ladder_steps: Vec<&str> = seg
+        .relaxation_steps
+        .iter()
+        .map(String::as_str)
+        .filter(|s| !s.starts_with("budget-coarsen"))
+        .collect();
+    if !ladder_steps.is_empty() {
         let _ = writeln!(
             out,
             "note: thresholds were too tight for a normal segmentation; \
              degraded result via relaxations: {}",
-            seg.relaxation_steps.join(" -> ")
+            ladder_steps.join(" -> ")
         );
     }
     let _ = writeln!(
@@ -488,7 +528,8 @@ pub fn segment(argv: &[String]) -> Result<String, CliError> {
     if let Some(json) = stats_json {
         let _ = writeln!(out, "{json}");
     }
-    Ok(out)
+    let status = if budget_steps > 0 { EXIT_BUDGET_DEGRADED } else { 0 };
+    Ok((out, status))
 }
 
 /// `arcs explore`: print the Figure 10 threshold lattice.
@@ -586,6 +627,12 @@ pub fn rank(argv: &[String]) -> Result<String, CliError> {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// [`dispatch_with_status`] minus the status, for tests that only
+    /// care about the rendered output.
+    fn dispatch(argv: &[String]) -> Result<String, CliError> {
+        dispatch_with_status(argv).map(|(out, _)| out)
+    }
 
     fn tmp(name: &str) -> std::path::PathBuf {
         let dir = std::env::temp_dir().join("arcs-cli-tests");
@@ -913,6 +960,50 @@ mod tests {
         let mut bad_threads = base.to_vec();
         bad_threads.extend(["--threads", "0"]);
         assert!(matches!(dispatch(&argv(&bad_threads)), Err(CliError::Usage(_))));
+        std::fs::remove_file(&path).ok();
+    }
+
+    /// `--memory-budget`: a budget below the requested grid coarsens the
+    /// bins, prints a note, and exits with the budget-degraded status; an
+    /// impossible budget refuses to run; zero is a usage error.
+    #[test]
+    fn segment_memory_budget_degrades_and_signals() {
+        let path = tmp("f2_budget.csv");
+        let path_str = path.to_str().expect("utf-8 path");
+        dispatch(&argv(&[
+            "generate", "--out", path_str, "--n", "8000", "--seed", "9",
+        ]))
+        .unwrap();
+        let base = [
+            "segment", path_str, "--x", "age", "--y", "salary", "--criterion",
+            "group", "--group", "A",
+        ];
+
+        // Unbudgeted runs report a clean exit status.
+        let (_, status) = dispatch_with_status(&argv(&base)).unwrap();
+        assert_eq!(status, 0);
+
+        // The default 50 x 50 grid with 2 groups needs 30000 bytes; a
+        // 10000-byte budget forces two halvings down to 25 x 25.
+        let mut tight = base.to_vec();
+        tight.extend(["--memory-budget", "10000", "--stats", "json"]);
+        let (out, status) = dispatch_with_status(&argv(&tight)).unwrap();
+        assert_eq!(status, EXIT_BUDGET_DEGRADED);
+        assert!(out.contains("memory budget forced 2 bin-halving"), "{out}");
+        assert!(out.contains("\"budget_coarsening_steps\":2"), "{out}");
+        assert!(out.contains("=>  group = A"), "{out}");
+
+        // Below even the coarsest useful grid: refused, not coarsened away.
+        let mut impossible = base.to_vec();
+        impossible.extend(["--memory-budget", "10"]);
+        let err = dispatch(&argv(&impossible)).unwrap_err();
+        assert!(matches!(err, CliError::Run(_)), "{err}");
+        assert!(err.to_string().contains("memory budget exceeded"), "{err}");
+
+        let mut zero = base.to_vec();
+        zero.extend(["--memory-budget", "0"]);
+        assert!(matches!(dispatch(&argv(&zero)), Err(CliError::Usage(_))));
+
         std::fs::remove_file(&path).ok();
     }
 

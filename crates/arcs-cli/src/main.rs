@@ -14,10 +14,12 @@ use std::process::ExitCode;
 
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
-    match commands::dispatch(&argv) {
-        Ok(output) => {
+    match commands::dispatch_with_status(&argv) {
+        // `status` is 0 for a clean run, 5 when the run completed but the
+        // memory budget forced a coarser grid than requested.
+        Ok((output, status)) => {
             println!("{output}");
-            ExitCode::SUCCESS
+            ExitCode::from(status)
         }
         Err(err) => {
             eprintln!("{err}");

@@ -70,15 +70,23 @@ impl BinArray {
                 "criterion attribute must have at least one group".into(),
             ));
         }
-        let cells = nx
-            .checked_mul(ny)
-            .and_then(|c| c.checked_mul(nseg + 1))
-            .ok_or_else(|| ArcsError::InvalidConfig("bin array size overflows".into()))?;
+        let cells = nseg
+            .checked_add(1)
+            .and_then(|slots| nx.checked_mul(ny)?.checked_mul(slots))
+            .filter(|&c| c <= isize::MAX as usize / std::mem::size_of::<u32>())
+            .ok_or(ArcsError::GridTooLarge { nx, ny, nseg })?;
+        // Reserve through the fallible path so an allocator refusal comes
+        // back as a typed error instead of an abort.
+        let mut counts = Vec::new();
+        counts.try_reserve_exact(cells).map_err(|_| ArcsError::AllocationFailed {
+            what: format!("{cells} bin array counters"),
+        })?;
+        counts.resize(cells, 0);
         Ok(BinArray {
             nx,
             ny,
             nseg,
-            counts: vec![0; cells],
+            counts,
             n_tuples: 0,
         })
     }
@@ -334,6 +342,7 @@ impl BinArray {
     /// sibling temporary file first and replace `path` by rename, so a
     /// crash mid-write never leaves a half-written snapshot behind.
     pub fn save(&self, path: impl AsRef<Path>) -> Result<(), ArcsError> {
+        crate::faults::check("binarray.snapshot-write")?;
         let path = path.as_ref();
         let mut tmp = path.as_os_str().to_owned();
         tmp.push(".tmp");
@@ -349,6 +358,7 @@ impl BinArray {
 
     /// Loads a snapshot written by [`BinArray::save`].
     pub fn load(path: impl AsRef<Path>) -> Result<Self, ArcsError> {
+        crate::faults::check("binarray.snapshot-read")?;
         let mut file = std::io::BufReader::new(std::fs::File::open(path)?);
         Self::read_from(&mut file)
     }
@@ -363,6 +373,18 @@ mod tests {
         assert!(BinArray::new(0, 5, 2).is_err());
         assert!(BinArray::new(5, 0, 2).is_err());
         assert!(BinArray::new(5, 5, 0).is_err());
+        // Checked sizing: overflow and unaddressable grids are typed
+        // errors, not panics or wrapped allocations.
+        for (nx, ny, nseg) in [
+            (usize::MAX, 2, 2),
+            (2, usize::MAX, 2),
+            (2, 2, usize::MAX),
+            (usize::MAX, usize::MAX, usize::MAX),
+            (1 << 40, 1 << 30, 1),
+        ] {
+            let err = BinArray::new(nx, ny, nseg).unwrap_err();
+            assert!(matches!(err, ArcsError::GridTooLarge { .. }), "{nx}x{ny}x{nseg}: {err:?}");
+        }
         let ba = BinArray::new(3, 4, 2).unwrap();
         assert_eq!(ba.nx(), 3);
         assert_eq!(ba.ny(), 4);

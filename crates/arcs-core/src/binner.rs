@@ -14,6 +14,12 @@ use arcs_data::{Schema, Tuple};
 use crate::binarray::BinArray;
 use crate::binning::BinMap;
 use crate::error::ArcsError;
+use crate::metrics::RecoveryStats;
+
+/// Maximum times a panicked shard (or a panicking chunk-entry failpoint)
+/// is retried before the sequential fallback takes over. Two retries
+/// absorb transient faults; persistent ones reach the fallback quickly.
+pub const MAX_SHARD_RETRIES: usize = 2;
 
 /// How a resilient streaming run treats tuples that fail validation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -314,6 +320,22 @@ impl Binner {
     /// sequential path — sharding has no payoff below a few chunks' worth
     /// of tuples.
     pub fn bin_rows_parallel(&self, rows: &[Tuple], threads: usize) -> Result<BinArray, ArcsError> {
+        Ok(self.bin_rows_parallel_with_stats(rows, threads)?.0)
+    }
+
+    /// [`Binner::bin_rows_parallel`] plus panic-isolation tallies.
+    ///
+    /// Worker panics are caught per shard: a panicked shard is retried up
+    /// to [`MAX_SHARD_RETRIES`] times, then recomputed on the calling
+    /// thread via the plain sequential routine. Every attempt rebuilds
+    /// the shard's private array from scratch, so recovery can never
+    /// double-count a tuple and the merged result stays bit-identical to
+    /// the fault-free run.
+    pub fn bin_rows_parallel_with_stats(
+        &self,
+        rows: &[Tuple],
+        threads: usize,
+    ) -> Result<(BinArray, RecoveryStats), ArcsError> {
         if threads == 0 {
             return Err(ArcsError::InvalidConfig(
                 "binning thread count must be positive".into(),
@@ -324,25 +346,78 @@ impl Binner {
         const MIN_ROWS_PER_WORKER: usize = 4_096;
         let workers = threads.min(rows.len() / MIN_ROWS_PER_WORKER).max(1);
         if workers == 1 {
-            return self.bin_rows(rows.iter());
+            return Ok((self.bin_rows(rows.iter())?, RecoveryStats::default()));
         }
         let chunk = rows.len().div_ceil(workers);
-        let shards: Result<Vec<BinArray>, ArcsError> = std::thread::scope(|scope| {
-            let handles: Vec<_> = rows
-                .chunks(chunk)
-                .map(|shard| scope.spawn(move || self.bin_rows(shard.iter())))
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("binning worker panicked"))
-                .collect()
-        });
-        let mut shards = shards?.into_iter();
-        let mut merged = shards.next().expect("at least one shard");
-        for shard in shards {
-            merged.merge(&shard)?;
+        let attempts: Vec<std::thread::Result<Result<BinArray, ArcsError>>> =
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = rows
+                    .chunks(chunk)
+                    .map(|shard| {
+                        scope.spawn(move || {
+                            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                                crate::faults::check("binner.shard")?;
+                                self.bin_rows(shard.iter())
+                            }))
+                        })
+                    })
+                    .collect();
+                // The worker body is entirely inside catch_unwind, so the
+                // outer join can only fail on a panic *between* the two —
+                // fold that into the same caught-panic path.
+                handles.into_iter().map(|h| h.join().unwrap_or_else(Err)).collect()
+            });
+        let mut stats = RecoveryStats::default();
+        let mut merged: Option<BinArray> = None;
+        for (attempt, shard) in attempts.into_iter().zip(rows.chunks(chunk)) {
+            let shard_array = match attempt {
+                // Typed errors are deterministic — retrying cannot help.
+                Ok(result) => result?,
+                Err(_) => {
+                    stats.worker_panics += 1;
+                    self.recover_shard(shard, &mut stats)?
+                }
+            };
+            match merged.as_mut() {
+                None => merged = Some(shard_array),
+                Some(acc) => acc.merge(&shard_array)?,
+            }
         }
-        Ok(merged)
+        match merged {
+            Some(array) => Ok((array, stats)),
+            // workers > 1 implies at least one chunk; keep the path typed.
+            None => Ok((self.new_bin_array()?, stats)),
+        }
+    }
+
+    /// Re-runs a panicked shard: bounded retries through the (still
+    /// armed) `binner.shard` failpoint, then one final pass on the plain
+    /// sequential routine with the failpoint out of the loop. A panic on
+    /// the final pass is unrecoverable and surfaces as
+    /// [`ArcsError::WorkerPanicked`].
+    fn recover_shard(
+        &self,
+        shard: &[Tuple],
+        stats: &mut RecoveryStats,
+    ) -> Result<BinArray, ArcsError> {
+        for _ in 0..MAX_SHARD_RETRIES {
+            stats.shard_retries += 1;
+            match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                crate::faults::check("binner.shard")?;
+                self.bin_rows(shard.iter())
+            })) {
+                Ok(result) => return result,
+                Err(_) => stats.worker_panics += 1,
+            }
+        }
+        stats.sequential_fallbacks += 1;
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| self.bin_rows(shard.iter())))
+            .unwrap_or_else(|panic| {
+                Err(ArcsError::WorkerPanicked {
+                    stage: "binning",
+                    message: crate::error::panic_message(panic),
+                })
+            })
     }
 
     /// Streams `tuples` into a fresh [`BinArray`] using `threads` scoped
@@ -358,40 +433,70 @@ impl Binner {
     where
         I: IntoIterator<Item = Tuple>,
     {
+        Ok(self.bin_stream_parallel_with_stats(tuples, threads)?.0)
+    }
+
+    /// [`Binner::bin_stream_parallel`] plus panic-isolation tallies.
+    ///
+    /// The unit of isolation is the chunk-entry `binner.stream-chunk`
+    /// failpoint, which fires *before* any of the chunk's tuples touch
+    /// the worker's private array — so a caught panic there is retried
+    /// (bounded) and finally disarmed without any risk of double-counted
+    /// tuples. A panic from the binning arithmetic itself cannot be
+    /// replayed safely (the private array may hold a partial chunk) and
+    /// surfaces as [`ArcsError::WorkerPanicked`] instead of aborting the
+    /// process.
+    pub fn bin_stream_parallel_with_stats<I>(
+        &self,
+        tuples: I,
+        threads: usize,
+    ) -> Result<(BinArray, RecoveryStats), ArcsError>
+    where
+        I: IntoIterator<Item = Tuple>,
+    {
         if threads == 0 {
             return Err(ArcsError::InvalidConfig(
                 "binning thread count must be positive".into(),
             ));
         }
         if threads == 1 {
-            return self.bin_stream(tuples);
+            return Ok((self.bin_stream(tuples)?, RecoveryStats::default()));
         }
         // Chunk size balances channel traffic (bigger = fewer sends)
         // against producer/worker overlap (smaller = earlier start).
         const CHUNK: usize = 16_384;
         use std::sync::mpsc;
         use std::sync::{Arc, Mutex};
-        let shards: Result<Vec<BinArray>, ArcsError> = std::thread::scope(|scope| {
+        type Shard = Result<(BinArray, RecoveryStats), ArcsError>;
+        let shards: Vec<Shard> = std::thread::scope(|scope| {
             let (tx, rx) = mpsc::sync_channel::<Vec<Tuple>>(threads * 2);
             let rx = Arc::new(Mutex::new(rx));
             let handles: Vec<_> = (0..threads)
                 .map(|_| {
                     let rx = Arc::clone(&rx);
-                    scope.spawn(move || -> Result<BinArray, ArcsError> {
+                    scope.spawn(move || -> Shard {
                         let mut array = self.new_bin_array()?;
+                        let mut stats = RecoveryStats::default();
                         loop {
                             // Hold the lock only for the receive itself so
                             // other workers can pick up chunks while this
-                            // one bins.
-                            let chunk = match rx.lock().expect("receiver lock").recv() {
+                            // one bins. Nothing panics while holding it;
+                            // recover the guard if a sibling test thread
+                            // ever poisoned the mutex anyway.
+                            let chunk = match rx
+                                .lock()
+                                .unwrap_or_else(|poisoned| poisoned.into_inner())
+                                .recv()
+                            {
                                 Ok(chunk) => chunk,
                                 Err(_) => break, // producer done
                             };
+                            self.pass_stream_chunk_failpoint(&mut stats)?;
                             for tuple in &chunk {
                                 self.bin_into(tuple, &mut array);
                             }
                         }
-                        Ok(array)
+                        Ok((array, stats))
                     })
                 })
                 .collect();
@@ -405,15 +510,54 @@ impl Binner {
             drop(tx);
             handles
                 .into_iter()
-                .map(|h| h.join().expect("binning worker panicked"))
+                .map(|h| {
+                    h.join().unwrap_or_else(|panic| {
+                        Err(ArcsError::WorkerPanicked {
+                            stage: "binning",
+                            message: crate::error::panic_message(panic),
+                        })
+                    })
+                })
                 .collect()
         });
-        let mut shards = shards?.into_iter();
-        let mut merged = shards.next().expect("at least one worker");
+        let mut stats = RecoveryStats::default();
+        let mut merged: Option<BinArray> = None;
         for shard in shards {
-            merged.merge(&shard)?;
+            let (array, shard_stats) = shard?;
+            stats.merge(&shard_stats);
+            match merged.as_mut() {
+                None => merged = Some(array),
+                Some(acc) => acc.merge(&array)?,
+            }
         }
-        Ok(merged)
+        match merged {
+            Some(array) => Ok((array, stats)),
+            None => Ok((self.new_bin_array()?, stats)),
+        }
+    }
+
+    /// Clears the `binner.stream-chunk` failpoint before a chunk is
+    /// binned: panics are caught and retried up to [`MAX_SHARD_RETRIES`]
+    /// times, after which the failpoint is disarmed for this chunk (the
+    /// stream equivalent of the sequential fallback). Typed errors
+    /// propagate immediately.
+    fn pass_stream_chunk_failpoint(&self, stats: &mut RecoveryStats) -> Result<(), ArcsError> {
+        let mut retries = 0;
+        loop {
+            match std::panic::catch_unwind(|| crate::faults::check("binner.stream-chunk")) {
+                Ok(result) => return result,
+                Err(_) => {
+                    stats.worker_panics += 1;
+                    if retries < MAX_SHARD_RETRIES {
+                        retries += 1;
+                        stats.shard_retries += 1;
+                    } else {
+                        stats.sequential_fallbacks += 1;
+                        return Ok(());
+                    }
+                }
+            }
+        }
     }
 
     /// Validates one untrusted tuple against this binner's requirements —
@@ -588,6 +732,7 @@ fn report_counters(report: &StreamReport) -> [u64; CHECKPOINT_COUNTERS] {
 /// Writes `{magic, BinArray snapshot, stream counters, checksum}` to
 /// `path` atomically (temp file + rename).
 fn save_checkpoint(path: &Path, array: &BinArray, report: &StreamReport) -> Result<(), ArcsError> {
+    crate::faults::check("binner.checkpoint-save")?;
     let mut buf = Vec::with_capacity(array.memory_bytes() + 128);
     buf.extend_from_slice(&CHECKPOINT_MAGIC);
     array.write_to(&mut buf)?;
@@ -610,6 +755,7 @@ fn save_checkpoint(path: &Path, array: &BinArray, report: &StreamReport) -> Resu
 }
 
 fn load_checkpoint(path: &Path) -> Result<(BinArray, StreamReport), ArcsError> {
+    crate::faults::check("binner.checkpoint-load")?;
     let bytes = std::fs::read(path)?;
     if bytes.len() < CHECKPOINT_MAGIC.len() + 8 {
         return Err(ArcsError::Checkpoint {

@@ -21,6 +21,7 @@
 use crate::cluster::Rect;
 use crate::error::ArcsError;
 use crate::grid::{for_each_run, Grid};
+use crate::metrics::RecoveryStats;
 
 /// Configuration of the greedy BitOp clustering loop.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -101,25 +102,84 @@ pub fn enumerate_candidates(grid: &Grid) -> Vec<Rect> {
 /// only reads the grid. Results are identical to [`enumerate_candidates`]
 /// including order (stripes are concatenated in row order).
 pub fn enumerate_candidates_parallel(grid: &Grid, threads: usize) -> Vec<Rect> {
+    enumerate_candidates_parallel_with_stats(grid, threads).0
+}
+
+/// [`enumerate_candidates_parallel`] plus panic-isolation tallies.
+///
+/// A panicked stripe worker is retried up to
+/// [`MAX_SHARD_RETRIES`](crate::binner::MAX_SHARD_RETRIES) times, then
+/// recomputed on the calling thread with the `bitop.stripe` failpoint out
+/// of the loop. Each attempt rescans the stripe from the read-only grid,
+/// so recovery is side-effect free and the concatenated result stays
+/// bit-identical, stripe order included. A panic from the scan itself on
+/// the final attempt propagates: enumeration has no typed-error channel,
+/// and the caller's `catch_unwind`-free path would abort anyway.
+pub fn enumerate_candidates_parallel_with_stats(
+    grid: &Grid,
+    threads: usize,
+) -> (Vec<Rect>, RecoveryStats) {
     let threads = threads.max(1).min(grid.height());
     if threads == 1 {
-        return enumerate_candidates(grid);
+        return (enumerate_candidates(grid), RecoveryStats::default());
     }
     let stripe = grid.height().div_ceil(threads);
     let mut stripes: Vec<Vec<Rect>> = Vec::with_capacity(threads);
+    let mut stats = RecoveryStats::default();
     std::thread::scope(|scope| {
         let handles: Vec<_> = (0..threads)
             .map(|t| {
                 let lo = t * stripe;
                 let hi = ((t + 1) * stripe).min(grid.height());
-                scope.spawn(move || enumerate_rows(grid, lo, hi))
+                scope.spawn(move || {
+                    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        fault_check_stripe();
+                        enumerate_rows(grid, lo, hi)
+                    }))
+                })
             })
             .collect();
-        for handle in handles {
-            stripes.push(handle.join().expect("worker does not panic"));
+        for (t, handle) in handles.into_iter().enumerate() {
+            let lo = t * stripe;
+            let hi = ((t + 1) * stripe).min(grid.height());
+            let rects = match handle.join().unwrap_or_else(Err) {
+                Ok(rects) => rects,
+                Err(_) => {
+                    stats.worker_panics += 1;
+                    recover_stripe(grid, lo, hi, &mut stats)
+                }
+            };
+            stripes.push(rects);
         }
     });
-    stripes.concat()
+    (stripes.concat(), stats)
+}
+
+/// The `bitop.stripe` failpoint, panic-only by construction: enumeration
+/// returns no `Result`, so `error`/`alloc` actions configured on this
+/// point are escalated to panics (which the isolation layer then
+/// recovers).
+fn fault_check_stripe() {
+    if let Err(err) = crate::faults::check("bitop.stripe") {
+        panic!("injected fault at failpoint `bitop.stripe`: {err}");
+    }
+}
+
+/// Retries a panicked stripe scan, then recomputes it without the
+/// failpoint. See [`enumerate_candidates_parallel_with_stats`].
+fn recover_stripe(grid: &Grid, lo: usize, hi: usize, stats: &mut RecoveryStats) -> Vec<Rect> {
+    for _ in 0..crate::binner::MAX_SHARD_RETRIES {
+        stats.shard_retries += 1;
+        match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            fault_check_stripe();
+            enumerate_rows(grid, lo, hi)
+        })) {
+            Ok(rects) => return rects,
+            Err(_) => stats.worker_panics += 1,
+        }
+    }
+    stats.sequential_fallbacks += 1;
+    enumerate_rows(grid, lo, hi)
 }
 
 /// Figure 6 scan restricted to start rows `r0 ∈ [row_lo, row_hi)` (each
@@ -188,6 +248,8 @@ pub struct ClusterStats {
     /// Residual candidates below the prune threshold when the loop
     /// terminated (§3.5) — the clusters the area prune suppressed.
     pub clusters_pruned: u64,
+    /// Panic-isolation tallies from the parallel enumeration workers.
+    pub recovery: RecoveryStats,
 }
 
 /// Runs the full greedy BitOp clustering on a copy of `grid`: enumerate
@@ -203,6 +265,7 @@ pub fn cluster_with_stats(
     grid: &Grid,
     config: &BitOpConfig,
 ) -> Result<(Vec<Rect>, ClusterStats), ArcsError> {
+    crate::faults::check("bitop.enumerate")?;
     config.validate()?;
     let min_area = config.min_area(grid.width(), grid.height());
     let mut work = grid.clone();
@@ -210,7 +273,9 @@ pub fn cluster_with_stats(
     let mut stats = ClusterStats::default();
 
     while !work.is_empty() && clusters.len() < config.max_clusters {
-        let candidates = enumerate_candidates_parallel(&work, config.threads);
+        let (candidates, recovery) =
+            enumerate_candidates_parallel_with_stats(&work, config.threads);
+        stats.recovery.merge(&recovery);
         stats.candidates_enumerated += candidates.len() as u64;
         let best = candidates.iter().copied().max_by(|a, b| {
             a.area()

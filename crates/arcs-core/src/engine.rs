@@ -7,6 +7,10 @@
 //! rules re-mined without another pass over the source data — the property
 //! the heuristic optimizer (§3.7) relies on.
 
+// Public-API paths must fail with typed errors, never panic.
+#![warn(clippy::unwrap_used)]
+#![warn(clippy::expect_used)]
+
 use crate::binarray::BinArray;
 use crate::error::ArcsError;
 use crate::grid::Grid;
@@ -123,6 +127,7 @@ pub fn rule_grid_into(
     thresholds: Thresholds,
     grid: &mut Grid,
 ) -> Result<(), ArcsError> {
+    crate::faults::check("engine.mine")?;
     if grid.width() != array.nx() || grid.height() != array.ny() {
         *grid = Grid::new(array.nx(), array.ny())?;
     } else {
@@ -169,6 +174,7 @@ fn min_support_count(array: &BinArray, min_support: f64) -> u64 {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
 

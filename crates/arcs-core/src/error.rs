@@ -47,6 +47,46 @@ pub enum ArcsError {
         /// What failed while reading the file.
         message: String,
     },
+    /// A requested grid's cell count overflows `usize` or cannot be
+    /// allocated: `nx * ny * (nseg + 1)` is beyond what this process can
+    /// address.
+    GridTooLarge {
+        /// Requested number of x bins.
+        nx: usize,
+        /// Requested number of y bins.
+        ny: usize,
+        /// Number of criterion groups (the array stores `nseg + 1` slots
+        /// per cell).
+        nseg: usize,
+    },
+    /// The configured memory budget is too small even for the coarsest
+    /// acceptable grid, so the resource governor refused admission.
+    BudgetExceeded {
+        /// Bytes the smallest acceptable allocation would need.
+        required_bytes: usize,
+        /// The configured budget in bytes.
+        budget_bytes: usize,
+    },
+    /// A large allocation failed (the allocator reported out-of-memory
+    /// instead of aborting the process).
+    AllocationFailed {
+        /// What was being allocated.
+        what: String,
+    },
+    /// A parallel worker panicked and the panic could not be recovered by
+    /// retry or sequential fallback.
+    WorkerPanicked {
+        /// Which stage's worker panicked.
+        stage: &'static str,
+        /// Best-effort panic payload text.
+        message: String,
+    },
+    /// A fault-injection failpoint fired a typed error (only produced by
+    /// builds with the `failpoints` feature, under an explicit schedule).
+    FaultInjected {
+        /// Name of the failpoint that fired.
+        point: &'static str,
+    },
 }
 
 impl fmt::Display for ArcsError {
@@ -69,6 +109,24 @@ impl fmt::Display for ArcsError {
             }
             ArcsError::Io(message) => write!(f, "I/O error: {message}"),
             ArcsError::Checkpoint { message } => write!(f, "bad checkpoint: {message}"),
+            ArcsError::GridTooLarge { nx, ny, nseg } => write!(
+                f,
+                "grid too large: {nx} x {ny} bins with {nseg} groups exceeds addressable memory"
+            ),
+            ArcsError::BudgetExceeded { required_bytes, budget_bytes } => write!(
+                f,
+                "memory budget exceeded: need at least {required_bytes} bytes \
+                 but the budget is {budget_bytes} bytes"
+            ),
+            ArcsError::AllocationFailed { what } => {
+                write!(f, "allocation failed: out of memory while allocating {what}")
+            }
+            ArcsError::WorkerPanicked { stage, message } => {
+                write!(f, "{stage} worker panicked and could not be recovered: {message}")
+            }
+            ArcsError::FaultInjected { point } => {
+                write!(f, "injected fault fired at failpoint `{point}`")
+            }
         }
     }
 }
@@ -79,6 +137,18 @@ impl std::error::Error for ArcsError {
             ArcsError::Data(err) => Some(err),
             _ => None,
         }
+    }
+}
+
+/// Best-effort text of a caught panic payload (panics carry `&str` or
+/// `String` in practice; anything else is opaque).
+pub(crate) fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(text) = payload.downcast_ref::<&str>() {
+        (*text).to_string()
+    } else if let Some(text) = payload.downcast_ref::<String>() {
+        text.clone()
+    } else {
+        "non-string panic payload".to_string()
     }
 }
 
@@ -110,5 +180,25 @@ mod tests {
         let err = ArcsError::NoSegmentation;
         assert!(std::error::Error::source(&err).is_none());
         assert!(err.to_string().contains("no segmentation"));
+    }
+
+    #[test]
+    fn robustness_variants_display() {
+        let err = ArcsError::GridTooLarge { nx: 1 << 20, ny: 1 << 20, nseg: 9 };
+        assert!(err.to_string().contains("grid too large"), "{err}");
+
+        let err = ArcsError::BudgetExceeded { required_bytes: 4096, budget_bytes: 1024 };
+        assert!(err.to_string().contains("4096"), "{err}");
+        assert!(err.to_string().contains("1024"), "{err}");
+
+        let err = ArcsError::AllocationFailed { what: "bin array counters".into() };
+        assert!(err.to_string().contains("out of memory"), "{err}");
+
+        let err = ArcsError::WorkerPanicked { stage: "binning", message: "boom".into() };
+        assert!(err.to_string().contains("binning"), "{err}");
+        assert!(err.to_string().contains("boom"), "{err}");
+
+        let err = ArcsError::FaultInjected { point: "binner.shard" };
+        assert!(err.to_string().contains("binner.shard"), "{err}");
     }
 }

@@ -5,6 +5,10 @@
 //! instructions". A 1000×1000 grid is ~122 KB and trivially memory-resident
 //! as the paper assumes.
 
+// Public-API paths must fail with typed errors, never panic.
+#![warn(clippy::unwrap_used)]
+#![warn(clippy::expect_used)]
+
 use crate::cluster::Rect;
 use crate::error::ArcsError;
 
@@ -26,11 +30,21 @@ impl Grid {
             )));
         }
         let words_per_row = width.div_ceil(64);
+        let words = words_per_row.checked_mul(height).ok_or(ArcsError::GridTooLarge {
+            nx: width,
+            ny: height,
+            nseg: 0,
+        })?;
+        let mut bits = Vec::new();
+        bits.try_reserve_exact(words).map_err(|_| ArcsError::AllocationFailed {
+            what: format!("{words} grid words"),
+        })?;
+        bits.resize(words, 0);
         Ok(Grid {
             width,
             height,
             words_per_row,
-            bits: vec![0; words_per_row * height],
+            bits,
         })
     }
 
@@ -243,8 +257,11 @@ pub fn for_each_run(words: &[u64], width: usize, mut f: impl FnMut(usize, usize)
                 let run_len = (!rest).trailing_zeros() as usize;
                 let run_end_in_word = offset + run_len;
                 if run_end_in_word < bits_in_word {
-                    // Run ends inside the word.
-                    f(run_start.take().expect("run started"), x + run_end_in_word - 1);
+                    // Run ends inside the word; `run_start` was set when
+                    // it began, a few lines up.
+                    if let Some(start) = run_start.take() {
+                        f(start, x + run_end_in_word - 1);
+                    }
                     offset = run_end_in_word;
                 } else {
                     // Run continues into the next word (or ends at width).
@@ -270,6 +287,7 @@ pub fn for_each_run(words: &[u64], width: usize, mut f: impl FnMut(usize, usize)
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
 

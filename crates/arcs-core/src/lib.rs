@@ -15,6 +15,7 @@ pub mod binarray;
 pub mod binner;
 pub mod binning;
 pub mod bitop;
+pub mod budget;
 pub mod categorical;
 pub mod cluster;
 pub mod cover;
@@ -22,6 +23,7 @@ pub mod edges;
 pub mod engine;
 pub mod error;
 pub mod factorial;
+pub mod faults;
 pub mod grid;
 pub mod mdl;
 pub mod metrics;
@@ -39,11 +41,14 @@ pub use binarray::BinArray;
 pub use binner::{BadTuplePolicy, Binner, BinningStrategy, CheckpointSpec, StreamReport};
 pub use binning::BinMap;
 pub use bitop::BitOpConfig;
+pub use budget::{BinPlan, MIN_BINS};
 pub use cluster::{ClusteredRule, Rect};
 pub use engine::{mine_rules, BinnedRule, Thresholds};
 pub use error::ArcsError;
 pub use grid::Grid;
-pub use metrics::{Observer, PipelineCounters, PipelineReport, Stage, StageTimings};
+pub use metrics::{
+    Observer, PipelineCounters, PipelineReport, RecoveryStats, Stage, StageTimings,
+};
 pub use optimizer::{optimize, OptimizerConfig, SearchStats, ThresholdLattice};
 pub use pipeline::{Arcs, ArcsConfig, Segmentation};
 pub use session::{SegmentRequest, Session};

@@ -99,6 +99,16 @@ pub struct PipelineCounters {
     pub verifier_false_positives: u64,
     /// Verifier false negatives of the winning segmentations.
     pub verifier_false_negatives: u64,
+    /// Parallel worker panics caught and isolated (0 in healthy runs).
+    pub worker_panics: u64,
+    /// Bounded retries of panicked shards/batches.
+    pub shard_retries: u64,
+    /// Shards/batches that exhausted retries and were recomputed on the
+    /// sequential fallback path.
+    pub sequential_fallbacks: u64,
+    /// Bin-halving steps the resource governor took to fit the grid into
+    /// the configured memory budget (0 when no coarsening was needed).
+    pub budget_coarsening_steps: u64,
 }
 
 impl PipelineCounters {
@@ -112,6 +122,47 @@ impl PipelineCounters {
         self.evaluations += other.evaluations;
         self.verifier_false_positives += other.verifier_false_positives;
         self.verifier_false_negatives += other.verifier_false_negatives;
+        self.worker_panics += other.worker_panics;
+        self.shard_retries += other.shard_retries;
+        self.sequential_fallbacks += other.sequential_fallbacks;
+        self.budget_coarsening_steps += other.budget_coarsening_steps;
+    }
+
+    /// Folds panic-isolation tallies from one parallel call into the
+    /// session counters.
+    pub fn record_recovery(&mut self, recovery: &RecoveryStats) {
+        self.worker_panics += recovery.worker_panics;
+        self.shard_retries += recovery.shard_retries;
+        self.sequential_fallbacks += recovery.sequential_fallbacks;
+    }
+}
+
+/// Tallies from panic isolation in one parallel call: how many worker
+/// panics were caught, how often a shard was retried, and how many shards
+/// ended up on the sequential fallback path. All zero in healthy runs;
+/// the result data is bit-identical either way.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RecoveryStats {
+    /// Worker panics caught by the isolation layer.
+    pub worker_panics: u64,
+    /// Retry attempts for panicked shards/batches.
+    pub shard_retries: u64,
+    /// Shards/batches recomputed sequentially after retries were
+    /// exhausted.
+    pub sequential_fallbacks: u64,
+}
+
+impl RecoveryStats {
+    /// Adds `other`'s tallies into `self`.
+    pub fn merge(&mut self, other: &RecoveryStats) {
+        self.worker_panics += other.worker_panics;
+        self.shard_retries += other.shard_retries;
+        self.sequential_fallbacks += other.sequential_fallbacks;
+    }
+
+    /// `true` when any fault was observed.
+    pub fn any(&self) -> bool {
+        self.worker_panics > 0 || self.shard_retries > 0 || self.sequential_fallbacks > 0
     }
 }
 
@@ -189,8 +240,18 @@ impl PipelineReport {
             c.verifier_false_positives
         ));
         out.push_str(&format!(
-            "\"verifier_false_negatives\":{}",
+            "\"verifier_false_negatives\":{},",
             c.verifier_false_negatives
+        ));
+        out.push_str(&format!("\"worker_panics\":{},", c.worker_panics));
+        out.push_str(&format!("\"shard_retries\":{},", c.shard_retries));
+        out.push_str(&format!(
+            "\"sequential_fallbacks\":{},",
+            c.sequential_fallbacks
+        ));
+        out.push_str(&format!(
+            "\"budget_coarsening_steps\":{}",
+            c.budget_coarsening_steps
         ));
         out.push_str("}}");
         out
@@ -274,6 +335,10 @@ mod tests {
             "\"evaluations\"",
             "\"verifier_false_positives\"",
             "\"verifier_false_negatives\"",
+            "\"worker_panics\"",
+            "\"shard_retries\"",
+            "\"sequential_fallbacks\"",
+            "\"budget_coarsening_steps\"",
         ] {
             assert!(json.contains(key), "missing {key} in {json}");
         }

@@ -11,16 +11,19 @@
 //! the verifier sees no significant improvement (within `epsilon`) or the
 //! evaluation budget expires.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
 use arcs_data::Tuple;
 
 use crate::binarray::BinArray;
-use crate::binner::Binner;
+use crate::binner::{Binner, MAX_SHARD_RETRIES};
 use crate::bitop::{self, BitOpConfig, ClusterStats};
 use crate::cluster::Rect;
 use crate::engine::{rule_grid_into, Thresholds};
 use crate::error::ArcsError;
 use crate::grid::Grid;
 use crate::mdl::{MdlScore, MdlWeights};
+use crate::metrics::RecoveryStats;
 use crate::smooth::{smooth, SmoothConfig};
 use crate::verify::{verify_tuples, ErrorCounts};
 
@@ -232,7 +235,9 @@ pub struct Evaluation {
 }
 
 /// Work counters from one threshold search (schedule-independent: the
-/// parallel and sequential paths report identical values).
+/// parallel and sequential paths report identical values — except
+/// `recovery`, which tallies the faults this particular run actually
+/// encountered and survived).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct SearchStats {
     /// Occupied cells scanned while building the threshold lattice.
@@ -243,6 +248,9 @@ pub struct SearchStats {
     /// Residual candidates the area prune suppressed across all traced
     /// evaluations.
     pub clusters_pruned: u64,
+    /// Panic-isolation bookkeeping accumulated across all evaluations
+    /// (worker panics caught, retries, sequential fallbacks).
+    pub recovery: RecoveryStats,
 }
 
 /// The optimizer's result: the best evaluation plus the full search trace.
@@ -291,10 +299,35 @@ fn evaluate_into(
     Ok((Evaluation { thresholds, clusters, errors, score }, cluster_stats))
 }
 
+/// [`evaluate_into`] behind the `optimizer.evaluate` failpoint — the unit
+/// of panic-isolated work in [`evaluate_batch`].
+fn evaluate_point(
+    array: &BinArray,
+    gk: u32,
+    binner: &Binner,
+    sample: &[&Tuple],
+    point: Thresholds,
+    config: &OptimizerConfig,
+    scratch: &mut Grid,
+) -> Result<(Evaluation, ClusterStats), ArcsError> {
+    crate::faults::check("optimizer.evaluate")?;
+    evaluate_into(array, gk, binner, sample, point, config, scratch)
+}
+
 /// Evaluates `points` in order across up to `threads` scoped workers,
 /// each holding a private rule-grid scratch buffer against the shared
 /// immutable `BinArray`. Results come back in `points` order, so callers
 /// can replay the sequential selection logic over them unchanged.
+///
+/// Each point is individually panic-isolated: a worker that panics on one
+/// point leaves that slot empty (and rebuilds its scratch grid, which the
+/// panic may have left mid-write) and carries on with the rest of its
+/// chunk. Empty slots are recovered after the join — bounded retries with
+/// any failpoint still armed, then a fault-free sequential recompute —
+/// so a surviving batch is bit-identical to a fault-free one. Recovery
+/// tallies come back separately from the evaluations: the caller's replay
+/// may discard evaluations past an early-stop point, but a panic that was
+/// absorbed must still reach the report.
 fn evaluate_batch(
     array: &BinArray,
     gk: u32,
@@ -303,14 +336,15 @@ fn evaluate_batch(
     points: &[Thresholds],
     config: &OptimizerConfig,
     threads: usize,
-) -> Result<Vec<(Evaluation, ClusterStats)>, ArcsError> {
+) -> Result<(Vec<(Evaluation, ClusterStats)>, RecoveryStats), ArcsError> {
     let workers = threads.min(points.len()).max(1);
     if workers == 1 {
         let mut scratch = Grid::new(array.nx(), array.ny())?;
         return points
             .iter()
-            .map(|&t| evaluate_into(array, gk, binner, sample, t, config, &mut scratch))
-            .collect();
+            .map(|&t| evaluate_point(array, gk, binner, sample, t, config, &mut scratch))
+            .collect::<Result<_, _>>()
+            .map(|results| (results, RecoveryStats::default()));
     }
     let mut slots: Vec<Option<Result<(Evaluation, ClusterStats), ArcsError>>> =
         (0..points.len()).map(|_| None).collect();
@@ -320,20 +354,89 @@ fn evaluate_batch(
             points.chunks(per_worker).zip(slots.chunks_mut(per_worker))
         {
             scope.spawn(move || {
-                let mut scratch =
-                    Grid::new(array.nx(), array.ny()).expect("array dimensions are positive");
+                let mut scratch = match Grid::new(array.nx(), array.ny()) {
+                    Ok(grid) => grid,
+                    Err(err) => {
+                        // Surface through the first slot; the chunk's
+                        // remaining empty slots are recovered by the
+                        // caller (and will hit the same error there).
+                        if let Some(slot) = slot_chunk.first_mut() {
+                            *slot = Some(Err(err));
+                        }
+                        return;
+                    }
+                };
                 for (&point, slot) in point_chunk.iter().zip(slot_chunk.iter_mut()) {
-                    *slot = Some(evaluate_into(
-                        array, gk, binner, sample, point, config, &mut scratch,
-                    ));
+                    let outcome = catch_unwind(AssertUnwindSafe(|| {
+                        evaluate_point(array, gk, binner, sample, point, config, &mut scratch)
+                    }));
+                    match outcome {
+                        Ok(result) => *slot = Some(result),
+                        Err(_) => match Grid::new(array.nx(), array.ny()) {
+                            Ok(grid) => scratch = grid,
+                            Err(err) => {
+                                *slot = Some(Err(err));
+                                return;
+                            }
+                        },
+                    }
                 }
             });
         }
     });
-    slots
-        .into_iter()
-        .map(|slot| slot.expect("every slot filled by its worker"))
-        .collect()
+    let mut results = Vec::with_capacity(points.len());
+    let mut batch_recovery = RecoveryStats::default();
+    for (index, slot) in slots.into_iter().enumerate() {
+        match slot {
+            Some(result) => results.push(result?),
+            None => {
+                let mut recovery =
+                    RecoveryStats { worker_panics: 1, ..RecoveryStats::default() };
+                let recovered = recover_point(
+                    array, gk, binner, sample, points[index], config, &mut recovery,
+                );
+                batch_recovery.merge(&recovery);
+                results.push(recovered?);
+            }
+        }
+    }
+    Ok((results, batch_recovery))
+}
+
+/// Recovers one evaluation point whose worker panicked: bounded retries
+/// with any failpoint still armed, then a final sequential attempt with
+/// the failpoint disarmed. A panic on the final attempt is genuine and
+/// surfaces as [`ArcsError::WorkerPanicked`].
+fn recover_point(
+    array: &BinArray,
+    gk: u32,
+    binner: &Binner,
+    sample: &[&Tuple],
+    point: Thresholds,
+    config: &OptimizerConfig,
+    recovery: &mut RecoveryStats,
+) -> Result<(Evaluation, ClusterStats), ArcsError> {
+    for _ in 0..MAX_SHARD_RETRIES {
+        recovery.shard_retries += 1;
+        let mut scratch = Grid::new(array.nx(), array.ny())?;
+        match catch_unwind(AssertUnwindSafe(|| {
+            evaluate_point(array, gk, binner, sample, point, config, &mut scratch)
+        })) {
+            Ok(result) => return result,
+            Err(_) => recovery.worker_panics += 1,
+        }
+    }
+    recovery.sequential_fallbacks += 1;
+    let mut scratch = Grid::new(array.nx(), array.ny())?;
+    catch_unwind(AssertUnwindSafe(|| {
+        evaluate_into(array, gk, binner, sample, point, config, &mut scratch)
+    }))
+    .unwrap_or_else(|panic| {
+        Err(ArcsError::WorkerPanicked {
+            stage: "optimizer",
+            message: crate::error::panic_message(panic),
+        })
+    })
 }
 
 /// Mutable state of the greedy selection replayed over evaluations in
@@ -362,6 +465,7 @@ impl Selection<'_> {
     ) -> bool {
         self.stats.candidates_enumerated += cluster_stats.candidates_enumerated;
         self.stats.clusters_pruned += cluster_stats.clusters_pruned;
+        self.stats.recovery.merge(&cluster_stats.recovery);
         self.trace.push(eval.clone());
         if eval.clusters.is_empty() {
             return false; // never a candidate, never counts as stale progress
@@ -491,7 +595,7 @@ pub fn optimize(
                 .iter()
                 .map(|&c| level_thresholds(s, c))
                 .collect::<Result<_, _>>()?;
-            let batch = evaluate_batch(
+            let (batch, batch_recovery) = evaluate_batch(
                 array,
                 gk,
                 binner,
@@ -500,6 +604,9 @@ pub fn optimize(
                 &worker_config,
                 config.threads,
             )?;
+            // Merged before the replay: evaluations past an early-stop
+            // point are discarded, but an absorbed panic is not.
+            sel.stats.recovery.merge(&batch_recovery);
             let mut stopped_early = false;
             for (eval, cluster_stats) in batch {
                 if sel.consume(eval, cluster_stats, &mut improved, &mut conf_stale) {

@@ -49,6 +49,14 @@ pub struct ArcsConfig {
     /// marked [`degraded`](Segmentation::degraded). Disable for strict
     /// paper-faithful behaviour.
     pub degrade_on_no_segmentation: bool,
+    /// Memory budget in bytes for the bin array. `None` (the default)
+    /// only guards against address-space overflow. With a budget set,
+    /// the resource governor halves the larger bin axis until the grid
+    /// fits (marking the session's segmentations degraded), and refuses
+    /// admission with [`ArcsError::BudgetExceeded`] when even the
+    /// coarsest useful grid cannot fit. A per-session override is
+    /// available via [`SegmentRequest::memory_budget`].
+    pub memory_budget: Option<usize>,
 }
 
 impl Default for ArcsConfig {
@@ -62,6 +70,7 @@ impl Default for ArcsConfig {
             seed: 0,
             threads: crate::metrics::default_threads(),
             degrade_on_no_segmentation: true,
+            memory_budget: None,
         }
     }
 }
@@ -128,8 +137,9 @@ impl Arcs {
     }
 
     /// Builds the binner for `(x_attr, y_attr, criterion_attr)`, realising
-    /// the configured binning strategy. Equi-depth and homogeneity need
-    /// the data columns, hence the optional `dataset`.
+    /// the configured binning strategy at the bin counts the (possibly
+    /// budget-coarsened) `plan` settled on. Equi-depth and homogeneity
+    /// need the data columns, hence the optional `dataset`.
     pub(crate) fn build_binner(
         &self,
         schema: &Schema,
@@ -137,15 +147,17 @@ impl Arcs {
         y_attr: &str,
         criterion_attr: &str,
         dataset: Option<&Dataset>,
+        plan: &crate::budget::BinPlan,
     ) -> Result<Binner, ArcsError> {
+        let (n_x_bins, n_y_bins) = (plan.nx, plan.ny);
         match self.config.strategy {
             BinningStrategy::EquiWidth => Binner::equi_width(
                 schema,
                 x_attr,
                 y_attr,
                 criterion_attr,
-                self.config.n_x_bins,
-                self.config.n_y_bins,
+                n_x_bins,
+                n_y_bins,
             ),
             BinningStrategy::EquiDepth => {
                 let ds = dataset.ok_or_else(|| {
@@ -155,8 +167,8 @@ impl Arcs {
                 })?;
                 let x_col = ds.quant_column(schema.require(x_attr)?)?;
                 let y_col = ds.quant_column(schema.require(y_attr)?)?;
-                let x_map = BinMap::equi_depth(&x_col, self.config.n_x_bins)?;
-                let y_map = BinMap::equi_depth(&y_col, self.config.n_y_bins)?;
+                let x_map = BinMap::equi_depth(&x_col, n_x_bins)?;
+                let y_map = BinMap::equi_depth(&y_col, n_y_bins)?;
                 Binner::with_maps(schema, x_attr, y_attr, criterion_attr, x_map, y_map)
             }
             BinningStrategy::Homogeneity { tolerance } => {
@@ -167,8 +179,8 @@ impl Arcs {
                 })?;
                 let x_col = ds.quant_column(schema.require(x_attr)?)?;
                 let y_col = ds.quant_column(schema.require(y_attr)?)?;
-                let x_map = BinMap::homogeneity(&x_col, self.config.n_x_bins, tolerance)?;
-                let y_map = BinMap::homogeneity(&y_col, self.config.n_y_bins, tolerance)?;
+                let x_map = BinMap::homogeneity(&x_col, n_x_bins, tolerance)?;
+                let y_map = BinMap::homogeneity(&y_col, n_y_bins, tolerance)?;
                 Binner::with_maps(schema, x_attr, y_attr, criterion_attr, x_map, y_map)
             }
         }

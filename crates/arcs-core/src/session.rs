@@ -59,6 +59,7 @@ pub struct SegmentRequest {
     y: String,
     criterion: String,
     group: Option<String>,
+    memory_budget: Option<usize>,
 }
 
 impl SegmentRequest {
@@ -73,6 +74,7 @@ impl SegmentRequest {
             y: y.into(),
             criterion: criterion.into(),
             group: None,
+            memory_budget: None,
         }
     }
 
@@ -103,6 +105,24 @@ impl SegmentRequest {
     /// The targeted criterion group, if one was set.
     pub fn group_label(&self) -> Option<&str> {
         self.group.as_deref()
+    }
+
+    /// Caps the bin array at `bytes` for this request, overriding
+    /// [`ArcsConfig::memory_budget`]. When the requested grid does not
+    /// fit, the resource governor halves the larger bin axis until it
+    /// does (the session's segmentations are then marked degraded), or
+    /// refuses admission with [`ArcsError::BudgetExceeded`]
+    /// when even the coarsest useful grid exceeds the budget.
+    ///
+    /// [`ArcsError::BudgetExceeded`]: crate::error::ArcsError::BudgetExceeded
+    pub fn memory_budget(mut self, bytes: usize) -> Self {
+        self.memory_budget = Some(bytes);
+        self
+    }
+
+    /// The per-request memory budget, if one was set.
+    pub fn memory_budget_bytes(&self) -> Option<usize> {
+        self.memory_budget
     }
 }
 
@@ -176,7 +196,9 @@ fn run_search(
 /// attribute is quantitative.
 fn criterion_labels(schema: &Schema, criterion_attr: &str) -> Result<Vec<String>, ArcsError> {
     let idx = schema.require(criterion_attr)?;
-    let attr = schema.attribute(idx).expect("index from require");
+    let attr = schema.attribute(idx).ok_or_else(|| ArcsError::OutOfBounds {
+        what: format!("attribute index {idx} from schema lookup of `{criterion_attr}`"),
+    })?;
     match &attr.kind {
         AttrKind::Categorical { labels } => Ok(labels.clone()),
         AttrKind::Quantitative { .. } => Err(ArcsError::AttributeKind {
@@ -208,6 +230,9 @@ pub struct Session {
     /// Thresholds of the most recent mine (search winner or explicit
     /// `remine` argument); `recluster` reuses them.
     thresholds: Option<Thresholds>,
+    /// Bin-halving steps the resource governor took at open time; `> 0`
+    /// marks every segmentation from this session degraded.
+    budget_coarsening: u32,
     report: PipelineReport,
     observer: Option<Box<dyn Observer>>,
 }
@@ -235,23 +260,27 @@ impl Arcs {
             return Err(ArcsError::InvalidConfig("dataset is empty".into()));
         }
         let schema = dataset.schema();
+        let labels = criterion_labels(schema, request.criterion_attr())?;
+        check_group(&labels, &request)?;
+        let plan = self.plan_bins(&request, labels.len())?;
         let binner = self.build_binner(
             schema,
             request.x_attr(),
             request.y_attr(),
             request.criterion_attr(),
             Some(dataset),
+            &plan,
         )?;
-        let labels = criterion_labels(schema, request.criterion_attr())?;
-        check_group(&labels, &request)?;
 
         let threads = self.config().threads;
         let mut report = PipelineReport { threads, ..PipelineReport::default() };
+        report.counters.budget_coarsening_steps = plan.coarsening_steps as u64;
 
         let start = Instant::now();
-        let array = binner.bin_rows_parallel(dataset.rows(), threads)?;
+        let (array, recovery) = binner.bin_rows_parallel_with_stats(dataset.rows(), threads)?;
         report.timings.record(Stage::Binning, start.elapsed());
         report.counters.tuples_binned = array.n_tuples();
+        report.counters.record_recovery(&recovery);
 
         let start = Instant::now();
         let mut rng = StdRng::seed_from_u64(self.config().seed);
@@ -271,6 +300,7 @@ impl Arcs {
             sample,
             labels,
             thresholds: None,
+            budget_coarsening: plan.coarsening_steps,
             report,
             observer: None,
         })
@@ -290,23 +320,27 @@ impl Arcs {
     where
         I: IntoIterator<Item = Tuple>,
     {
+        let labels = criterion_labels(schema, request.criterion_attr())?;
+        check_group(&labels, &request)?;
+        let plan = self.plan_bins(&request, labels.len())?;
         let binner = self.build_binner(
             schema,
             request.x_attr(),
             request.y_attr(),
             request.criterion_attr(),
             None,
+            &plan,
         )?;
-        let labels = criterion_labels(schema, request.criterion_attr())?;
-        check_group(&labels, &request)?;
 
         let threads = self.config().threads;
         let mut report = PipelineReport { threads, ..PipelineReport::default() };
+        report.counters.budget_coarsening_steps = plan.coarsening_steps as u64;
 
         let start = Instant::now();
-        let array = binner.bin_stream_parallel(tuples, threads)?;
+        let (array, recovery) = binner.bin_stream_parallel_with_stats(tuples, threads)?;
         report.timings.record(Stage::Binning, start.elapsed());
         report.counters.tuples_binned = array.n_tuples();
+        report.counters.record_recovery(&recovery);
 
         let start = Instant::now();
         let sample: Vec<Tuple> = sample.rows().to_vec();
@@ -320,6 +354,7 @@ impl Arcs {
             sample,
             labels,
             thresholds: None,
+            budget_coarsening: plan.coarsening_steps,
             report,
             observer: None,
         })
@@ -351,9 +386,27 @@ impl Arcs {
             sample: sample.rows().to_vec(),
             labels,
             thresholds: None,
+            budget_coarsening: 0,
             report,
             observer: None,
         })
+    }
+
+    /// Runs the resource governor over the configured bin counts: the
+    /// request's budget override, else [`ArcsConfig::memory_budget`],
+    /// else unlimited (overflow-checked only).
+    fn plan_bins(
+        &self,
+        request: &SegmentRequest,
+        n_groups: usize,
+    ) -> Result<crate::budget::BinPlan, ArcsError> {
+        let budget = request.memory_budget_bytes().or(self.config().memory_budget);
+        crate::budget::plan_bins(
+            self.config().n_x_bins,
+            self.config().n_y_bins,
+            n_groups,
+            budget,
+        )
     }
 }
 
@@ -395,6 +448,7 @@ impl Session {
             c.occupied_cells += outcome.stats.occupied_cells;
             c.candidates_enumerated += outcome.stats.candidates_enumerated;
             c.clusters_pruned += outcome.stats.clusters_pruned;
+            c.record_recovery(&outcome.stats.recovery);
             c.evaluations += outcome.evaluations as u64;
             c.verifier_false_positives += outcome.best.errors.false_positives as u64;
             c.verifier_false_negatives += outcome.best.errors.false_negatives as u64;
@@ -408,6 +462,13 @@ impl Session {
         self.notify_counters();
 
         self.thresholds = Some(outcome.best.thresholds);
+        // Budget coarsening at open time is a quality degradation too:
+        // surface it through the same channel as the threshold ladder.
+        let mut relaxation_steps = outcome.relaxation_steps;
+        if self.budget_coarsening > 0 {
+            relaxation_steps
+                .insert(0, format!("budget-coarsen-bins({} halvings)", self.budget_coarsening));
+        }
         Ok(Segmentation {
             rules,
             clusters: outcome.best.clusters,
@@ -416,8 +477,8 @@ impl Session {
             errors: outcome.best.errors,
             n_tuples: self.array.n_tuples(),
             evaluations: outcome.evaluations,
-            degraded: outcome.degraded,
-            relaxation_steps: outcome.relaxation_steps,
+            degraded: outcome.degraded || self.budget_coarsening > 0,
+            relaxation_steps,
         })
     }
 
@@ -570,6 +631,13 @@ impl Session {
     /// Thresholds of the most recent mine, if any.
     pub fn thresholds(&self) -> Option<Thresholds> {
         self.thresholds
+    }
+
+    /// Bin-halving steps the resource governor took to fit the memory
+    /// budget when this session was opened (0 without a budget, or when
+    /// the requested grid already fit).
+    pub fn budget_coarsening_steps(&self) -> u32 {
+        self.budget_coarsening
     }
 
     /// Accumulated stage timings and work counters.
@@ -786,6 +854,52 @@ mod tests {
         let seen = recording.lock().unwrap();
         assert_eq!(seen.stages, vec![Stage::Search, Stage::Decode]);
         assert!(seen.counter_updates >= 1);
+    }
+
+    #[test]
+    fn memory_budget_coarsens_bins_instead_of_aborting() {
+        let ds = blocky_dataset();
+        let arcs = Arcs::new(small_config()).unwrap();
+        // A 10 x 10 grid with 2 groups needs (2+1)*100*4 = 1200 bytes; a
+        // 400-byte budget forces two halvings: (5,10) = 600, (5,5) = 300.
+        let mut session = arcs
+            .open(&ds, SegmentRequest::new("x", "y", "g").group("A").memory_budget(400))
+            .unwrap();
+        assert_eq!(session.budget_coarsening_steps(), 2);
+        assert_eq!(session.bin_array().nx(), 5);
+        assert_eq!(session.bin_array().ny(), 5);
+        assert_eq!(session.report().counters.budget_coarsening_steps, 2);
+        let seg = session.segment().unwrap();
+        assert!(seg.degraded);
+        assert!(
+            seg.relaxation_steps[0].starts_with("budget-coarsen-bins"),
+            "{:?}",
+            seg.relaxation_steps
+        );
+    }
+
+    #[test]
+    fn config_budget_applies_when_the_request_has_none() {
+        let ds = blocky_dataset();
+        let config = ArcsConfig { memory_budget: Some(400), ..small_config() };
+        let arcs = Arcs::new(config).unwrap();
+        let session = arcs
+            .open(&ds, SegmentRequest::new("x", "y", "g").group("A"))
+            .unwrap();
+        assert_eq!(session.budget_coarsening_steps(), 2);
+    }
+
+    #[test]
+    fn impossible_budget_is_refused_at_open() {
+        let ds = blocky_dataset();
+        let arcs = Arcs::new(small_config()).unwrap();
+        // Even the coarsest useful grid (2 x 2, 2 groups = 48 bytes)
+        // cannot fit in 10 bytes: refuse admission, don't coarsen to
+        // nothing.
+        let err = arcs
+            .open(&ds, SegmentRequest::new("x", "y", "g").group("A").memory_budget(10))
+            .unwrap_err();
+        assert!(matches!(err, ArcsError::BudgetExceeded { .. }), "{err}");
     }
 
     #[test]

@@ -93,6 +93,7 @@ pub fn smooth(grid: &Grid, config: &SmoothConfig) -> Result<Grid, ArcsError> {
 }
 
 fn smooth_once(grid: &Grid, config: &SmoothConfig) -> Result<Grid, ArcsError> {
+    crate::faults::check("smooth.pass")?;
     let (weights, total) = config.kernel.weights();
     let w = grid.width();
     let h = grid.height();

@@ -7,6 +7,10 @@
 //! function is known (synthetic experiments) the exact region error of
 //! Figure 9 can be integrated directly.
 
+// Public-API paths must fail with typed errors, never panic.
+#![warn(clippy::unwrap_used)]
+#![warn(clippy::expect_used)]
+
 use arcs_data::agrawal::Region2D;
 use arcs_data::sample::RepeatedSampling;
 use arcs_data::{Dataset, Tuple};
@@ -80,6 +84,13 @@ where
 /// Estimates the error rate with repeated k-out-of-n sampling
 /// (paper §3.6: "a stronger statistical technique"). Returns
 /// `(mean_rate, std_dev)` across repetitions.
+///
+/// Edge cases are well-defined rather than errors: a requested sample
+/// size larger than the dataset is clamped to the dataset (every
+/// repetition then examines all of it), an empty dataset yields
+/// `(0.0, 0.0)` (nothing examined, no error evidence), and an empty
+/// cluster set or group-free sample simply produces the corresponding
+/// [`ErrorCounts::rate`] — no panics anywhere on the path.
 pub fn verify_sampled(
     clusters: &[Rect],
     binner: &Binner,
@@ -87,6 +98,14 @@ pub fn verify_sampled(
     gk: u32,
     sampling: RepeatedSampling,
 ) -> Result<(f64, f64), ArcsError> {
+    crate::faults::check("verify.sample")?;
+    if dataset.is_empty() {
+        return Ok((0.0, 0.0));
+    }
+    let sampling = RepeatedSampling {
+        k: sampling.k.min(dataset.len()),
+        ..sampling
+    };
     let (mean, sd) = sampling
         .estimate(dataset, |rows| {
             verify_tuples(clusters, binner, rows.iter().copied(), gk).rate()
@@ -139,6 +158,7 @@ pub fn region_error(
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use arcs_data::schema::{Attribute, Schema};
@@ -218,6 +238,55 @@ mod tests {
         let (mean, sd) = verify_sampled(&clusters, &b, &ds, 0, sampling).unwrap();
         assert!((mean - full.rate()).abs() < 0.08, "mean {mean} vs {}", full.rate());
         assert!(sd < 0.1);
+    }
+
+    #[test]
+    fn sampled_verification_clamps_oversized_k() {
+        // k far beyond the dataset: every repetition examines the whole
+        // dataset, so the estimate is exact with zero variance.
+        let b = binner();
+        let clusters = vec![Rect::new(0, 0, 4, 4).unwrap()];
+        let mut ds = Dataset::new(schema());
+        for i in 0..20 {
+            let v = (i % 5) as f64;
+            ds.push(vec![Value::Quant(v), Value::Quant(v), Value::Cat(0)]).unwrap();
+        }
+        ds.push(vec![Value::Quant(9.0), Value::Quant(9.0), Value::Cat(0)]).unwrap();
+        let full = verify_tuples(&clusters, &b, ds.iter(), 0);
+        let sampling = RepeatedSampling { k: 10_000, repetitions: 5, seed: 1 };
+        let (mean, sd) = verify_sampled(&clusters, &b, &ds, 0, sampling).unwrap();
+        assert!((mean - full.rate()).abs() < 1e-12, "mean {mean} vs {}", full.rate());
+        assert_eq!(sd, 0.0);
+    }
+
+    #[test]
+    fn sampled_verification_handles_empty_dataset_and_group() {
+        let b = binner();
+        let ds = Dataset::new(schema());
+        let sampling = RepeatedSampling { k: 100, repetitions: 3, seed: 1 };
+        let clusters = vec![Rect::new(0, 0, 4, 4).unwrap()];
+        // Empty dataset: nothing examined, zero rate, no error.
+        let (mean, sd) = verify_sampled(&clusters, &b, &ds, 0, sampling).unwrap();
+        assert_eq!((mean, sd), (0.0, 0.0));
+
+        // Sample with no group members: FP-only rate, recall vacuously 1.
+        let mut ds = Dataset::new(schema());
+        for _ in 0..10 {
+            ds.push(vec![Value::Quant(1.0), Value::Quant(1.0), Value::Cat(1)]).unwrap();
+        }
+        let counts = verify_tuples(&clusters, &b, ds.iter(), 0);
+        assert_eq!(counts.group_total, 0);
+        assert_eq!(counts.recall(), 1.0);
+        let sampling = RepeatedSampling { k: 100, repetitions: 3, seed: 1 };
+        let (mean, _) = verify_sampled(&clusters, &b, &ds, 0, sampling).unwrap();
+        assert!((mean - 1.0).abs() < 1e-12, "all covered non-group tuples are FPs");
+
+        // Zero-cluster grid: every group tuple is a false negative, and
+        // the sampled path agrees without panicking.
+        let (mean, _) = verify_sampled(&[], &b, &ds, 1, sampling).unwrap();
+        assert!((mean - 1.0).abs() < 1e-12);
+        let (mean, _) = verify_sampled(&[], &b, &ds, 0, sampling).unwrap();
+        assert_eq!(mean, 0.0, "no group tuples and no clusters: error-free");
     }
 
     #[test]

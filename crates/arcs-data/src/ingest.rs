@@ -232,10 +232,8 @@ mod tests {
 
     #[test]
     fn report_counts_and_fraction() {
-        let mut r = IngestReport::default();
-        r.rows_read = 10;
-        r.rows_kept = 8;
-        r.rows_skipped = 2;
+        let mut r =
+            IngestReport { rows_read: 10, rows_kept: 8, rows_skipped: 2, ..Default::default() };
         r.record(3, IssueKind::NonNumeric, "x".into());
         r.record(7, IssueKind::FieldCount, "y".into());
         assert_eq!(r.count_of(IssueKind::NonNumeric), 1);

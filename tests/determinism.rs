@@ -99,6 +99,36 @@ fn parallel_execution_is_bit_identical_on_agrawal_f2() {
     }
 }
 
+/// PR 3 acceptance criterion: determinism survives fault injection. With
+/// a failpoint panicking every binning shard worker, recovery (bounded
+/// retries, then per-shard sequential recompute) must reproduce the exact
+/// fault-free result — same `BinArray` checksum, same segmentation — with
+/// the absorbed panics visible in the report counters.
+#[cfg(feature = "failpoints")]
+#[test]
+fn injected_shard_panics_do_not_change_results() {
+    use arcs::core::faults;
+
+    let mut gen = AgrawalGenerator::new(GeneratorConfig::paper_defaults(99)).unwrap();
+    let ds = gen.generate(30_000);
+    let request = SegmentRequest::new("age", "salary", "group").group("A");
+
+    let mut clean = arcs_with_threads(4).open(&ds, request.clone()).unwrap();
+    let clean_checksum = clean.bin_array().checksum();
+    let clean_seg = clean.segment().unwrap();
+
+    // Recovery is bit-identical, so tests sharing the process while this
+    // schedule is armed still pass — but serialise the arm/clear window
+    // anyway to keep `worker_panics` attributable to this session.
+    faults::configure_from_spec("binner.shard=panic@1+").unwrap();
+    let mut faulted = arcs_with_threads(4).open(&ds, request).unwrap();
+    faults::clear();
+
+    assert_eq!(faulted.bin_array().checksum(), clean_checksum);
+    assert!(faulted.report().counters.worker_panics > 0);
+    assert_eq!(faulted.segment().unwrap(), clean_seg);
+}
+
 /// The same bit-identity on an adversarially clumped dataset (all mass in
 /// a few cells, sizes not divisible by the chunk size) rather than the
 /// smooth synthetic workload.

@@ -1,0 +1,190 @@
+//! Fault-injection replay through the public session API
+//! (`cargo test --features failpoints`).
+//!
+//! Each test arms a deterministic failpoint schedule and drives the
+//! pipeline end to end, asserting either full recovery (bit-identical to
+//! the fault-free run, with the recovery tallies visible in the session
+//! report) or a clean typed-error exit — never an abort, never silent
+//! data corruption.
+#![cfg(feature = "failpoints")]
+
+use std::sync::Mutex;
+
+use arcs::core::faults;
+use arcs::prelude::*;
+
+/// Failpoint state is process-global; serialise every test in this binary.
+static LOCK: Mutex<()> = Mutex::new(());
+
+fn guard() -> std::sync::MutexGuard<'static, ()> {
+    let g = LOCK.lock().unwrap_or_else(|p| p.into_inner());
+    faults::clear();
+    g
+}
+
+fn f2_dataset(n: usize) -> Dataset {
+    let mut gen = AgrawalGenerator::new(GeneratorConfig::paper_defaults(41)).unwrap();
+    gen.generate(n)
+}
+
+/// An `Arcs` with every thread knob pinned to `threads`.
+fn arcs_with_threads(threads: usize) -> Arcs {
+    Arcs::new(ArcsConfig {
+        threads,
+        optimizer: OptimizerConfig { threads, ..OptimizerConfig::default() },
+        ..ArcsConfig::default()
+    })
+    .unwrap()
+}
+
+fn request() -> SegmentRequest {
+    SegmentRequest::new("age", "salary", "group").group("A")
+}
+
+/// A panic in *every* binning shard worker, persistently: each shard
+/// exhausts its retries, falls back to the sequential recompute, and the
+/// merged array is still bit-identical to the fault-free run.
+#[test]
+fn persistent_shard_panics_recover_to_a_bit_identical_bin_array() {
+    let _g = guard();
+    let ds = f2_dataset(12_000);
+    let clean = arcs_with_threads(4).open(&ds, request()).unwrap();
+    assert_eq!(clean.report().counters.worker_panics, 0);
+
+    faults::configure_from_spec("binner.shard=panic@1+").unwrap();
+    let faulted = arcs_with_threads(4).open(&ds, request()).unwrap();
+    faults::clear();
+
+    assert_eq!(faulted.bin_array().checksum(), clean.bin_array().checksum());
+    let c = &faulted.report().counters;
+    assert!(c.worker_panics > 0, "no panic was recorded: {c:?}");
+    assert!(
+        c.sequential_fallbacks > 0,
+        "persistent panics must exhaust retries into the fallback: {c:?}"
+    );
+}
+
+/// A one-shot panic is absorbed by the first (bounded) retry; the
+/// sequential fallback is never needed.
+#[test]
+fn a_transient_shard_panic_is_retried_without_fallback() {
+    let _g = guard();
+    let ds = f2_dataset(12_000);
+    faults::configure_from_spec("binner.shard=panic@1").unwrap();
+    let session = arcs_with_threads(2).open(&ds, request()).unwrap();
+    faults::clear();
+    let c = &session.report().counters;
+    assert_eq!(c.worker_panics, 1, "{c:?}");
+    assert_eq!(c.shard_retries, 1, "{c:?}");
+    assert_eq!(c.sequential_fallbacks, 0, "{c:?}");
+}
+
+/// Typed faults (errors, simulated allocation failures) are deterministic,
+/// so they propagate immediately as clean errors — no retry, no abort.
+#[test]
+fn typed_faults_surface_as_clean_errors() {
+    let _g = guard();
+    let ds = f2_dataset(12_000);
+
+    faults::configure_from_spec("binner.shard=error@1").unwrap();
+    let err = arcs_with_threads(2).open(&ds, request()).unwrap_err();
+    assert!(
+        matches!(err, ArcsError::FaultInjected { point: "binner.shard" }),
+        "{err}"
+    );
+    faults::clear();
+
+    faults::configure_from_spec("engine.mine=error@1").unwrap();
+    let mut session = arcs_with_threads(1).open(&ds, request()).unwrap();
+    let err = session.segment().unwrap_err();
+    assert!(
+        matches!(err, ArcsError::FaultInjected { point: "engine.mine" }),
+        "{err}"
+    );
+    faults::clear();
+
+    faults::configure_from_spec("smooth.pass=alloc@1").unwrap();
+    let mut session = arcs_with_threads(1).open(&ds, request()).unwrap();
+    let err = session.segment().unwrap_err();
+    assert!(matches!(err, ArcsError::AllocationFailed { .. }), "{err}");
+    faults::clear();
+
+    faults::configure_from_spec("bitop.enumerate=alloc@1").unwrap();
+    let mut session = arcs_with_threads(1).open(&ds, request()).unwrap();
+    let err = session.segment().unwrap_err();
+    assert!(matches!(err, ArcsError::AllocationFailed { .. }), "{err}");
+    faults::clear();
+}
+
+/// A panicking evaluation worker in the parallel threshold search: the
+/// point is retried after the batch joins, and the search result stays
+/// bit-identical to the fault-free run.
+#[test]
+fn optimizer_worker_panics_recover_bit_identically() {
+    let _g = guard();
+    let ds = f2_dataset(12_000);
+    let clean_seg = {
+        let mut session = arcs_with_threads(4).open(&ds, request()).unwrap();
+        session.segment().unwrap()
+    };
+
+    faults::configure_from_spec("optimizer.evaluate=panic@1").unwrap();
+    let mut session = arcs_with_threads(4).open(&ds, request()).unwrap();
+    let seg = session.segment().unwrap();
+    assert!(faults::hits("optimizer.evaluate") > 0, "failpoint was never reached");
+    faults::clear();
+
+    assert_eq!(seg, clean_seg);
+    let c = &session.report().counters;
+    assert!(c.worker_panics >= 1, "{c:?}");
+    assert!(c.shard_retries >= 1, "{c:?}");
+}
+
+/// Persistent panics at the stream-chunk failpoint: every chunk retries,
+/// disarms, and completes; the streamed array matches the fault-free one.
+#[test]
+fn stream_chunk_panics_disarm_and_the_stream_completes() {
+    let _g = guard();
+    let ds = f2_dataset(20_000);
+    let clean = arcs_with_threads(4)
+        .open_stream(ds.schema(), ds.iter().cloned(), request(), &ds)
+        .unwrap();
+
+    faults::configure_from_spec("binner.stream-chunk=panic@1+").unwrap();
+    let faulted = arcs_with_threads(4)
+        .open_stream(ds.schema(), ds.iter().cloned(), request(), &ds)
+        .unwrap();
+    faults::clear();
+
+    assert_eq!(faulted.bin_array().checksum(), clean.bin_array().checksum());
+    let c = &faulted.report().counters;
+    assert!(c.worker_panics > 0, "{c:?}");
+    assert!(c.sequential_fallbacks > 0, "{c:?}");
+}
+
+/// Snapshot I/O failpoints: a scheduled write or read fault surfaces as a
+/// typed error, and the very next attempt round-trips the array intact.
+#[test]
+fn snapshot_failpoints_guard_checkpoint_io() {
+    let _g = guard();
+    let ds = f2_dataset(12_000);
+    let session = arcs_with_threads(1).open(&ds, request()).unwrap();
+    let dir = std::env::temp_dir().join("arcs-fault-tests");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("snapshot.bin");
+
+    faults::configure_from_spec("binarray.snapshot-write=error@1").unwrap();
+    let err = session.bin_array().save(&path).unwrap_err();
+    assert!(
+        matches!(err, ArcsError::FaultInjected { point: "binarray.snapshot-write" }),
+        "{err}"
+    );
+    session.bin_array().save(&path).unwrap();
+
+    faults::configure_from_spec("binarray.snapshot-read=error@1").unwrap();
+    assert!(BinArray::load(&path).is_err());
+    let restored = BinArray::load(&path).unwrap();
+    assert_eq!(restored.checksum(), session.bin_array().checksum());
+    faults::clear();
+    std::fs::remove_file(&path).ok();
+}
