@@ -14,6 +14,7 @@
 use crate::binarray::BinArray;
 use crate::error::ArcsError;
 use crate::grid::Grid;
+use crate::index::OccupancyIndex;
 
 /// Minimum support and confidence thresholds (fractions in `[0, 1]`).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -68,11 +69,55 @@ pub struct BinnedRule {
     pub leverage: f64,
 }
 
+/// Assembles one [`BinnedRule`] from a qualifying cell's raw counts.
+/// Shared by the reference and indexed miners so both emit bit-identical
+/// rules.
+// The argument list mirrors the cell's raw measurements one-to-one; a
+// carrier struct would be built and destructured at exactly two sites.
+#[allow(clippy::too_many_arguments)]
+#[inline]
+fn make_rule(
+    x: usize,
+    y: usize,
+    gk: u32,
+    count: u32,
+    total: u32,
+    confidence: f64,
+    n: f64,
+    group_rate: f64,
+) -> BinnedRule {
+    let support = count as f64 / n;
+    let cell_rate = total as f64 / n;
+    BinnedRule {
+        x,
+        y,
+        group: gk,
+        support,
+        confidence,
+        count,
+        lift: if group_rate > 0.0 { confidence / group_rate } else { 0.0 },
+        leverage: support - cell_rate * group_rate,
+    }
+}
+
 /// Mines all rules for criterion group `gk` meeting `thresholds`
 /// (the paper's `GenAssociationRules`, Figure 3). One pass over the bin
-/// array; the data itself is never touched.
+/// array; the data itself is never touched. For repeated re-mining at
+/// varying thresholds, build an [`OccupancyIndex`] once and use
+/// [`mine_rules_indexed`] — its cost is proportional to the occupied
+/// cells, not the grid.
 pub fn mine_rules(array: &BinArray, gk: u32, thresholds: Thresholds) -> Vec<BinnedRule> {
-    let min_support_count = min_support_count(array, thresholds.min_support);
+    mine_rules_reference(array, gk, thresholds)
+}
+
+/// The naive full-scan miner: visits every `nx · ny` cell. Kept as the
+/// oracle the output-sensitive paths are property-tested against.
+pub fn mine_rules_reference(
+    array: &BinArray,
+    gk: u32,
+    thresholds: Thresholds,
+) -> Vec<BinnedRule> {
+    let min_support_count = min_support_count_for(array.n_tuples(), thresholds.min_support);
     let n = array.n_tuples() as f64;
     let group_rate = if array.n_tuples() == 0 {
         0.0
@@ -92,21 +137,48 @@ pub fn mine_rules(array: &BinArray, gk: u32, thresholds: Thresholds) -> Vec<Binn
             if confidence < thresholds.min_confidence {
                 continue;
             }
-            let support = count as f64 / n;
-            let cell_rate = total as f64 / n;
-            rules.push(BinnedRule {
-                x,
-                y,
-                group: gk,
-                support,
-                confidence,
-                count,
-                lift: if group_rate > 0.0 { confidence / group_rate } else { 0.0 },
-                leverage: support - cell_rate * group_rate,
-            });
+            rules.push(make_rule(x, y, gk, count, total, confidence, n, group_rate));
         }
     }
     rules
+}
+
+/// [`mine_rules`] against a prebuilt [`OccupancyIndex`]: iterates only
+/// the group's occupied cells (in the same row-major order as the
+/// reference scan, so the emitted rules are bit-identical). Returns the
+/// rules plus the number of cells visited, for the `cells_visited`
+/// observability counter.
+pub fn mine_rules_indexed(
+    index: &OccupancyIndex,
+    gk: u32,
+    thresholds: Thresholds,
+) -> (Vec<BinnedRule>, u64) {
+    let min_support_count = min_support_count_for(index.n_tuples(), thresholds.min_support);
+    let n = index.n_tuples() as f64;
+    let group_rate = if index.n_tuples() == 0 {
+        0.0
+    } else {
+        index.group_total(gk) as f64 / n
+    };
+    let cells = index.group_cells(gk);
+    let mut rules = Vec::new();
+    for cell in cells {
+        if (cell.count as u64) < min_support_count || cell.confidence < thresholds.min_confidence
+        {
+            continue;
+        }
+        rules.push(make_rule(
+            cell.x,
+            cell.y,
+            gk,
+            cell.count,
+            cell.total,
+            cell.confidence,
+            n,
+            group_rate,
+        ));
+    }
+    (rules, cells.len() as u64)
 }
 
 /// Builds the bitmap grid of qualifying cells directly (the input to
@@ -133,7 +205,7 @@ pub fn rule_grid_into(
     } else {
         grid.reset();
     }
-    let min_support_count = min_support_count(array, thresholds.min_support);
+    let min_support_count = min_support_count_for(array.n_tuples(), thresholds.min_support);
     for y in 0..array.ny() {
         for x in 0..array.nx() {
             let count = array.group_count(x, y, gk);
@@ -166,11 +238,30 @@ pub fn support_grid(array: &BinArray, gk: u32) -> Vec<f64> {
 }
 
 /// Converts a fractional minimum support into an absolute tuple count
-/// (paper Figure 3: `minsupport_count = N * min_support`), rounded up so a
-/// cell must actually reach the fraction. A zero threshold still requires
-/// one tuple — empty cells never form rules.
-fn min_support_count(array: &BinArray, min_support: f64) -> u64 {
-    (((array.n_tuples() as f64) * min_support).ceil() as u64).max(1)
+/// (paper Figure 3: `minsupport_count = N * min_support`): the smallest
+/// `m` with `m / N >= min_support` **as evaluated in `f64`**, i.e. the
+/// exact integer form of the miner's `count / N >= min_support` test. A
+/// plain `ceil(N * min_support)` can land one off when the product
+/// rounds across an integer, silently admitting (or dropping) rules at
+/// exact-boundary counts; the adjustment loops below correct for that
+/// without any float round-trip. A zero threshold still requires one
+/// tuple — empty cells never form rules.
+pub(crate) fn min_support_count_for(n_tuples: u64, min_support: f64) -> u64 {
+    if n_tuples == 0 {
+        return 1;
+    }
+    let n = n_tuples as f64;
+    let mut m = ((n * min_support).ceil() as u64).min(n_tuples);
+    // `k / N` is monotone in `k` even under f64 rounding, so nudging the
+    // first guess until the predicate flips lands on the exact boundary;
+    // both loops run at most a couple of iterations in practice.
+    while m > 1 && ((m - 1) as f64) / n >= min_support {
+        m -= 1;
+    }
+    while m < n_tuples && (m as f64) / n < min_support {
+        m += 1;
+    }
+    m.max(1)
 }
 
 #[cfg(test)]
@@ -333,6 +424,80 @@ mod tests {
         assert!(mine_rules(&ba, 0, t).is_empty());
         assert!(rule_grid(&ba, 0, t).unwrap().is_empty());
         assert!(support_grid(&ba, 0).iter().all(|&v| v == 0.0));
+    }
+
+    /// The satellite bugfix regression: `min_support_count_for` must be
+    /// the *exact* integer form of the miner's `count / N >= min_support`
+    /// test. The invariant, for every (N, s): `m/N >= s` and, when
+    /// `m > 1`, `(m-1)/N < s` — all in the same `f64` arithmetic.
+    #[test]
+    fn min_support_count_is_the_exact_boundary() {
+        for n in [1u64, 2, 3, 7, 10, 97, 210, 1_000, 12_345, 1_000_003] {
+            for s in [
+                0.0, 1e-9, 0.001, 0.01, 0.04, 0.1, 1.0 / 3.0, 0.3, 0.5, 2.0 / 3.0, 0.9,
+                0.999, 1.0 - 1e-12, 1.0,
+            ] {
+                let m = min_support_count_for(n, s);
+                assert!(m >= 1 && m <= n, "m = {m} for N = {n}, s = {s}");
+                assert!(
+                    (m as f64) / (n as f64) >= s || (m == 1 && s > 0.0 && n == 1),
+                    "count {m} fails its own threshold: N = {n}, s = {s}"
+                );
+                if m > 1 {
+                    assert!(
+                        ((m - 1) as f64) / (n as f64) < s,
+                        "count {} would also qualify: N = {n}, s = {s}",
+                        m - 1
+                    );
+                }
+            }
+        }
+        assert_eq!(min_support_count_for(0, 0.5), 1, "empty array admits nothing");
+    }
+
+    /// The historical failure mode: `ceil(N * s)` rounds the product up
+    /// when it lands just above an integer (0.1 is not exact in binary),
+    /// silently *raising* the threshold by one tuple.
+    #[test]
+    fn min_support_count_survives_inexact_products() {
+        // 210 * 0.1 = 21.000000000000004 in f64; ceil would say 22, but
+        // 21/210 >= 0.1 holds, so 21 is the exact boundary.
+        assert_eq!(min_support_count_for(210, 0.1), 21);
+        // 3 * (1/3) = 0.9999999999999999...; a truncating cast would say 0.
+        assert_eq!(min_support_count_for(3, 1.0 / 3.0), 1);
+    }
+
+    /// Exact-boundary counts must qualify — and one-below must not — in
+    /// BOTH the naive and the indexed miner (the shared boundary-semantics
+    /// regression the issue asks for).
+    #[test]
+    fn boundary_counts_behave_identically_in_both_miners() {
+        let ba = demo_array(); // N = 210; group-0 counts 40, 45, 5, 10
+        let index = OccupancyIndex::build(&ba);
+        for (s, expect_cells) in [
+            // Exactly at cell (3,3)'s support of 10/210: it qualifies.
+            (10.0 / 210.0, vec![(0, 0), (1, 0), (3, 3)]),
+            // Infinitesimally above: it must drop out.
+            (11.0 / 210.0, vec![(0, 0), (1, 0)]),
+            // Exactly at the largest cell's support: only it remains.
+            (45.0 / 210.0, vec![(1, 0)]),
+            // Above everything: nothing.
+            (46.0 / 210.0, vec![]),
+        ] {
+            let t = Thresholds::new(s, 0.0).unwrap();
+            let naive: Vec<_> =
+                mine_rules_reference(&ba, 0, t).iter().map(|r| (r.x, r.y)).collect();
+            let (indexed_rules, visited) = mine_rules_indexed(&index, 0, t);
+            let indexed: Vec<_> = indexed_rules.iter().map(|r| (r.x, r.y)).collect();
+            assert_eq!(naive, expect_cells, "naive miner at s = {s}");
+            assert_eq!(indexed, expect_cells, "indexed miner at s = {s}");
+            assert_eq!(
+                mine_rules_reference(&ba, 0, t),
+                indexed_rules,
+                "full rule payloads diverge at s = {s}"
+            );
+            assert!(visited <= 4, "indexed miner visited {visited} > occupied cells");
+        }
     }
 
     #[test]

@@ -164,6 +164,29 @@ impl Grid {
         &self.bits[start..start + self.words_per_row]
     }
 
+    /// Mutable packed words of row `y` — for word-level writers (the
+    /// smoothing kernel). Writers must keep the grid invariant that bits
+    /// at or beyond `width` in the last word stay zero (see
+    /// [`tail_mask`](Grid::tail_mask)).
+    #[inline]
+    pub(crate) fn row_mut(&mut self, y: usize) -> &mut [u64] {
+        debug_assert!(y < self.height);
+        let start = y * self.words_per_row;
+        &mut self.bits[start..start + self.words_per_row]
+    }
+
+    /// Mask of the valid bits in the *last* word of each row (all ones
+    /// when the width is a multiple of 64).
+    #[inline]
+    pub(crate) fn tail_mask(&self) -> u64 {
+        let r = self.width % 64;
+        if r == 0 {
+            !0
+        } else {
+            (1u64 << r) - 1
+        }
+    }
+
     /// Number of set bits in the whole grid.
     pub fn count_ones(&self) -> usize {
         self.bits.iter().map(|w| w.count_ones() as usize).sum()

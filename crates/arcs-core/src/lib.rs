@@ -25,6 +25,7 @@ pub mod error;
 pub mod factorial;
 pub mod faults;
 pub mod grid;
+pub mod index;
 pub mod mdl;
 pub mod metrics;
 pub mod multidim;
@@ -43,9 +44,12 @@ pub use binning::BinMap;
 pub use bitop::BitOpConfig;
 pub use budget::{BinPlan, MIN_BINS};
 pub use cluster::{ClusteredRule, Rect};
-pub use engine::{mine_rules, BinnedRule, Thresholds};
+pub use engine::{
+    mine_rules, mine_rules_indexed, mine_rules_reference, BinnedRule, Thresholds,
+};
 pub use error::ArcsError;
 pub use grid::Grid;
+pub use index::{DeltaMiner, GroupCell, OccupancyIndex};
 pub use metrics::{
     Observer, PipelineCounters, PipelineReport, RecoveryStats, Stage, StageTimings,
 };
@@ -53,5 +57,5 @@ pub use optimizer::{optimize, OptimizerConfig, SearchStats, ThresholdLattice};
 pub use pipeline::{Arcs, ArcsConfig, Segmentation};
 pub use session::{SegmentRequest, Session};
 pub use mdl::{mdl_cost, MdlScore, MdlWeights};
-pub use smooth::{Kernel, SmoothConfig};
+pub use smooth::{smooth_reference, BorderMode, Kernel, SmoothConfig, SmoothStats};
 pub use verify::ErrorCounts;

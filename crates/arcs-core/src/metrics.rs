@@ -77,7 +77,10 @@ impl StageTimings {
 
 /// Work counters accumulated across a session's pipeline runs. Parallel
 /// execution reports exactly the same values as sequential execution —
-/// the counters describe the work, not the schedule.
+/// the counters describe the work, not the schedule — except the
+/// delta-mining tallies (`cells_visited`, `remine_delta_hits`), which
+/// depend on how the search's threshold walk was chained across workers
+/// (see [`SearchStats`](crate::optimizer::SearchStats)).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct PipelineCounters {
     /// Tuples streamed into the `BinArray`.
@@ -95,6 +98,17 @@ pub struct PipelineCounters {
     pub clusters_pruned: u64,
     /// `(support, confidence)` evaluations the threshold search ran.
     pub evaluations: u64,
+    /// Indexed cells the output-sensitive re-miner examined (delta
+    /// updates plus explicit re-mines). A full-rescan miner would report
+    /// `nx · ny` per re-mine; this stays proportional to occupied and
+    /// threshold-crossing cells.
+    pub cells_visited: u64,
+    /// Cells whose rule qualification actually flipped during delta
+    /// re-mining.
+    pub remine_delta_hits: u64,
+    /// Packed 64-bit row words the word-parallel smoothing kernel
+    /// processed.
+    pub smooth_words_processed: u64,
     /// Verifier false positives of the winning segmentations.
     pub verifier_false_positives: u64,
     /// Verifier false negatives of the winning segmentations.
@@ -120,6 +134,9 @@ impl PipelineCounters {
         self.candidates_enumerated += other.candidates_enumerated;
         self.clusters_pruned += other.clusters_pruned;
         self.evaluations += other.evaluations;
+        self.cells_visited += other.cells_visited;
+        self.remine_delta_hits += other.remine_delta_hits;
+        self.smooth_words_processed += other.smooth_words_processed;
         self.verifier_false_positives += other.verifier_false_positives;
         self.verifier_false_negatives += other.verifier_false_negatives;
         self.worker_panics += other.worker_panics;
@@ -235,6 +252,12 @@ impl PipelineReport {
         ));
         out.push_str(&format!("\"clusters_pruned\":{},", c.clusters_pruned));
         out.push_str(&format!("\"evaluations\":{},", c.evaluations));
+        out.push_str(&format!("\"cells_visited\":{},", c.cells_visited));
+        out.push_str(&format!("\"remine_delta_hits\":{},", c.remine_delta_hits));
+        out.push_str(&format!(
+            "\"smooth_words_processed\":{},",
+            c.smooth_words_processed
+        ));
         out.push_str(&format!(
             "\"verifier_false_positives\":{},",
             c.verifier_false_positives
@@ -333,6 +356,9 @@ mod tests {
             "\"candidates_enumerated\"",
             "\"clusters_pruned\"",
             "\"evaluations\"",
+            "\"cells_visited\"",
+            "\"remine_delta_hits\"",
+            "\"smooth_words_processed\"",
             "\"verifier_false_positives\"",
             "\"verifier_false_negatives\"",
             "\"worker_panics\"",

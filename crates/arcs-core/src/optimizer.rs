@@ -19,12 +19,12 @@ use crate::binarray::BinArray;
 use crate::binner::{Binner, MAX_SHARD_RETRIES};
 use crate::bitop::{self, BitOpConfig, ClusterStats};
 use crate::cluster::Rect;
-use crate::engine::{rule_grid_into, Thresholds};
+use crate::engine::Thresholds;
 use crate::error::ArcsError;
-use crate::grid::Grid;
+use crate::index::{DeltaMiner, OccupancyIndex};
 use crate::mdl::{MdlScore, MdlWeights};
 use crate::metrics::RecoveryStats;
-use crate::smooth::{smooth, SmoothConfig};
+use crate::smooth::{smooth_with_stats, SmoothConfig};
 use crate::verify::{verify_tuples, ErrorCounts};
 
 /// The Figure 10 data structure: the support thresholds that occur in the
@@ -234,10 +234,13 @@ pub struct Evaluation {
     pub score: MdlScore,
 }
 
-/// Work counters from one threshold search (schedule-independent: the
-/// parallel and sequential paths report identical values — except
-/// `recovery`, which tallies the faults this particular run actually
-/// encountered and survived).
+/// Work counters from one threshold search. Schedule-independent — the
+/// parallel and sequential paths report identical values — except:
+/// `recovery` tallies the faults this particular run actually encountered
+/// and survived, and `cells_visited` / `remine_delta_hits` depend on the
+/// delta-mining chains (each parallel worker starts its own chain from an
+/// empty grid, so the crossing sets differ from one sequential chain even
+/// though every produced grid is bit-identical).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct SearchStats {
     /// Occupied cells scanned while building the threshold lattice.
@@ -248,6 +251,17 @@ pub struct SearchStats {
     /// Residual candidates the area prune suppressed across all traced
     /// evaluations.
     pub clusters_pruned: u64,
+    /// Indexed cells the delta miner examined across all traced
+    /// evaluations (schedule-dependent, see above). A full-rescan miner
+    /// would report `nx · ny` per evaluation; this counter is how tests
+    /// prove the search is output-sensitive.
+    pub cells_visited: u64,
+    /// Cells whose qualification actually flipped across all traced
+    /// evaluations (schedule-dependent, see above).
+    pub remine_delta_hits: u64,
+    /// Packed 64-bit words the smoothing kernel processed across all
+    /// traced evaluations.
+    pub smooth_words_processed: u64,
     /// Panic-isolation bookkeeping accumulated across all evaluations
     /// (worker panics caught, retries, sequential fallbacks).
     pub recovery: RecoveryStats,
@@ -264,8 +278,35 @@ pub struct OptimizeResult {
     pub stats: SearchStats,
 }
 
+/// Per-worker re-mining state of the search: a [`DeltaMiner`] bound to
+/// the shared [`OccupancyIndex`]. The delta grid carries over between the
+/// points a worker evaluates, so consecutive lattice points pay only for
+/// threshold crossings; after a caught panic the miner is rebuilt (the
+/// panic may have left its grid mid-update).
+struct Reminer<'a> {
+    index: &'a OccupancyIndex,
+    delta: DeltaMiner,
+}
+
+impl<'a> Reminer<'a> {
+    fn new(index: &'a OccupancyIndex, gk: u32) -> Result<Self, ArcsError> {
+        Ok(Reminer { index, delta: DeltaMiner::new(index, gk)? })
+    }
+}
+
+/// Work counters of one evaluation, alongside its [`Evaluation`].
+#[derive(Debug, Clone, Copy, Default)]
+struct EvalStats {
+    cluster: ClusterStats,
+    cells_visited: u64,
+    delta_hits: u64,
+    smooth_words: u64,
+}
+
 /// Evaluates a single `(support, confidence)` point: mine → smooth →
-/// cluster → verify → score.
+/// cluster → verify → score. One-shot convenience — builds a throwaway
+/// [`OccupancyIndex`]; the search itself shares one index across all
+/// evaluations via [`evaluate_into`].
 pub fn evaluate(
     array: &BinArray,
     gk: u32,
@@ -274,54 +315,59 @@ pub fn evaluate(
     thresholds: Thresholds,
     config: &OptimizerConfig,
 ) -> Result<Evaluation, ArcsError> {
-    let mut scratch = Grid::new(array.nx(), array.ny())?;
-    evaluate_into(array, gk, binner, sample, thresholds, config, &mut scratch)
-        .map(|(eval, _)| eval)
+    let index = OccupancyIndex::build(array);
+    let mut reminer = Reminer::new(&index, gk)?;
+    evaluate_into(binner, sample, thresholds, config, &mut reminer).map(|(eval, _)| eval)
 }
 
-/// [`evaluate`] into a reusable rule-grid buffer, also returning the
-/// BitOp work counters. The hot path of the search: every lattice cell
-/// re-mines through here without reallocating the grid.
+/// The hot path of the search: every lattice point re-mines through here.
+/// The delta miner updates its qualifying grid in place (bit-identical to
+/// a from-scratch [`rule_grid`](crate::engine::rule_grid)) touching only
+/// threshold-crossing cells, then the word-parallel smoother and BitOp
+/// run as before.
 fn evaluate_into(
-    array: &BinArray,
-    gk: u32,
     binner: &Binner,
     sample: &[&Tuple],
     thresholds: Thresholds,
     config: &OptimizerConfig,
-    scratch: &mut Grid,
-) -> Result<(Evaluation, ClusterStats), ArcsError> {
-    rule_grid_into(array, gk, thresholds, scratch)?;
-    let smoothed = smooth(scratch, &config.smoothing)?;
+    reminer: &mut Reminer<'_>,
+) -> Result<(Evaluation, EvalStats), ArcsError> {
+    crate::faults::check("engine.mine")?;
+    let (cells_visited, delta_hits) = reminer.delta.update(reminer.index, thresholds);
+    let (smoothed, smooth_stats) = smooth_with_stats(reminer.delta.grid(), &config.smoothing)?;
     let (clusters, cluster_stats) = bitop::cluster_with_stats(&smoothed, &config.bitop)?;
-    let errors = verify_tuples(&clusters, binner, sample.iter().copied(), gk);
+    let errors = verify_tuples(&clusters, binner, sample.iter().copied(), reminer.delta.gk());
     let score = MdlScore::compute(clusters.len(), errors.total(), config.mdl_weights);
-    Ok((Evaluation { thresholds, clusters, errors, score }, cluster_stats))
+    let stats = EvalStats {
+        cluster: cluster_stats,
+        cells_visited,
+        delta_hits,
+        smooth_words: smooth_stats.words_processed,
+    };
+    Ok((Evaluation { thresholds, clusters, errors, score }, stats))
 }
 
 /// [`evaluate_into`] behind the `optimizer.evaluate` failpoint — the unit
 /// of panic-isolated work in [`evaluate_batch`].
 fn evaluate_point(
-    array: &BinArray,
-    gk: u32,
     binner: &Binner,
     sample: &[&Tuple],
     point: Thresholds,
     config: &OptimizerConfig,
-    scratch: &mut Grid,
-) -> Result<(Evaluation, ClusterStats), ArcsError> {
+    reminer: &mut Reminer<'_>,
+) -> Result<(Evaluation, EvalStats), ArcsError> {
     crate::faults::check("optimizer.evaluate")?;
-    evaluate_into(array, gk, binner, sample, point, config, scratch)
+    evaluate_into(binner, sample, point, config, reminer)
 }
 
 /// Evaluates `points` in order across up to `threads` scoped workers,
-/// each holding a private rule-grid scratch buffer against the shared
-/// immutable `BinArray`. Results come back in `points` order, so callers
+/// each holding a private [`Reminer`] against the shared immutable
+/// [`OccupancyIndex`]. Results come back in `points` order, so callers
 /// can replay the sequential selection logic over them unchanged.
 ///
 /// Each point is individually panic-isolated: a worker that panics on one
-/// point leaves that slot empty (and rebuilds its scratch grid, which the
-/// panic may have left mid-write) and carries on with the rest of its
+/// point leaves that slot empty (and rebuilds its delta miner, which the
+/// panic may have left mid-update) and carries on with the rest of its
 /// chunk. Empty slots are recovered after the join — bounded retries with
 /// any failpoint still armed, then a fault-free sequential recompute —
 /// so a surviving batch is bit-identical to a fault-free one. Recovery
@@ -329,24 +375,24 @@ fn evaluate_point(
 /// may discard evaluations past an early-stop point, but a panic that was
 /// absorbed must still reach the report.
 fn evaluate_batch(
-    array: &BinArray,
+    index: &OccupancyIndex,
     gk: u32,
     binner: &Binner,
     sample: &[&Tuple],
     points: &[Thresholds],
     config: &OptimizerConfig,
     threads: usize,
-) -> Result<(Vec<(Evaluation, ClusterStats)>, RecoveryStats), ArcsError> {
+) -> Result<(Vec<(Evaluation, EvalStats)>, RecoveryStats), ArcsError> {
     let workers = threads.min(points.len()).max(1);
     if workers == 1 {
-        let mut scratch = Grid::new(array.nx(), array.ny())?;
+        let mut reminer = Reminer::new(index, gk)?;
         return points
             .iter()
-            .map(|&t| evaluate_point(array, gk, binner, sample, t, config, &mut scratch))
+            .map(|&t| evaluate_point(binner, sample, t, config, &mut reminer))
             .collect::<Result<_, _>>()
             .map(|results| (results, RecoveryStats::default()));
     }
-    let mut slots: Vec<Option<Result<(Evaluation, ClusterStats), ArcsError>>> =
+    let mut slots: Vec<Option<Result<(Evaluation, EvalStats), ArcsError>>> =
         (0..points.len()).map(|_| None).collect();
     let per_worker = points.len().div_ceil(workers);
     std::thread::scope(|scope| {
@@ -354,8 +400,8 @@ fn evaluate_batch(
             points.chunks(per_worker).zip(slots.chunks_mut(per_worker))
         {
             scope.spawn(move || {
-                let mut scratch = match Grid::new(array.nx(), array.ny()) {
-                    Ok(grid) => grid,
+                let mut reminer = match Reminer::new(index, gk) {
+                    Ok(reminer) => reminer,
                     Err(err) => {
                         // Surface through the first slot; the chunk's
                         // remaining empty slots are recovered by the
@@ -368,12 +414,12 @@ fn evaluate_batch(
                 };
                 for (&point, slot) in point_chunk.iter().zip(slot_chunk.iter_mut()) {
                     let outcome = catch_unwind(AssertUnwindSafe(|| {
-                        evaluate_point(array, gk, binner, sample, point, config, &mut scratch)
+                        evaluate_point(binner, sample, point, config, &mut reminer)
                     }));
                     match outcome {
                         Ok(result) => *slot = Some(result),
-                        Err(_) => match Grid::new(array.nx(), array.ny()) {
-                            Ok(grid) => scratch = grid,
+                        Err(_) => match Reminer::new(index, gk) {
+                            Ok(fresh) => reminer = fresh,
                             Err(err) => {
                                 *slot = Some(Err(err));
                                 return;
@@ -386,14 +432,14 @@ fn evaluate_batch(
     });
     let mut results = Vec::with_capacity(points.len());
     let mut batch_recovery = RecoveryStats::default();
-    for (index, slot) in slots.into_iter().enumerate() {
+    for (slot_index, slot) in slots.into_iter().enumerate() {
         match slot {
             Some(result) => results.push(result?),
             None => {
                 let mut recovery =
                     RecoveryStats { worker_panics: 1, ..RecoveryStats::default() };
                 let recovered = recover_point(
-                    array, gk, binner, sample, points[index], config, &mut recovery,
+                    index, gk, binner, sample, points[slot_index], config, &mut recovery,
                 );
                 batch_recovery.merge(&recovery);
                 results.push(recovered?);
@@ -406,30 +452,31 @@ fn evaluate_batch(
 /// Recovers one evaluation point whose worker panicked: bounded retries
 /// with any failpoint still armed, then a final sequential attempt with
 /// the failpoint disarmed. A panic on the final attempt is genuine and
-/// surfaces as [`ArcsError::WorkerPanicked`].
+/// surfaces as [`ArcsError::WorkerPanicked`]. Every attempt starts from a
+/// fresh [`Reminer`] so a half-updated delta grid can never leak in.
 fn recover_point(
-    array: &BinArray,
+    index: &OccupancyIndex,
     gk: u32,
     binner: &Binner,
     sample: &[&Tuple],
     point: Thresholds,
     config: &OptimizerConfig,
     recovery: &mut RecoveryStats,
-) -> Result<(Evaluation, ClusterStats), ArcsError> {
+) -> Result<(Evaluation, EvalStats), ArcsError> {
     for _ in 0..MAX_SHARD_RETRIES {
         recovery.shard_retries += 1;
-        let mut scratch = Grid::new(array.nx(), array.ny())?;
+        let mut reminer = Reminer::new(index, gk)?;
         match catch_unwind(AssertUnwindSafe(|| {
-            evaluate_point(array, gk, binner, sample, point, config, &mut scratch)
+            evaluate_point(binner, sample, point, config, &mut reminer)
         })) {
             Ok(result) => return result,
             Err(_) => recovery.worker_panics += 1,
         }
     }
     recovery.sequential_fallbacks += 1;
-    let mut scratch = Grid::new(array.nx(), array.ny())?;
+    let mut reminer = Reminer::new(index, gk)?;
     catch_unwind(AssertUnwindSafe(|| {
-        evaluate_into(array, gk, binner, sample, point, config, &mut scratch)
+        evaluate_into(binner, sample, point, config, &mut reminer)
     }))
     .unwrap_or_else(|panic| {
         Err(ArcsError::WorkerPanicked {
@@ -459,13 +506,16 @@ impl Selection<'_> {
     fn consume(
         &mut self,
         eval: Evaluation,
-        cluster_stats: ClusterStats,
+        eval_stats: EvalStats,
         improved: &mut bool,
         conf_stale: &mut usize,
     ) -> bool {
-        self.stats.candidates_enumerated += cluster_stats.candidates_enumerated;
-        self.stats.clusters_pruned += cluster_stats.clusters_pruned;
-        self.stats.recovery.merge(&cluster_stats.recovery);
+        self.stats.candidates_enumerated += eval_stats.cluster.candidates_enumerated;
+        self.stats.clusters_pruned += eval_stats.cluster.clusters_pruned;
+        self.stats.recovery.merge(&eval_stats.cluster.recovery);
+        self.stats.cells_visited += eval_stats.cells_visited;
+        self.stats.remine_delta_hits += eval_stats.delta_hits;
+        self.stats.smooth_words_processed += eval_stats.smooth_words;
         self.trace.push(eval.clone());
         if eval.clusters.is_empty() {
             return false; // never a candidate, never counts as stale progress
@@ -499,11 +549,12 @@ impl Selection<'_> {
 /// empty or no evaluation produced any cluster.
 ///
 /// With `config.threads > 1` each support level's confidence cells are
-/// evaluated concurrently against the shared immutable `BinArray`, then
-/// consumed in their sequential order — `best`, `trace`, and `stats` are
-/// bit-identical to a single-threaded run. (Speculative evaluations past
-/// an early-stop point are discarded, trading some redundant work for
-/// wall-clock time.)
+/// evaluated concurrently against the shared immutable occupancy index,
+/// then consumed in their sequential order — `best`, `trace`, and `stats`
+/// are bit-identical to a single-threaded run, except the
+/// schedule-dependent `stats` fields called out on [`SearchStats`].
+/// (Speculative evaluations past an early-stop point are discarded,
+/// trading some redundant work for wall-clock time.)
 pub fn optimize(
     array: &BinArray,
     gk: u32,
@@ -548,7 +599,10 @@ pub fn optimize(
     };
     let mut stale = 0usize;
     let started = std::time::Instant::now();
-    let mut scratch = Grid::new(array.nx(), array.ny())?;
+    // One index for the whole search; the sequential walk threads a single
+    // delta-mining chain through every lattice point it evaluates.
+    let index = OccupancyIndex::build(array);
+    let mut reminer = Reminer::new(&index, gk)?;
 
     'search: for &s in &support_levels {
         // Map back to the lattice index to fetch this level's confidences.
@@ -574,10 +628,9 @@ pub fn optimize(
                     break 'search;
                 }
                 let thresholds = level_thresholds(s, c)?;
-                let (eval, cluster_stats) = evaluate_into(
-                    array, gk, binner, sample, thresholds, &worker_config, &mut scratch,
-                )?;
-                if sel.consume(eval, cluster_stats, &mut improved, &mut conf_stale) {
+                let (eval, eval_stats) =
+                    evaluate_into(binner, sample, thresholds, &worker_config, &mut reminer)?;
+                if sel.consume(eval, eval_stats, &mut improved, &mut conf_stale) {
                     break;
                 }
             }
@@ -596,7 +649,7 @@ pub fn optimize(
                 .map(|&c| level_thresholds(s, c))
                 .collect::<Result<_, _>>()?;
             let (batch, batch_recovery) = evaluate_batch(
-                array,
+                &index,
                 gk,
                 binner,
                 sample,
@@ -608,8 +661,8 @@ pub fn optimize(
             // point are discarded, but an absorbed panic is not.
             sel.stats.recovery.merge(&batch_recovery);
             let mut stopped_early = false;
-            for (eval, cluster_stats) in batch {
-                if sel.consume(eval, cluster_stats, &mut improved, &mut conf_stale) {
+            for (eval, eval_stats) in batch {
+                if sel.consume(eval, eval_stats, &mut improved, &mut conf_stale) {
                     stopped_early = true;
                     break;
                 }
@@ -805,12 +858,24 @@ mod tests {
             ..OptimizerConfig::default()
         };
         let sequential = optimize(&ba, 0, &b, &sample, &base).unwrap();
+        // Delta-mining work counters are schedule-dependent (each parallel
+        // worker starts its own crossing chain); everything else must be
+        // bit-identical.
+        let normalized = |stats: SearchStats| SearchStats {
+            cells_visited: 0,
+            remine_delta_hits: 0,
+            ..stats
+        };
         for threads in [2, 4, 8] {
             let config = OptimizerConfig { threads, ..base.clone() };
             let parallel = optimize(&ba, 0, &b, &sample, &config).unwrap();
             assert_eq!(parallel.best, sequential.best, "threads = {threads}");
             assert_eq!(parallel.trace, sequential.trace, "threads = {threads}");
-            assert_eq!(parallel.stats, sequential.stats, "threads = {threads}");
+            assert_eq!(
+                normalized(parallel.stats),
+                normalized(sequential.stats),
+                "threads = {threads}"
+            );
         }
     }
 
@@ -856,6 +921,18 @@ mod tests {
         // Every cell of the 10x10 demo grid is occupied.
         assert_eq!(result.stats.occupied_cells, 100);
         assert!(result.stats.candidates_enumerated > 0);
+        // The search is output-sensitive: only the 9 block cells carry
+        // group-0 tuples, so no evaluation may examine more than those —
+        // a full-rescan miner would report 100 per evaluation.
+        assert!(result.stats.cells_visited > 0);
+        assert!(
+            result.stats.cells_visited <= 9 * result.trace.len() as u64,
+            "visited {} cells over {} evaluations",
+            result.stats.cells_visited,
+            result.trace.len()
+        );
+        // The word kernel ran: 10-wide rows pack into one word each.
+        assert!(result.stats.smooth_words_processed >= 10 * result.trace.len() as u64);
     }
 
     #[test]

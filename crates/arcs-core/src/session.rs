@@ -41,6 +41,7 @@ use crate::bitop::{self, BitOpConfig};
 use crate::cluster::{ClusteredRule, Rect};
 use crate::engine::{self, BinnedRule, Thresholds};
 use crate::error::ArcsError;
+use crate::index::OccupancyIndex;
 use crate::metrics::{Observer, PipelineReport, Stage};
 use crate::optimizer::{evaluate, optimize, Evaluation, OptimizerConfig, SearchStats};
 use crate::pipeline::{Arcs, ArcsConfig, GroupSegmentations, Segmentation};
@@ -230,6 +231,10 @@ pub struct Session {
     /// Thresholds of the most recent mine (search winner or explicit
     /// `remine` argument); `recluster` reuses them.
     thresholds: Option<Thresholds>,
+    /// Occupancy index over `array`, built lazily on the first re-mine
+    /// and valid for the session's lifetime (the array is never modified
+    /// after construction — the index invalidation contract).
+    index: Option<OccupancyIndex>,
     /// Bin-halving steps the resource governor took at open time; `> 0`
     /// marks every segmentation from this session degraded.
     budget_coarsening: u32,
@@ -300,6 +305,7 @@ impl Arcs {
             sample,
             labels,
             thresholds: None,
+            index: None,
             budget_coarsening: plan.coarsening_steps,
             report,
             observer: None,
@@ -354,6 +360,7 @@ impl Arcs {
             sample,
             labels,
             thresholds: None,
+            index: None,
             budget_coarsening: plan.coarsening_steps,
             report,
             observer: None,
@@ -386,6 +393,7 @@ impl Arcs {
             sample: sample.rows().to_vec(),
             labels,
             thresholds: None,
+            index: None,
             budget_coarsening: 0,
             report,
             observer: None,
@@ -448,6 +456,9 @@ impl Session {
             c.occupied_cells += outcome.stats.occupied_cells;
             c.candidates_enumerated += outcome.stats.candidates_enumerated;
             c.clusters_pruned += outcome.stats.clusters_pruned;
+            c.cells_visited += outcome.stats.cells_visited;
+            c.remine_delta_hits += outcome.stats.remine_delta_hits;
+            c.smooth_words_processed += outcome.stats.smooth_words_processed;
             c.record_recovery(&outcome.stats.recovery);
             c.evaluations += outcome.evaluations as u64;
             c.verifier_false_positives += outcome.best.errors.false_positives as u64;
@@ -456,8 +467,12 @@ impl Session {
 
         let start = Instant::now();
         let rules = self.decode(&outcome.best.clusters, gk, group_label)?;
-        self.report.counters.rules_emitted +=
-            engine::mine_rules(&self.array, gk, outcome.best.thresholds).len() as u64;
+        let (mined, visited) = {
+            let index = self.occupancy_index();
+            engine::mine_rules_indexed(index, gk, outcome.best.thresholds)
+        };
+        self.report.counters.rules_emitted += mined.len() as u64;
+        self.report.counters.cells_visited += visited;
         self.record_stage(Stage::Decode, start.elapsed());
         self.notify_counters();
 
@@ -499,6 +514,10 @@ impl Session {
     /// Re-mines association rules at explicit thresholds against the
     /// already-populated bin array — the paper's §3.2 instant re-mining;
     /// no pass over the source data. Targets the request's group.
+    ///
+    /// The first re-mine builds the session's [`OccupancyIndex`]; from
+    /// then on each call iterates only the group's occupied cells, never
+    /// the full `nx · ny` grid (tracked by the `cells_visited` counter).
     pub fn remine(&mut self, thresholds: Thresholds) -> Result<Vec<BinnedRule>, ArcsError> {
         let label = self.request_group("remine")?;
         self.remine_group(&label, thresholds)
@@ -512,9 +531,13 @@ impl Session {
     ) -> Result<Vec<BinnedRule>, ArcsError> {
         let gk = self.group_code(group_label)?;
         let start = Instant::now();
-        let rules = engine::mine_rules(&self.array, gk, thresholds);
+        let (rules, visited) = {
+            let index = self.occupancy_index();
+            engine::mine_rules_indexed(index, gk, thresholds)
+        };
         self.record_stage(Stage::Search, start.elapsed());
         self.report.counters.rules_emitted += rules.len() as u64;
+        self.report.counters.cells_visited += visited;
         self.notify_counters();
         self.thresholds = Some(thresholds);
         Ok(rules)
@@ -652,6 +675,20 @@ impl Session {
                  request or use {op}_group / segment_all"
             ))
         })
+    }
+
+    /// The session's occupancy index, built on first use. Valid for the
+    /// whole session because the bin array is immutable after open.
+    fn occupancy_index(&mut self) -> &OccupancyIndex {
+        if self.index.is_none() {
+            self.index = Some(OccupancyIndex::build(&self.array));
+        }
+        debug_assert!(self.index.as_ref().is_some_and(|i| i.matches(&self.array)));
+        match self.index.as_ref() {
+            Some(index) => index,
+            // Freshly inserted above; unreachable without a panic channel.
+            None => unreachable!("occupancy index initialised above"),
+        }
     }
 
     fn group_code(&self, label: &str) -> Result<u32, ArcsError> {

@@ -7,6 +7,14 @@
 //! its 3×3 neighbourhood and re-binarised against a threshold — filling
 //! holes and removing isolated specks in one pass.
 //!
+//! [`smooth`] runs a **word-parallel** kernel: the 3×3 neighbourhood
+//! counts of 64 cells are computed at once with bit-sliced carry-save
+//! adds over the grid's packed `u64` row words (shifts within a row,
+//! whole words from the rows above/below), and the binarisation becomes
+//! a bit-plane comparison against a precomputed integer cut. The output
+//! is bit-identical to the scalar [`smooth_reference`] oracle, which is
+//! kept for property tests.
+//!
 //! The paper's §5 reports that using the association-rule *support values*
 //! instead of binary cell values in the filter is promising;
 //! [`smooth_support`] implements that variant.
@@ -36,6 +44,44 @@ impl Kernel {
             }
         }
     }
+
+    /// Maximum integer accumulator value (all nine neighbours set).
+    fn max_acc(&self) -> u32 {
+        match self {
+            Kernel::Box3 => 9,
+            Kernel::Gaussian3 => 16,
+        }
+    }
+
+    /// In-bounds weight of an *interior column* given which neighbour
+    /// rows exist — the denominator [`BorderMode::InBounds`] uses for
+    /// every cell except the first and last column of a row.
+    fn interior_row_weight(&self, above: bool, below: bool) -> f64 {
+        match self {
+            Kernel::Box3 => 3.0 * (1.0 + f64::from(above) + f64::from(below)),
+            Kernel::Gaussian3 => 8.0 + 4.0 * f64::from(above) + 4.0 * f64::from(below),
+        }
+    }
+}
+
+/// How the filter normalises cells whose 3×3 window sticks out of the
+/// grid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BorderMode {
+    /// Divide by the full kernel weight everywhere (the paper's implicit
+    /// choice, and the default). Out-of-bounds neighbours contribute
+    /// nothing but still count in the denominator, so solid blocks flush
+    /// against the grid edge erode there while identical interior blocks
+    /// survive. Keeps the filter strictly non-expansive at the borders.
+    #[default]
+    FullKernel,
+    /// Divide by the weight of the *in-bounds* part of the window, so a
+    /// border cell is judged against the neighbours it actually has.
+    /// Blocks flush against the edge keep their rim; the trade-off is
+    /// that border specks also survive more easily (a lone corner cell
+    /// sees a 2×2 window and can clear thresholds it would fail in the
+    /// interior).
+    InBounds,
 }
 
 /// Configuration of the smoothing pass.
@@ -51,6 +97,8 @@ pub struct SmoothConfig {
     pub threshold: f64,
     /// Number of filter passes (one is almost always enough).
     pub passes: usize,
+    /// Border normalisation (see [`BorderMode`]).
+    pub border: BorderMode,
 }
 
 impl Default for SmoothConfig {
@@ -59,6 +107,7 @@ impl Default for SmoothConfig {
             kernel: Kernel::Box3,
             threshold: 0.40,
             passes: 1,
+            border: BorderMode::FullKernel,
         }
     }
 }
@@ -80,52 +129,280 @@ impl SmoothConfig {
     }
 }
 
+/// Work counter of one [`smooth_with_stats`] call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SmoothStats {
+    /// Packed 64-bit row words the kernel processed, summed over passes.
+    pub words_processed: u64,
+}
+
 /// Applies the low-pass filter to a binary grid and returns the smoothed
 /// grid. Out-of-bounds neighbours count as unset, so the grid does not
 /// bleed past its borders.
 pub fn smooth(grid: &Grid, config: &SmoothConfig) -> Result<Grid, ArcsError> {
+    smooth_with_stats(grid, config).map(|(out, _)| out)
+}
+
+/// [`smooth`] plus its [`SmoothStats`] work counter.
+pub fn smooth_with_stats(
+    grid: &Grid,
+    config: &SmoothConfig,
+) -> Result<(Grid, SmoothStats), ArcsError> {
+    config.validate()?;
+    let mut stats = SmoothStats::default();
+    if config.passes == 0 {
+        return Ok((grid.clone(), stats));
+    }
+    let mut current = Grid::new(grid.width(), grid.height())?;
+    stats.words_processed += smooth_once_words(grid, config, &mut current)?;
+    if config.passes > 1 {
+        // Ping-pong between two buffers: no per-pass allocation.
+        let mut next = Grid::new(grid.width(), grid.height())?;
+        for _ in 1..config.passes {
+            stats.words_processed += smooth_once_words(&current, config, &mut next)?;
+            std::mem::swap(&mut current, &mut next);
+        }
+    }
+    Ok((current, stats))
+}
+
+/// The scalar per-cell oracle: the naive implementation the word-parallel
+/// [`smooth`] is property-tested against (bit-identical output).
+pub fn smooth_reference(grid: &Grid, config: &SmoothConfig) -> Result<Grid, ArcsError> {
     config.validate()?;
     let mut current = grid.clone();
     for _ in 0..config.passes {
-        current = smooth_once(&current, config)?;
+        crate::faults::check("smooth.pass")?;
+        let mut out = Grid::new(grid.width(), grid.height())?;
+        for y in 0..grid.height() {
+            for x in 0..grid.width() {
+                if scalar_cell(&current, x, y, config) {
+                    out.set(x, y);
+                }
+            }
+        }
+        current = out;
     }
     Ok(current)
 }
 
-fn smooth_once(grid: &Grid, config: &SmoothConfig) -> Result<Grid, ArcsError> {
-    crate::faults::check("smooth.pass")?;
+/// Evaluates the filter predicate for one cell exactly as the original
+/// scalar implementation did (same accumulation order, same `f64`
+/// division) — shared by [`smooth_reference`] and the word kernel's
+/// border-column fixup so the two paths cannot diverge.
+fn scalar_cell(grid: &Grid, x: usize, y: usize, config: &SmoothConfig) -> bool {
     let (weights, total) = config.kernel.weights();
     let w = grid.width();
     let h = grid.height();
-    let mut out = Grid::new(w, h)?;
-    for y in 0..h {
-        for x in 0..w {
-            let mut acc = 0.0;
-            for dy in -1i64..=1 {
-                for dx in -1i64..=1 {
-                    let nx = x as i64 + dx;
-                    let ny = y as i64 + dy;
-                    if nx < 0 || ny < 0 || nx >= w as i64 || ny >= h as i64 {
-                        continue;
-                    }
-                    if grid.get(nx as usize, ny as usize) {
-                        acc += weights[((dy + 1) * 3 + dx + 1) as usize];
-                    }
-                }
+    let mut acc = 0.0;
+    let mut in_bounds = 0.0;
+    for dy in -1i64..=1 {
+        for dx in -1i64..=1 {
+            let nx = x as i64 + dx;
+            let ny = y as i64 + dy;
+            if nx < 0 || ny < 0 || nx >= w as i64 || ny >= h as i64 {
+                continue;
             }
-            if acc / total >= config.threshold {
-                out.set(x, y);
+            let weight = weights[((dy + 1) * 3 + dx + 1) as usize];
+            in_bounds += weight;
+            if grid.get(nx as usize, ny as usize) {
+                acc += weight;
             }
         }
     }
-    Ok(out)
+    let denom = match config.border {
+        BorderMode::FullKernel => total,
+        BorderMode::InBounds => in_bounds,
+    };
+    acc / denom >= config.threshold
+}
+
+/// One word-parallel filter pass from `grid` into `out` (same
+/// dimensions, fully overwritten). Returns the number of row words
+/// processed.
+///
+/// Per output word, the 3×3 neighbourhood count of all 64 cells is built
+/// as bit-sliced binary planes with carry-save adders; the binarisation
+/// `acc / denom >= threshold` becomes `acc >= k_min` where `k_min` is the
+/// smallest integer passing the *same* `f64` comparison — so the output
+/// is bit-identical to [`smooth_reference`]. Under
+/// [`BorderMode::InBounds`] the first and last column of each row have a
+/// smaller denominator than the row's interior; those (at most two cells
+/// per row) are recomputed with the shared scalar predicate.
+fn smooth_once_words(
+    grid: &Grid,
+    config: &SmoothConfig,
+    out: &mut Grid,
+) -> Result<u64, ArcsError> {
+    crate::faults::check("smooth.pass")?;
+    debug_assert!(out.width() == grid.width() && out.height() == grid.height());
+    let width = grid.width();
+    let height = grid.height();
+    let words_per_row = grid.words_per_row();
+    let (_, total) = config.kernel.weights();
+    let max_acc = config.kernel.max_acc();
+    let tail_mask = grid.tail_mask();
+    let mut words = 0u64;
+    for y in 0..height {
+        let above = (y > 0).then(|| grid.row(y - 1));
+        let cur = grid.row(y);
+        let below = (y + 1 < height).then(|| grid.row(y + 1));
+        let denom = match config.border {
+            BorderMode::FullKernel => total,
+            BorderMode::InBounds => {
+                config.kernel.interior_row_weight(above.is_some(), below.is_some())
+            }
+        };
+        let k_min = k_min_for(denom, config.threshold, max_acc);
+        {
+            let out_row = out.row_mut(y);
+            for (wi, slot) in out_row.iter_mut().enumerate() {
+                let planes = match config.kernel {
+                    Kernel::Box3 => box3_planes(above, cur, below, wi),
+                    Kernel::Gaussian3 => gauss3_planes(above, cur, below, wi),
+                };
+                let mut word = ge_const(&planes, k_min);
+                if wi == words_per_row - 1 {
+                    word &= tail_mask;
+                }
+                *slot = word;
+                words += 1;
+            }
+        }
+        if config.border == BorderMode::InBounds && width > 0 {
+            // Column edges see a narrower window than the interior
+            // denominator baked into `k_min`; recompute them exactly.
+            // (For width <= 2 this covers the whole row.)
+            for x in [0, width - 1] {
+                if scalar_cell(grid, x, y, config) {
+                    out.set(x, y);
+                } else {
+                    out.clear(x, y);
+                }
+            }
+        }
+    }
+    Ok(words)
+}
+
+/// The smallest integer accumulator value that passes
+/// `acc / denom >= threshold` under the exact `f64` comparison the scalar
+/// oracle performs, or `max_acc + 1` when no reachable value passes.
+fn k_min_for(denom: f64, threshold: f64, max_acc: u32) -> u32 {
+    (0..=max_acc)
+        .find(|&k| (f64::from(k)) / denom >= threshold)
+        .unwrap_or(max_acc + 1)
+}
+
+/// Majority (carry) of three bit vectors.
+#[inline]
+fn maj(a: u64, b: u64, c: u64) -> u64 {
+    (a & b) | (a & c) | (b & c)
+}
+
+/// The word at `wi` shifted toward its left and right neighbours, with
+/// cross-word carry: returns `(left, centre, right)` where `left[i]`
+/// holds bit `i - 1` of the row and `right[i]` holds bit `i + 1`.
+#[inline]
+fn hshift(row: &[u64], wi: usize) -> (u64, u64, u64) {
+    let centre = row[wi];
+    let left = (centre << 1) | if wi > 0 { row[wi - 1] >> 63 } else { 0 };
+    let right = (centre >> 1) | row.get(wi + 1).map_or(0, |&next| next << 63);
+    (left, centre, right)
+}
+
+/// Box3 bit planes for word `wi`: per-row horizontal triple sums (0..=3,
+/// two planes via one full adder) are then summed across the three rows
+/// with carry-save adders into four planes (0..=9). `planes[4]` is
+/// always zero — kept so both kernels share the 5-plane comparator.
+fn box3_planes(above: Option<&[u64]>, cur: &[u64], below: Option<&[u64]>, wi: usize) -> [u64; 5] {
+    #[inline]
+    fn hsum(row: Option<&[u64]>, wi: usize) -> (u64, u64) {
+        row.map_or((0, 0), |r| {
+            let (l, c, rt) = hshift(r, wi);
+            (l ^ c ^ rt, maj(l, c, rt))
+        })
+    }
+    let (a0, a1) = hsum(above, wi);
+    let (c0, c1) = hsum(Some(cur), wi);
+    let (b0, b1) = hsum(below, wi);
+    // Sum three 2-bit numbers (a1a0 + c1c0 + b1b0) with carry-save adders.
+    let s0 = a0 ^ c0 ^ b0;
+    let carry0 = maj(a0, c0, b0);
+    let t = a1 ^ c1 ^ b1;
+    let carry1 = maj(a1, c1, b1);
+    let s1 = t ^ carry0;
+    let carry2 = t & carry0;
+    [s0, s1, carry1 ^ carry2, carry1 & carry2, 0]
+}
+
+/// Gaussian3 bit planes for word `wi`: per-row weighted horizontal sum
+/// `W = left + 2·centre + right` (0..=4, three planes), then
+/// `acc = W_above + W_below + 2·W_centre` (0..=16, five planes).
+fn gauss3_planes(
+    above: Option<&[u64]>,
+    cur: &[u64],
+    below: Option<&[u64]>,
+    wi: usize,
+) -> [u64; 5] {
+    #[inline]
+    fn hsum(row: Option<&[u64]>, wi: usize) -> (u64, u64, u64) {
+        row.map_or((0, 0, 0), |r| {
+            let (l, c, rt) = hshift(r, wi);
+            // l + rt is 0..=2 (planes u0, u1); adding 2*c touches only
+            // the twos plane: w1 = u1 ^ c with carry u1 & c into w2.
+            let u0 = l ^ rt;
+            let u1 = l & rt;
+            (u0, u1 ^ c, u1 & c)
+        })
+    }
+    let (a0, a1, a2) = hsum(above, wi);
+    let (m0, m1, m2) = hsum(Some(cur), wi);
+    let (b0, b1, b2) = hsum(below, wi);
+    // x = W_above + W_below (0..=8), ripple-carry over three planes.
+    let x0 = a0 ^ b0;
+    let mut carry = a0 & b0;
+    let x1 = a1 ^ b1 ^ carry;
+    carry = maj(a1, b1, carry);
+    let x2 = a2 ^ b2 ^ carry;
+    let x3 = maj(a2, b2, carry);
+    // acc = x + 2·W_centre (0..=16): the doubled centre sum enters one
+    // plane up, so plane 0 passes through.
+    let y1 = x1 ^ m0;
+    let mut carry2 = x1 & m0;
+    let y2 = x2 ^ m1 ^ carry2;
+    carry2 = maj(x2, m1, carry2);
+    let y3 = x3 ^ m2 ^ carry2;
+    let y4 = maj(x3, m2, carry2);
+    [x0, y1, y2, y3, y4]
+}
+
+/// Lane-wise `acc >= k` over bit-sliced planes (plane `i` holds bit `i`
+/// of each lane's accumulator): the classic MSB-to-LSB greater/equal
+/// masks. `k` must fit in five bits.
+fn ge_const(planes: &[u64; 5], k: u32) -> u64 {
+    debug_assert!(k < 32);
+    let mut gt = 0u64;
+    let mut eq = !0u64;
+    for i in (0..5).rev() {
+        let plane = planes[i];
+        if (k >> i) & 1 == 1 {
+            eq &= plane;
+        } else {
+            gt |= eq & plane;
+            eq &= !plane;
+        }
+    }
+    gt | eq
 }
 
 /// Support-weighted smoothing (paper §5): convolves the per-cell *support
 /// values* instead of binary occupancy, then binarises against
 /// `binarize_threshold` expressed as a fraction of the maximum smoothed
 /// support. `values` is row-major `width × height` (as produced by
-/// [`support_grid`](crate::engine::support_grid)).
+/// [`support_grid`](crate::engine::support_grid)). Like [`smooth`], a
+/// config with zero passes applies no filter — the raw support values go
+/// straight to binarisation.
 pub fn smooth_support(
     values: &[f64],
     width: usize,
@@ -148,10 +425,11 @@ pub fn smooth_support(
     let (weights, total) = config.kernel.weights();
     let mut current = values.to_vec();
     let mut next = vec![0.0; values.len()];
-    for _ in 0..config.passes.max(1) {
+    for _ in 0..config.passes {
         for y in 0..height {
             for x in 0..width {
                 let mut acc = 0.0;
+                let mut in_bounds = 0.0;
                 for dy in -1i64..=1 {
                     for dx in -1i64..=1 {
                         let nx = x as i64 + dx;
@@ -159,11 +437,16 @@ pub fn smooth_support(
                         if nx < 0 || ny < 0 || nx >= width as i64 || ny >= height as i64 {
                             continue;
                         }
-                        acc += current[ny as usize * width + nx as usize]
-                            * weights[((dy + 1) * 3 + dx + 1) as usize];
+                        let weight = weights[((dy + 1) * 3 + dx + 1) as usize];
+                        in_bounds += weight;
+                        acc += current[ny as usize * width + nx as usize] * weight;
                     }
                 }
-                next[y * width + x] = acc / total;
+                let denom = match config.border {
+                    BorderMode::FullKernel => total,
+                    BorderMode::InBounds => in_bounds,
+                };
+                next[y * width + x] = acc / denom;
             }
         }
         std::mem::swap(&mut current, &mut next);
@@ -184,6 +467,7 @@ pub fn smooth_support(
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
 
@@ -308,6 +592,119 @@ mod tests {
         let grid = Grid::new(3, 3).unwrap();
         let bad = SmoothConfig { threshold: 1.5, ..SmoothConfig::default() };
         assert!(smooth(&grid, &bad).is_err());
+        assert!(smooth_reference(&grid, &bad).is_err());
+    }
+
+    /// The word-parallel kernel against the scalar oracle on handcrafted
+    /// shapes spanning word boundaries (the proptest suite fuzzes this
+    /// further).
+    #[test]
+    fn word_kernel_matches_reference_across_word_boundaries() {
+        let mut grid = Grid::new(130, 7).unwrap();
+        // A block straddling the 64-bit boundary, a lone speck, a bar at
+        // the right edge, and a corner cell.
+        for y in 1..5 {
+            for x in 60..70 {
+                grid.set(x, y);
+            }
+        }
+        grid.set(20, 3);
+        for x in 125..130 {
+            grid.set(x, 2);
+        }
+        grid.set(0, 0);
+        for kernel in [Kernel::Box3, Kernel::Gaussian3] {
+            for border in [BorderMode::FullKernel, BorderMode::InBounds] {
+                for passes in [1, 2, 3] {
+                    for threshold in [0.0, 0.11, 0.40, 0.45, 0.75, 1.0] {
+                        let config = SmoothConfig { kernel, border, passes, threshold };
+                        assert_eq!(
+                            smooth(&grid, &config).unwrap(),
+                            smooth_reference(&grid, &config).unwrap(),
+                            "{config:?}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn word_kernel_handles_degenerate_shapes() {
+        for (w, h) in [(1, 9), (9, 1), (1, 1), (64, 2), (65, 3)] {
+            let mut grid = Grid::new(w, h).unwrap();
+            for i in 0..(w * h) {
+                if i % 3 != 1 {
+                    grid.set(i % w, i / w);
+                }
+            }
+            for border in [BorderMode::FullKernel, BorderMode::InBounds] {
+                let config = SmoothConfig { border, ..SmoothConfig::default() };
+                assert_eq!(
+                    smooth(&grid, &config).unwrap(),
+                    smooth_reference(&grid, &config).unwrap(),
+                    "{w}x{h} {border:?}"
+                );
+            }
+        }
+    }
+
+    /// The border-erosion trade-off (satellite bugfix): under the default
+    /// full-kernel normalisation a solid block flush against the grid
+    /// edge erodes at the border, while in-bounds normalisation keeps its
+    /// rim.
+    #[test]
+    fn border_block_erodes_under_full_kernel_but_not_in_bounds() {
+        let grid = Grid::parse(
+            "
+            ###.....
+            ###.....
+            ###.....
+            ........
+            ",
+        )
+        .unwrap();
+        // Threshold 0.5: the block's (0,0) corner sees 4/9 under the full
+        // kernel (erodes) but 4/4 of its in-bounds 2x2 window (survives).
+        let config = SmoothConfig { threshold: 0.5, ..SmoothConfig::default() };
+        let full = smooth(&grid, &config).unwrap();
+        assert!(!full.get(0, 0), "full-kernel border corner must erode");
+        let in_bounds =
+            smooth(&grid, &SmoothConfig { border: BorderMode::InBounds, ..config }).unwrap();
+        assert!(in_bounds.get(0, 0), "in-bounds border corner must survive");
+        assert!(in_bounds.get(0, 1) && in_bounds.get(1, 0));
+        // Default behaviour is unchanged: FullKernel is the default mode.
+        assert_eq!(smooth(&grid, &config).unwrap(), full);
+    }
+
+    /// Satellite bugfix regression: `passes = 0` must be honoured by BOTH
+    /// variants — the binary filter already no-ops, and the
+    /// support-weighted variant must not sneak in a pass.
+    #[test]
+    fn zero_passes_disable_both_variants() {
+        // Binary: identity (covered above too, kept here for the pair).
+        let grid = Grid::parse("#.#\n.#.").unwrap();
+        assert_eq!(smooth(&grid, &SmoothConfig::disabled()).unwrap(), grid);
+
+        // Support-weighted: a zero-support hole surrounded by support
+        // fills after one pass, but must stay empty with passes = 0 (the
+        // raw values go straight to binarisation).
+        let width = 5;
+        let height = 5;
+        let mut values = vec![0.0; width * height];
+        for y in 1..4 {
+            for x in 1..4 {
+                values[y * width + x] = 0.1;
+            }
+        }
+        values[2 * width + 2] = 0.0;
+        let smoothed =
+            smooth_support(&values, width, height, &SmoothConfig::default(), 0.5).unwrap();
+        assert!(smoothed.get(2, 2), "one pass fills the hole");
+        let raw =
+            smooth_support(&values, width, height, &SmoothConfig::disabled(), 0.5).unwrap();
+        assert!(!raw.get(2, 2), "zero passes must not smooth the support grid");
+        assert!(raw.get(1, 1), "raw support cells still binarise");
     }
 
     #[test]
@@ -362,5 +759,15 @@ mod tests {
     fn support_smoothing_all_zero_is_empty() {
         let grid = smooth_support(&[0.0; 9], 3, 3, &SmoothConfig::default(), 0.5).unwrap();
         assert!(grid.is_empty());
+    }
+
+    #[test]
+    fn stats_count_words_per_pass() {
+        let grid = Grid::new(130, 4).unwrap(); // 3 words per row
+        let config = SmoothConfig { passes: 2, ..SmoothConfig::default() };
+        let (_, stats) = smooth_with_stats(&grid, &config).unwrap();
+        assert_eq!(stats.words_processed, 2 * 4 * 3);
+        let (_, none) = smooth_with_stats(&grid, &SmoothConfig::disabled()).unwrap();
+        assert_eq!(none.words_processed, 0);
     }
 }

@@ -7,10 +7,13 @@ use proptest::prelude::*;
 
 use arcs::core::bitop::{self, BitOpConfig};
 use arcs::core::cover::{connected_components, optimal_cover};
-use arcs::core::engine::{mine_rules, rule_grid, support_grid};
+use arcs::core::engine::{
+    mine_rules, mine_rules_indexed, mine_rules_reference, rule_grid, support_grid,
+};
 use arcs::core::grid::for_each_run;
+use arcs::core::index::{DeltaMiner, OccupancyIndex};
 use arcs::core::mdl::{mdl_cost, MdlWeights};
-use arcs::core::smooth::{smooth, SmoothConfig};
+use arcs::core::smooth::{smooth, smooth_reference, BorderMode, Kernel, SmoothConfig};
 use arcs::prelude::*;
 
 /// Strategy: a small random grid as (width, height, cell bits).
@@ -26,6 +29,30 @@ fn grid_strategy() -> impl Strategy<Value = Grid> {
             grid
         })
     })
+}
+
+/// Strategy: grids whose widths straddle the 64-bit word boundary, plus
+/// degenerate 1xN / Nx1 shapes — the cases a word-level kernel gets wrong
+/// first (cross-word carries, tail masks, single-row neighbourhoods).
+fn wide_grid_strategy() -> impl Strategy<Value = Grid> {
+    (0usize..4, 50usize..140, 1usize..8)
+        .prop_map(|(shape, big, small)| match shape {
+            0 => (big, small),       // straddles the word boundary
+            1 => (1, small + 1),     // single column
+            2 => (big, 1),           // single row
+            _ => (small, small),     // tiny square (1x1 included)
+        })
+        .prop_flat_map(|(w, h)| {
+            vec(any::<bool>(), w * h).prop_map(move |bits| {
+                let mut grid = Grid::new(w, h).unwrap();
+                for (i, &b) in bits.iter().enumerate() {
+                    if b {
+                        grid.set(i % w, i / w);
+                    }
+                }
+                grid
+            })
+        })
 }
 
 proptest! {
@@ -384,6 +411,65 @@ proptest! {
         prop_assert_eq!(parallel.checksum(), sequential.checksum());
         let streamed = binner.bin_stream_parallel(ds.iter().cloned(), threads).unwrap();
         prop_assert_eq!(&streamed, &sequential);
+    }
+
+    /// The output-sensitive miners agree bit-for-bit with the naive
+    /// full-scan reference on arbitrary bin arrays, and the delta miner
+    /// stays exact along an arbitrary threshold walk (the Figure-10
+    /// optimizer access pattern: many small threshold moves on one array).
+    #[test]
+    fn indexed_and_delta_mining_match_the_reference(
+        adds in vec((0usize..7, 0usize..5, 0u32..3), 0..250),
+        walk in vec((0.0f64..0.2, 0.0f64..1.0), 1..8),
+    ) {
+        let mut ba = BinArray::new(7, 5, 3).unwrap();
+        for &(x, y, g) in &adds {
+            ba.add(x, y, g);
+        }
+        let index = OccupancyIndex::build(&ba);
+        prop_assert!(index.matches(&ba));
+        for gk in 0..3u32 {
+            let mut delta = DeltaMiner::new(&index, gk).unwrap();
+            for &(s, c) in &walk {
+                let t = Thresholds::new(s, c).unwrap();
+                let (visited, _) = delta.update(&index, t);
+                // A cell can be touched through both the count range and
+                // the confidence range of one move, so touches are bounded
+                // by twice the group's occupied cells — never the full grid.
+                prop_assert!(
+                    visited <= 2 * index.group_cells(gk).len() as u64,
+                    "delta visited {visited} cells, group has only {}",
+                    index.group_cells(gk).len()
+                );
+                prop_assert_eq!(delta.grid(), &rule_grid(&ba, gk, t).unwrap());
+                let (rules, full) = mine_rules_indexed(&index, gk, t);
+                prop_assert_eq!(&rules, &mine_rules_reference(&ba, gk, t));
+                prop_assert_eq!(full, index.group_cells(gk).len() as u64);
+            }
+        }
+    }
+
+    /// The word-parallel smoothing kernel is bit-identical to the scalar
+    /// reference for every kernel, border mode, pass count, and threshold —
+    /// including widths that are not multiples of 64 and degenerate
+    /// single-row / single-column grids.
+    #[test]
+    fn word_smoothing_matches_the_scalar_reference(
+        grid in wide_grid_strategy(),
+        threshold in 0.0f64..1.0,
+        passes in 0usize..4,
+        kernel_box in any::<bool>(),
+        in_bounds in any::<bool>(),
+    ) {
+        let config = SmoothConfig {
+            kernel: if kernel_box { Kernel::Box3 } else { Kernel::Gaussian3 },
+            threshold,
+            passes,
+            border: if in_bounds { BorderMode::InBounds } else { BorderMode::FullKernel },
+        };
+        let fast = smooth(&grid, &config).unwrap();
+        let slow = smooth_reference(&grid, &config).unwrap();
+        prop_assert_eq!(&fast, &slow, "config: {:?}", config);
     }
 
     /// Tuples generated by any Agrawal function always validate against
