@@ -18,9 +18,9 @@ use arcs_data::{Dataset, IngestPolicy, IngestReport};
 
 use crate::args::{Args, ArgsError};
 
-/// Top-level CLI error. The three variants map to distinct process exit
-/// codes (see [`CliError::exit_code`]) so scripts can tell a typo from a
-/// corrupt input file from a bug.
+/// Top-level CLI error. The variants map to distinct process exit codes
+/// (see [`CliError::exit_code`]) so scripts can tell a typo from a
+/// corrupt input file from a bug from an expired deadline.
 #[derive(Debug)]
 pub enum CliError {
     /// Argument problems (includes the usage string to print). Exit 2.
@@ -30,16 +30,21 @@ pub enum CliError {
     Data(String),
     /// Anything else that went wrong while running. Exit 4.
     Run(String),
+    /// A deadline expired or the serving core shed the request under
+    /// overload — the run was healthy but could not answer in time.
+    /// Exit 6 (5 is the budget-degraded *success* status).
+    Timeout(String),
 }
 
 impl CliError {
     /// The process exit code for this error class: 2 usage, 3 data,
-    /// 4 internal.
+    /// 4 internal, 6 deadline/overload (5 marks budget-degraded success).
     pub fn exit_code(&self) -> u8 {
         match self {
             CliError::Usage(_) => 2,
             CliError::Data(_) => 3,
             CliError::Run(_) => 4,
+            CliError::Timeout(_) => EXIT_TIMEOUT,
         }
     }
 }
@@ -47,7 +52,10 @@ impl CliError {
 impl std::fmt::Display for CliError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            CliError::Usage(msg) | CliError::Data(msg) | CliError::Run(msg) => {
+            CliError::Usage(msg)
+            | CliError::Data(msg)
+            | CliError::Run(msg)
+            | CliError::Timeout(msg) => {
                 write!(f, "{msg}")
             }
         }
@@ -72,7 +80,8 @@ fn data_err(err: impl std::fmt::Display) -> CliError {
 
 /// Classifies a pipeline error: conditions caused by the *content* of the
 /// input (no segmentation, bad tuples, unknown groups/attributes) are data
-/// errors; the rest are internal.
+/// errors; deadline expiry and load shedding are timeouts (exit 6); the
+/// rest are internal.
 fn pipeline_err(err: ArcsError) -> CliError {
     match err {
         ArcsError::NoSegmentation
@@ -80,6 +89,9 @@ fn pipeline_err(err: ArcsError) -> CliError {
         | ArcsError::UnknownGroup(_)
         | ArcsError::AttributeKind { .. }
         | ArcsError::Data(_) => CliError::Data(err.to_string()),
+        ArcsError::DeadlineExceeded { .. } | ArcsError::Overloaded { .. } => {
+            CliError::Timeout(err.to_string())
+        }
         other => CliError::Run(other.to_string()),
     }
 }
@@ -96,6 +108,7 @@ COMMANDS:
     segment     Mine + cluster a CSV into clustered association rules
     explore     Show the support/confidence threshold lattice of a CSV
     rank        Rank attributes by mutual information with a criterion
+    serve       Stress-drive the concurrent serving core over a CSV
     help        Show this message
 
 Run `arcs <COMMAND> --help` for command options.";
@@ -152,9 +165,37 @@ arcs rank <FILE> --criterion <ATTR> [--bins 20] [--max-categories 16]
 Ranks quantitative attributes by mutual information with the criterion and
 suggests the best pair by joint MI.";
 
+const SERVE_USAGE: &str = "\
+arcs serve <FILE> --criterion <ATTR> --group <LABEL>
+           [--x <ATTR> --y <ATTR>]      (default: auto-select by joint MI)
+           [--bins 50] [--requests 64] [--readers 4] [--appends 3]
+           [--deadline-ms <MS>] [--max-inflight <N>] [--max-queued 64]
+           [--cache 256] [--memory-budget <BYTES>] [--stats json]
+
+Stress-drives the concurrent serving core: bins part of the CSV into an
+epoch-0 snapshot, then races reader threads (sweeping thresholds through
+the result cache) against a writer appending the remaining rows as
+copy-on-write snapshot swaps. Prints the serving stats and verifies the
+final epoch against a sequential re-mine.
+
+Robustness envelope:
+  --deadline-ms MS    per-request deadline; expired requests return a
+                      typed error (whole-run failure exits with code 6)
+  --max-inflight N    concurrent requests admitted (default: CPU count);
+                      excess requests queue up to --max-queued, then are
+                      shed with a typed overload error
+  --cache N           LRU result-cache entries, keyed by snapshot epoch +
+                      thresholds (0 disables)
+  --memory-budget B   per-request bytes; oversized grids are served at a
+                      degraded, coarser resolution";
+
 /// Exit code for runs that completed, but only because the memory budget
 /// forced the grid to a coarser resolution than requested.
 pub const EXIT_BUDGET_DEGRADED: u8 = 5;
+
+/// Exit code for runs that failed because a deadline expired or the
+/// serving core shed every request under overload.
+pub const EXIT_TIMEOUT: u8 = 6;
 
 /// Dispatches a full argument vector (without the program name),
 /// returning the rendered output plus the process exit status: `0` for a
@@ -169,6 +210,7 @@ pub fn dispatch_with_status(argv: &[String]) -> Result<(String, u8), CliError> {
         "segment" => segment_with_status(rest),
         "explore" => explore(rest).map(|out| (out, 0)),
         "rank" => rank(rest).map(|out| (out, 0)),
+        "serve" => serve(rest).map(|out| (out, 0)),
         "help" | "--help" | "-h" => Ok((USAGE.to_string(), 0)),
         other => Err(CliError::Usage(format!(
             "unknown command `{other}`\n\n{USAGE}"
@@ -624,6 +666,233 @@ pub fn rank(argv: &[String]) -> Result<String, CliError> {
     Ok(out)
 }
 
+/// `arcs serve`: stress-drive the concurrent serving core — readers
+/// sweeping thresholds against copy-on-write snapshot swaps, under the
+/// full robustness envelope (deadlines, admission control, cache).
+pub fn serve(argv: &[String]) -> Result<String, CliError> {
+    use arcs_core::serve::{QueryRequest, ServeConfig, Server};
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    if wants_help(argv) {
+        return Ok(SERVE_USAGE.to_string());
+    }
+    let args = Args::parse(
+        argv.iter().cloned(),
+        &[
+            "x",
+            "y",
+            "criterion",
+            "group",
+            "bins",
+            "requests",
+            "readers",
+            "appends",
+            "deadline-ms",
+            "max-inflight",
+            "max-queued",
+            "cache",
+            "memory-budget",
+            "stats",
+            "max-categories",
+            "on-bad-row",
+            "max-bad-fraction",
+        ],
+        &[],
+    )?;
+    let (ds, report) = load(&args, SERVE_USAGE)?;
+    if ds.is_empty() {
+        return Err(CliError::Data("no usable rows in the input".into()));
+    }
+    let criterion = args.require("criterion")?;
+    let group = args.require("group")?;
+    let bins: usize = args.get_or("bins", 50)?;
+    let requests: usize = args.get_or("requests", 64)?;
+    let readers: usize = args.get_or("readers", 4)?;
+    let appends: usize = args.get_or("appends", 3)?;
+    if requests == 0 || readers == 0 {
+        return Err(CliError::Usage("--requests and --readers must be > 0".into()));
+    }
+    let deadline = match args.get("deadline-ms") {
+        None => None,
+        Some(_) => Some(Duration::from_millis(args.get_or("deadline-ms", 0u64)?)),
+    };
+    let memory_budget: Option<usize> = match args.get("memory-budget") {
+        None => None,
+        Some(_) => Some(args.get_or("memory-budget", 0)?),
+    };
+    let want_stats = match args.get("stats") {
+        None => false,
+        Some("json") => true,
+        Some(other) => {
+            return Err(CliError::Usage(format!(
+                "--stats supports only `json`, got `{other}`"
+            )))
+        }
+    };
+
+    let mut out = String::new();
+    ingest_summary(&mut out, &report);
+
+    let (x_attr, y_attr) = match (args.get("x"), args.get("y")) {
+        (Some(x), Some(y)) => (x.to_string(), y.to_string()),
+        (None, None) => {
+            let pair = select_pair_joint(&ds, criterion, 12, 8).map_err(run_err)?;
+            let _ = writeln!(
+                out,
+                "auto-selected LHS attributes by joint MI: {}, {}",
+                pair.0, pair.1
+            );
+            pair
+        }
+        _ => {
+            return Err(CliError::Usage(
+                "provide both --x and --y, or neither (auto-select)".into(),
+            ))
+        }
+    };
+    let binner = Binner::equi_width(ds.schema(), &x_attr, &y_attr, criterion, bins, bins)
+        .map_err(pipeline_err)?;
+    let gk = ds
+        .schema()
+        .attribute(binner.criterion_idx())
+        .and_then(|a| match &a.kind {
+            AttrKind::Categorical { labels } => labels.iter().position(|l| l == group),
+            _ => None,
+        })
+        .ok_or_else(|| CliError::Data(format!("group `{group}` not found on `{criterion}`")))?
+        as u32;
+
+    // Split the rows: the first chunk seeds epoch 0, the rest become
+    // streaming appends racing the readers as snapshot swaps.
+    let rows = ds.rows();
+    let chunks = appends + 1;
+    let chunk_len = rows.len().div_ceil(chunks);
+    let mut arrays = Vec::with_capacity(chunks);
+    for chunk in rows.chunks(chunk_len.max(1)) {
+        arrays.push(binner.bin_rows(chunk.iter()).map_err(pipeline_err)?);
+    }
+    let initial = arrays.remove(0);
+    let deltas = arrays;
+
+    let mut config = ServeConfig {
+        max_queued: args.get_or("max-queued", 64)?,
+        cache_capacity: args.get_or("cache", 256)?,
+        default_deadline: deadline,
+        ..ServeConfig::default()
+    };
+    if args.get("max-inflight").is_some() {
+        config.max_inflight = args.get_or("max-inflight", 0)?;
+        if config.max_inflight == 0 {
+            return Err(CliError::Usage("--max-inflight must be > 0".into()));
+        }
+    }
+    let server = Arc::new(Server::new(initial, config).map_err(pipeline_err)?);
+
+    // Deterministic threshold sweep: repeated lattice points across
+    // readers exercise the result cache.
+    let sweep: Vec<(f64, f64)> = [0.0, 0.001, 0.005, 0.01, 0.05, 0.1, 0.25, 0.5]
+        .iter()
+        .flat_map(|&s| [0.0, 0.5].map(|c| (s, c)))
+        .collect();
+
+    let mut handles = Vec::new();
+    for reader in 0..readers {
+        let server = server.clone();
+        let sweep = sweep.clone();
+        let n = requests / readers + usize::from(reader < requests % readers);
+        handles.push(std::thread::spawn(move || -> Result<(u64, u64, u64, u64), ArcsError> {
+            let (mut completed, mut shed, mut timed_out, mut retries) = (0, 0, 0, 0);
+            for i in 0..n {
+                let (s, c) = sweep[(i + reader) % sweep.len()];
+                let thresholds = arcs_core::Thresholds::new(s, c)?;
+                let mut request = QueryRequest::new(gk, thresholds);
+                request.memory_budget = memory_budget;
+                match server.query(&request) {
+                    Ok(resp) => {
+                        completed += 1;
+                        retries += u64::from(resp.retries);
+                    }
+                    Err(ArcsError::Overloaded { .. }) => shed += 1,
+                    Err(ArcsError::DeadlineExceeded { .. }) => timed_out += 1,
+                    Err(err) => return Err(err),
+                }
+            }
+            Ok((completed, shed, timed_out, retries))
+        }));
+    }
+    let writer = {
+        let server = server.clone();
+        std::thread::spawn(move || -> Result<u64, ArcsError> {
+            let mut epoch = 0;
+            for delta in &deltas {
+                epoch = server.append(delta)?;
+            }
+            Ok(epoch)
+        })
+    };
+
+    let (mut completed, mut shed, mut timed_out, mut retries) = (0u64, 0u64, 0u64, 0u64);
+    for handle in handles {
+        let (c, s, t, r) = handle
+            .join()
+            .map_err(|_| CliError::Run("serve reader thread panicked".into()))?
+            .map_err(pipeline_err)?;
+        completed += c;
+        shed += s;
+        timed_out += t;
+        retries += r;
+    }
+    writer
+        .join()
+        .map_err(|_| CliError::Run("serve writer thread panicked".into()))?
+        .map_err(pipeline_err)?;
+
+    // Oracle check on the final epoch: a fresh query must be bit-identical
+    // to a sequential re-mine of the snapshot array.
+    let snapshot = server.snapshot();
+    let check = arcs_core::Thresholds::new(0.0, 0.0).map_err(run_err)?;
+    let served = server
+        .query(&QueryRequest::new(gk, check))
+        .map_err(pipeline_err)?;
+    let oracle = arcs_core::engine::mine_rules(snapshot.array(), gk, check);
+    if served.result.rules != oracle {
+        return Err(CliError::Run(
+            "serving core diverged from the sequential oracle on the final epoch".into(),
+        ));
+    }
+    completed += 1;
+
+    let stats = server.stats();
+    let _ = writeln!(
+        out,
+        "served {completed} of {} requests on {} readers \
+         ({shed} shed, {timed_out} timed out, {retries} retries)",
+        requests + 1,
+        readers
+    );
+    let _ = writeln!(
+        out,
+        "snapshots: epoch {} after {} swaps ({} tuples); \
+         cache: {:.0}% hit rate over {} lookups",
+        stats.epoch,
+        stats.snapshot_swaps,
+        snapshot.array().n_tuples(),
+        stats.cache_hit_rate() * 100.0,
+        stats.cache_hits + stats.cache_misses
+    );
+    let _ = writeln!(out, "final epoch verified bit-identical to the sequential oracle");
+    if want_stats {
+        let _ = writeln!(out, "{}", server.report().to_json());
+    }
+    if completed == 0 {
+        return Err(CliError::Timeout(format!(
+            "no request completed within its deadline ({shed} shed, {timed_out} timed out)"
+        )));
+    }
+    Ok(out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -820,6 +1089,73 @@ mod tests {
         assert_eq!(CliError::Usage(String::new()).exit_code(), 2);
         assert_eq!(CliError::Data(String::new()).exit_code(), 3);
         assert_eq!(CliError::Run(String::new()).exit_code(), 4);
+        assert_eq!(CliError::Timeout(String::new()).exit_code(), 6);
+        assert_eq!(EXIT_TIMEOUT, 6);
+    }
+
+    /// `arcs serve`: the stress driver races readers against snapshot
+    /// swaps and verifies the final epoch against the sequential oracle.
+    #[test]
+    fn serve_stress_driver_end_to_end() {
+        let path = tmp("f2_serve.csv");
+        let path_str = path.to_str().expect("utf-8 path");
+        dispatch(&argv(&[
+            "generate", "--out", path_str, "--n", "8000", "--seed", "13",
+        ]))
+        .unwrap();
+        let out = dispatch(&argv(&[
+            "serve", path_str, "--x", "age", "--y", "salary", "--criterion", "group",
+            "--group", "A", "--bins", "20", "--requests", "32", "--readers", "4",
+            "--appends", "3", "--max-inflight", "4", "--stats", "json",
+        ]))
+        .unwrap();
+        assert!(out.contains("after 3 swaps"), "{out}");
+        assert!(out.contains("verified bit-identical"), "{out}");
+        assert!(out.contains("hit rate"), "{out}");
+        let json_line = out
+            .lines()
+            .find(|l| l.starts_with('{'))
+            .unwrap_or_else(|| panic!("no JSON stats line in: {out}"));
+        for key in [
+            "\"requests_admitted\"",
+            "\"requests_shed\"",
+            "\"cache_hits\"",
+            "\"snapshot_swaps\":3",
+        ] {
+            assert!(json_line.contains(key), "missing {key} in: {json_line}");
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    /// `--deadline-ms 0`: every request's deadline is already expired at
+    /// admission, so the run fails with the typed timeout class (exit 6)
+    /// — deterministically, with no sleeping involved.
+    #[test]
+    fn serve_expired_deadline_is_a_timeout_error() {
+        let path = tmp("f2_serve_deadline.csv");
+        let path_str = path.to_str().expect("utf-8 path");
+        dispatch(&argv(&[
+            "generate", "--out", path_str, "--n", "2000", "--seed", "13",
+        ]))
+        .unwrap();
+        let err = dispatch(&argv(&[
+            "serve", path_str, "--x", "age", "--y", "salary", "--criterion", "group",
+            "--group", "A", "--bins", "10", "--requests", "8", "--readers", "2",
+            "--deadline-ms", "0",
+        ]))
+        .unwrap_err();
+        assert!(matches!(err, CliError::Timeout(_)), "{err}");
+        assert_eq!(err.exit_code(), 6);
+        assert!(err.to_string().contains("deadline"), "{err}");
+
+        // A zero admission limit is a usage error, not an internal one.
+        let err = dispatch(&argv(&[
+            "serve", path_str, "--x", "age", "--y", "salary", "--criterion", "group",
+            "--group", "A", "--bins", "10", "--max-inflight", "0",
+        ]))
+        .unwrap_err();
+        assert!(matches!(err, CliError::Usage(_)), "{err}");
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

@@ -5,6 +5,7 @@
 //! arcs segment data.csv --criterion group --group A --grid
 //! arcs explore data.csv --x age --y salary --criterion group --group A
 //! arcs rank data.csv --criterion group
+//! arcs serve data.csv --criterion group --group A --deadline-ms 250
 //! ```
 
 mod args;
@@ -24,7 +25,7 @@ fn main() -> ExitCode {
         Err(err) => {
             eprintln!("{err}");
             // Distinct exit codes per error class: 2 usage, 3 data,
-            // 4 internal. Scripts can branch on them.
+            // 4 internal, 6 deadline/overload. Scripts can branch on them.
             ExitCode::from(err.exit_code())
         }
     }

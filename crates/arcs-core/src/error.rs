@@ -87,6 +87,22 @@ pub enum ArcsError {
         /// Name of the failpoint that fired.
         point: &'static str,
     },
+    /// A request's deadline expired before its work completed. The
+    /// serving core checks deadlines at admission and between pipeline
+    /// stages, so the error names where the budget ran out.
+    DeadlineExceeded {
+        /// The stage at which the deadline was found expired.
+        stage: &'static str,
+    },
+    /// Admission control shed the request: the server's in-flight slots
+    /// and its wait queue were both full. Shedding is immediate — the
+    /// caller is never left stalled behind an unbounded queue.
+    Overloaded {
+        /// Requests executing when the request was shed.
+        inflight: usize,
+        /// Requests already waiting when the request was shed.
+        queued: usize,
+    },
 }
 
 impl fmt::Display for ArcsError {
@@ -127,6 +143,14 @@ impl fmt::Display for ArcsError {
             ArcsError::FaultInjected { point } => {
                 write!(f, "injected fault fired at failpoint `{point}`")
             }
+            ArcsError::DeadlineExceeded { stage } => {
+                write!(f, "deadline exceeded at stage `{stage}`")
+            }
+            ArcsError::Overloaded { inflight, queued } => write!(
+                f,
+                "server overloaded: {inflight} requests in flight and {queued} queued; \
+                 request shed"
+            ),
         }
     }
 }
@@ -200,5 +224,13 @@ mod tests {
 
         let err = ArcsError::FaultInjected { point: "binner.shard" };
         assert!(err.to_string().contains("binner.shard"), "{err}");
+
+        let err = ArcsError::DeadlineExceeded { stage: "serve.admission" };
+        assert!(err.to_string().contains("deadline"), "{err}");
+        assert!(err.to_string().contains("serve.admission"), "{err}");
+
+        let err = ArcsError::Overloaded { inflight: 8, queued: 16 };
+        assert!(err.to_string().contains("overloaded"), "{err}");
+        assert!(err.to_string().contains("shed"), "{err}");
     }
 }

@@ -23,6 +23,12 @@
 //! | `bitop.stripe` | inside each parallel enumeration stripe worker |
 //! | `verify.sample` | at [`verify_sampled`] entry |
 //! | `optimizer.evaluate` | per point inside each parallel evaluation worker |
+//! | `serve.swap` | at [`SnapshotStore::append`] entry, before the merge |
+//! | `serve.swap-publish` | after building the new snapshot, before publishing it |
+//! | `serve.admission` | at [`AdmissionGate::admit`] entry |
+//! | `serve.worker` | inside the panic-isolated query body (retried on panic) |
+//! | `serve.cache-insert` | before inserting a computed result into the cache |
+//! | `serve.cache-invalidate` | before post-swap cache invalidation (fault degrades reclamation, never correctness) |
 //!
 //! [`BinArray::save`]: crate::binarray::BinArray::save
 //! [`BinArray::load`]: crate::binarray::BinArray::load
@@ -30,6 +36,8 @@
 //! [`rule_grid_into`]: crate::engine::rule_grid_into
 //! [`cluster_with_stats`]: crate::bitop::cluster_with_stats
 //! [`verify_sampled`]: crate::verify::verify_sampled
+//! [`SnapshotStore::append`]: crate::serve::SnapshotStore::append
+//! [`AdmissionGate::admit`]: crate::serve::AdmissionGate::admit
 //!
 //! # Schedule specification
 //!

@@ -33,6 +33,7 @@ pub mod optimizer;
 pub mod pipeline;
 pub mod render;
 pub mod select;
+pub mod serve;
 pub mod session;
 pub mod smooth;
 pub mod sql;
@@ -55,6 +56,10 @@ pub use metrics::{
 };
 pub use optimizer::{optimize, OptimizerConfig, SearchStats, ThresholdLattice};
 pub use pipeline::{Arcs, ArcsConfig, Segmentation};
+pub use serve::{
+    AdmissionGate, ClusterSpec, QueryRequest, QueryResponse, QueryResult, ServeConfig, Server,
+    ServerStats, Snapshot, SnapshotStore,
+};
 pub use session::{SegmentRequest, Session};
 pub use mdl::{mdl_cost, MdlScore, MdlWeights};
 pub use smooth::{smooth_reference, BorderMode, Kernel, SmoothConfig, SmoothStats};

@@ -123,6 +123,24 @@ pub struct PipelineCounters {
     /// Bin-halving steps the resource governor took to fit the grid into
     /// the configured memory budget (0 when no coarsening was needed).
     pub budget_coarsening_steps: u64,
+    /// Requests the serving core admitted past its in-flight gate.
+    pub requests_admitted: u64,
+    /// Requests the serving core shed with a typed `Overloaded` error
+    /// because both the in-flight slots and the wait queue were full.
+    pub requests_shed: u64,
+    /// Requests that failed with a typed `DeadlineExceeded` error, either
+    /// while queued for admission or between pipeline stages.
+    pub requests_timed_out: u64,
+    /// Request retries after an isolated worker panic in the serving core.
+    pub request_retries: u64,
+    /// Serving-core result-cache hits (a repeated `(epoch, thresholds,
+    /// cluster config)` lattice point answered without re-mining).
+    pub cache_hits: u64,
+    /// Serving-core result-cache misses (fresh computations).
+    pub cache_misses: u64,
+    /// Copy-on-write snapshot swaps the serving core published (streaming
+    /// appends merged into a new epoch).
+    pub snapshot_swaps: u64,
 }
 
 impl PipelineCounters {
@@ -143,6 +161,13 @@ impl PipelineCounters {
         self.shard_retries += other.shard_retries;
         self.sequential_fallbacks += other.sequential_fallbacks;
         self.budget_coarsening_steps += other.budget_coarsening_steps;
+        self.requests_admitted += other.requests_admitted;
+        self.requests_shed += other.requests_shed;
+        self.requests_timed_out += other.requests_timed_out;
+        self.request_retries += other.request_retries;
+        self.cache_hits += other.cache_hits;
+        self.cache_misses += other.cache_misses;
+        self.snapshot_swaps += other.snapshot_swaps;
     }
 
     /// Folds panic-isolation tallies from one parallel call into the
@@ -273,9 +298,16 @@ impl PipelineReport {
             c.sequential_fallbacks
         ));
         out.push_str(&format!(
-            "\"budget_coarsening_steps\":{}",
+            "\"budget_coarsening_steps\":{},",
             c.budget_coarsening_steps
         ));
+        out.push_str(&format!("\"requests_admitted\":{},", c.requests_admitted));
+        out.push_str(&format!("\"requests_shed\":{},", c.requests_shed));
+        out.push_str(&format!("\"requests_timed_out\":{},", c.requests_timed_out));
+        out.push_str(&format!("\"request_retries\":{},", c.request_retries));
+        out.push_str(&format!("\"cache_hits\":{},", c.cache_hits));
+        out.push_str(&format!("\"cache_misses\":{},", c.cache_misses));
+        out.push_str(&format!("\"snapshot_swaps\":{}", c.snapshot_swaps));
         out.push_str("}}");
         out
     }
@@ -365,6 +397,13 @@ mod tests {
             "\"shard_retries\"",
             "\"sequential_fallbacks\"",
             "\"budget_coarsening_steps\"",
+            "\"requests_admitted\"",
+            "\"requests_shed\"",
+            "\"requests_timed_out\"",
+            "\"request_retries\"",
+            "\"cache_hits\"",
+            "\"cache_misses\"",
+            "\"snapshot_swaps\"",
         ] {
             assert!(json.contains(key), "missing {key} in {json}");
         }

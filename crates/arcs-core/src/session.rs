@@ -216,8 +216,10 @@ fn criterion_labels(schema: &Schema, criterion_attr: &str) -> Result<Vec<String>
 /// [`Arcs::open_binned`]. Mining operations ([`segment`](Session::segment),
 /// [`remine`](Session::remine), [`recluster`](Session::recluster)) borrow
 /// the session mutably only to update its [`PipelineReport`]; the bin
-/// array itself is never modified after construction, so results are
-/// reproducible across repeated calls.
+/// array is only ever modified through the explicit append paths
+/// ([`append_rows`](Session::append_rows) /
+/// [`merge_delta`](Session::merge_delta)), so results are reproducible
+/// across repeated calls between appends.
 pub struct Session {
     config: ArcsConfig,
     request: SegmentRequest,
@@ -231,9 +233,10 @@ pub struct Session {
     /// Thresholds of the most recent mine (search winner or explicit
     /// `remine` argument); `recluster` reuses them.
     thresholds: Option<Thresholds>,
-    /// Occupancy index over `array`, built lazily on the first re-mine
-    /// and valid for the session's lifetime (the array is never modified
-    /// after construction — the index invalidation contract).
+    /// Occupancy index over `array`, built lazily on the first re-mine.
+    /// Per the index invalidation contract, every mutation of `array`
+    /// ([`merge_delta`](Session::merge_delta)) must reset this to `None`
+    /// so the next re-mine rebuilds it.
     index: Option<OccupancyIndex>,
     /// Bin-halving steps the resource governor took at open time; `> 0`
     /// marks every segmentation from this session degraded.
@@ -620,6 +623,38 @@ impl Session {
         Ok(rules)
     }
 
+    /// Bins `rows` with the session's binner and merges them into the
+    /// bin array — streaming append without reopening the session.
+    /// Returns the array's new total tuple count.
+    ///
+    /// Appending invalidates the lazily-built [`OccupancyIndex`] (the
+    /// documented invalidation contract): the next
+    /// [`remine`](Session::remine) rebuilds it over the merged counts, so
+    /// re-mining after an append sees every appended tuple.
+    pub fn append_rows(&mut self, rows: &[Tuple]) -> Result<u64, ArcsError> {
+        let start = Instant::now();
+        let (delta, recovery) =
+            self.binner.bin_rows_parallel_with_stats(rows, self.config.threads)?;
+        self.report.counters.record_recovery(&recovery);
+        let total = self.merge_delta(&delta)?;
+        self.record_stage(Stage::Binning, start.elapsed());
+        Ok(total)
+    }
+
+    /// Merges an already-binned delta array (same grid shape) into the
+    /// session's bin array via [`BinArray::merge`], invalidating the
+    /// occupancy index so subsequent re-mines rebuild it. Returns the
+    /// array's new total tuple count.
+    pub fn merge_delta(&mut self, delta: &BinArray) -> Result<u64, ArcsError> {
+        self.array.merge(delta)?;
+        // The invalidation contract: the index (when built) describes the
+        // pre-merge array; drop it so the next re-mine rebuilds.
+        self.index = None;
+        self.report.counters.tuples_binned = self.array.n_tuples();
+        self.notify_counters();
+        Ok(self.array.n_tuples())
+    }
+
     /// Installs an observer notified as stages complete and counters
     /// change. Replaces any previous observer.
     pub fn observe(&mut self, observer: Box<dyn Observer>) {
@@ -677,8 +712,9 @@ impl Session {
         })
     }
 
-    /// The session's occupancy index, built on first use. Valid for the
-    /// whole session because the bin array is immutable after open.
+    /// The session's occupancy index, built on first use and rebuilt
+    /// after any append (which resets it to `None` — the invalidation
+    /// contract).
     fn occupancy_index(&mut self) -> &OccupancyIndex {
         if self.index.is_none() {
             self.index = Some(OccupancyIndex::build(&self.array));
@@ -937,6 +973,49 @@ mod tests {
             .open(&ds, SegmentRequest::new("x", "y", "g").group("A").memory_budget(10))
             .unwrap_err();
         assert!(matches!(err, ArcsError::BudgetExceeded { .. }), "{err}");
+    }
+
+    #[test]
+    fn append_invalidates_the_occupancy_index() {
+        let ds = blocky_dataset();
+        let arcs = Arcs::new(small_config()).unwrap();
+        let mut session = arcs
+            .open(&ds, SegmentRequest::new("x", "y", "g").group("A"))
+            .unwrap();
+
+        // Build the lazy index and establish a pre-append baseline.
+        let floor = Thresholds::new(0.0, 0.0).unwrap();
+        let before = session.remine(floor).unwrap();
+        let n_before = session.bin_array().n_tuples();
+
+        // Append rows for group "A" into a cell that was previously
+        // all-"other" — the index's occupied-cell list for group A must
+        // grow, which only happens if the merge invalidated it.
+        let rows: Vec<Tuple> = (0..50)
+            .map(|_| Tuple::new(vec![Value::Quant(8.5), Value::Quant(8.5), Value::Cat(0)]))
+            .collect();
+        let total = session.append_rows(&rows).unwrap();
+        assert_eq!(total, n_before + 50);
+        assert_eq!(session.report().counters.tuples_binned, total);
+
+        // Re-mining must see the appended mass: the stale index would
+        // still report the old counts (or trip its debug structural
+        // guard). Compare bit-identically against sequential mining on
+        // the merged array.
+        let after = session.remine(floor).unwrap();
+        let oracle = engine::mine_rules(session.bin_array(), 0, floor);
+        assert_eq!(after, oracle);
+        assert_ne!(before, after, "appended tuples must change the rules");
+        assert!(
+            after.iter().any(|r| r.x == 8 && r.y == 8 && r.count > 0),
+            "the appended cell must now mine for group A: {after:?}"
+        );
+
+        // merge_delta with a mismatched grid is rejected and leaves the
+        // session usable.
+        let bad = BinArray::new(3, 3, 2).unwrap();
+        assert!(session.merge_delta(&bad).is_err());
+        assert_eq!(session.remine(floor).unwrap(), oracle);
     }
 
     #[test]

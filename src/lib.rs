@@ -78,6 +78,12 @@ pub mod prelude {
     // --- core: observability — stage timings, counters, reports ---
     pub use arcs_core::{Observer, PipelineCounters, PipelineReport, Stage, StageTimings};
 
+    // --- core: the fault-tolerant concurrent serving layer ---
+    pub use arcs_core::{
+        AdmissionGate, ClusterSpec, QueryRequest, QueryResponse, QueryResult, ServeConfig,
+        Server, ServerStats, Snapshot, SnapshotStore,
+    };
+
     // --- classifier: the paper's C4.5-style evaluation baseline ---
     pub use arcs_classifier::{
         DecisionTree, RuleSet, RulesConfig, SliqConfig, SliqTree, TreeConfig,
