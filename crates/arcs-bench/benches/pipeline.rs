@@ -3,7 +3,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 
-use arcs_core::{Arcs, ArcsConfig};
+use arcs_core::{Arcs, ArcsConfig, SegmentRequest};
 use arcs_data::generator::{AgrawalGenerator, GeneratorConfig};
 use arcs_data::Dataset;
 
@@ -17,7 +17,7 @@ fn dataset(n: usize, u: f64) -> Dataset {
 }
 
 fn bench_pipeline(c: &mut Criterion) {
-    let mut group = c.benchmark_group("pipeline/segment_dataset");
+    let mut group = c.benchmark_group("pipeline/segment");
     group.sample_size(10);
     for (n, u) in [(20_000usize, 0.0), (50_000, 0.0), (50_000, 0.10)] {
         let ds = dataset(n, u);
@@ -26,7 +26,8 @@ fn bench_pipeline(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::from_parameter(label), &ds, |b, ds| {
             let arcs = Arcs::new(ArcsConfig::default()).expect("valid config");
             b.iter(|| {
-                arcs.segment_dataset(ds, "age", "salary", "group", "A")
+                arcs.open(ds, SegmentRequest::new("age", "salary", "group").group("A"))
+                    .and_then(|mut s| s.segment())
                     .expect("segmentation succeeds")
             });
         });

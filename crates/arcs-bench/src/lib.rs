@@ -12,7 +12,7 @@ use std::time::{Duration, Instant};
 
 use arcs_classifier::{DecisionTree, RuleSet, RulesConfig, TreeConfig};
 use arcs_core::verify::verify_tuples;
-use arcs_core::{Arcs, ArcsConfig, Binner, Segmentation};
+use arcs_core::{Arcs, ArcsConfig, Binner, SegmentRequest, Segmentation};
 use arcs_data::generator::{AgrawalGenerator, GeneratorConfig};
 use arcs_data::Dataset;
 
@@ -73,7 +73,8 @@ pub fn run_arcs(train: &Dataset, test: &Dataset, config: ArcsConfig) -> ArcsRun 
     let start = Instant::now();
     let arcs = Arcs::new(config).expect("valid config");
     let segmentation = arcs
-        .segment_dataset(train, "age", "salary", "group", "A")
+        .open(train, SegmentRequest::new("age", "salary", "group").group("A"))
+        .and_then(|mut s| s.segment())
         .expect("segmentation succeeds on the paper workload");
     let elapsed = start.elapsed();
 

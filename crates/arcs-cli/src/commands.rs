@@ -109,6 +109,8 @@ COMMANDS:
     explore     Show the support/confidence threshold lattice of a CSV
     rank        Rank attributes by mutual information with a criterion
     serve       Stress-drive the concurrent serving core over a CSV
+    daemon      Serve datasets over TCP (the arcsd wire protocol)
+    client      Run one operation against a running arcsd daemon
     help        Show this message
 
 Run `arcs <COMMAND> --help` for command options.";
@@ -211,6 +213,8 @@ pub fn dispatch_with_status(argv: &[String]) -> Result<(String, u8), CliError> {
         "explore" => explore(rest).map(|out| (out, 0)),
         "rank" => rank(rest).map(|out| (out, 0)),
         "serve" => serve(rest).map(|out| (out, 0)),
+        "daemon" => crate::daemon_cmd::daemon(rest).map(|out| (out, 0)),
+        "client" => crate::daemon_cmd::client(rest).map(|out| (out, 0)),
         "help" | "--help" | "-h" => Ok((USAGE.to_string(), 0)),
         other => Err(CliError::Usage(format!(
             "unknown command `{other}`\n\n{USAGE}"

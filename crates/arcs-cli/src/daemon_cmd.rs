@@ -1,0 +1,304 @@
+//! `arcs daemon` and `arcs client`: the `arcsd` network daemon over the
+//! serving core, and a scriptable client for it.
+//!
+//! The daemon serves one or more CSV-backed datasets over the
+//! length-prefixed JSON wire protocol; the client speaks the same
+//! protocol and maps typed wire error codes onto the CLI's exit-code
+//! classes, so shell scripts can branch on error class exactly as they
+//! do for the in-process commands.
+
+use std::fmt::Write as _;
+use std::sync::Arc;
+use std::time::Duration;
+
+use arcs_core::jsonio::Json;
+use arcs_core::request::{query_result_to_json, Request};
+use arcs_core::serve::{ClusterSpec, ServeConfig};
+use arcs_daemon::daemon::{Daemon, DaemonConfig};
+use arcs_daemon::registry::{Registry, Tenant, TenantConfig};
+use arcs_daemon::{Client, ClientError, Feeder};
+
+use crate::args::Args;
+use crate::commands::CliError;
+
+pub const DAEMON_USAGE: &str = "\
+arcs daemon --listen <ADDR> --datasets <NAME=FILE[,NAME=FILE...]>
+            --x <ATTR> --y <ATTR> --criterion <ATTR>
+            [--bins 50] [--max-categories 16]
+            [--workers 4] [--max-pending 64]
+            [--max-inflight <N>] [--max-queued 64] [--cache 256]
+            [--deadline-ms <MS>]
+            [--feed <NAME=FILE>] [--feed-interval-ms 200]
+            [--port-file <FILE>] [--max-seconds <N>]
+
+Serves the named CSV datasets over TCP (`--listen 127.0.0.1:0` picks an
+ephemeral port). Each dataset is an independent tenant with its own
+snapshot store, admission gate, and result cache; all share the same
+(x, y, criterion) binning configuration. The daemon runs until
+--max-seconds elapses (default: forever).
+
+Readiness and scripting:
+  --port-file FILE    write the bound address to FILE once the daemon is
+                      accepting connections — scripts wait on the file,
+                      then read the address from it
+  --feed NAME=FILE    tail FILE for appended CSV rows and merge complete
+                      batches into tenant NAME every --feed-interval-ms";
+
+pub const CLIENT_USAGE: &str = "\
+arcs client --addr <HOST:PORT> <OP> [OPTIONS]
+
+OPS:
+  open    --dataset <NAME>
+          Print the dataset's epoch, labels, and tuple count.
+  query   --dataset <NAME> --group <LABEL> --support <S> --confidence <C>
+          [--cluster] [--deadline-ms <MS>]
+          Re-mine the dataset at the thresholds; --cluster also returns
+          the clustered rectangles. Prints the result as JSON.
+  append  --dataset <NAME> (--rows <CSV> | --rows-file <FILE>)
+          Merge header-less CSV rows as one atomic delta batch.
+  stats   --dataset <NAME>
+          Print the tenant's serving counters as JSON.
+
+Wire error codes map onto the CLI exit classes: data-shaped failures
+(unknown dataset/group, malformed rows) exit 3, expired deadlines and
+overload shedding exit 6, protocol or internal failures exit 4.";
+
+/// Classifies a client-side failure into the CLI's exit-code classes.
+/// Mirrors `pipeline_err` for codes that have in-process equivalents.
+fn client_err(err: ClientError) -> CliError {
+    let code = err.code().map(str::to_string);
+    match code.as_deref() {
+        Some("DEADLINE_EXCEEDED" | "OVERLOADED") => CliError::Timeout(err.to_string()),
+        Some(
+            "DATA" | "UNKNOWN_GROUP" | "NO_SEGMENTATION" | "INVALID_TUPLE" | "ATTRIBUTE_KIND"
+            | "UNKNOWN_DATASET" | "NO_DATASET",
+        ) => CliError::Data(err.to_string()),
+        _ => CliError::Run(err.to_string()),
+    }
+}
+
+fn run_err(err: impl std::fmt::Display) -> CliError {
+    CliError::Run(err.to_string())
+}
+
+/// Parses a `name=value` pair, as used by `--datasets` and `--feed`.
+fn name_value(spec: &str, flag: &str) -> Result<(String, String), CliError> {
+    match spec.split_once('=') {
+        Some((name, value)) if !name.is_empty() && !value.is_empty() => {
+            Ok((name.to_string(), value.to_string()))
+        }
+        _ => Err(CliError::Usage(format!(
+            "--{flag} expects NAME=FILE, got `{spec}`"
+        ))),
+    }
+}
+
+/// `arcs daemon`: stand up `arcsd` over one or more CSV datasets.
+pub fn daemon(argv: &[String]) -> Result<String, CliError> {
+    if argv.iter().any(|a| a == "--help" || a == "-h") {
+        return Ok(DAEMON_USAGE.to_string());
+    }
+    let args = Args::parse(
+        argv.iter().cloned(),
+        &[
+            "listen",
+            "datasets",
+            "x",
+            "y",
+            "criterion",
+            "bins",
+            "max-categories",
+            "workers",
+            "max-pending",
+            "max-inflight",
+            "max-queued",
+            "cache",
+            "deadline-ms",
+            "feed",
+            "feed-interval-ms",
+            "port-file",
+            "max-seconds",
+        ],
+        &[],
+    )?;
+    let listen = args.require("listen")?;
+    let datasets = args.require("datasets")?;
+    let x = args.require("x")?;
+    let y = args.require("y")?;
+    let criterion = args.require("criterion")?;
+    let bins: usize = args.get_or("bins", 50)?;
+    let max_categories: usize = args.get_or("max-categories", 16)?;
+
+    let mut serve = ServeConfig {
+        max_queued: args.get_or("max-queued", 64)?,
+        cache_capacity: args.get_or("cache", 256)?,
+        ..ServeConfig::default()
+    };
+    if args.get("max-inflight").is_some() {
+        serve.max_inflight = args.get_or("max-inflight", 0)?;
+        if serve.max_inflight == 0 {
+            return Err(CliError::Usage("--max-inflight must be > 0".into()));
+        }
+    }
+    if args.get("deadline-ms").is_some() {
+        serve.default_deadline = Some(Duration::from_millis(args.get_or("deadline-ms", 0u64)?));
+    }
+    let tenant_config = TenantConfig {
+        n_x_bins: bins,
+        n_y_bins: bins,
+        serve,
+        ..TenantConfig::new(x, y, criterion)
+    };
+
+    let mut out = String::new();
+    let registry = Arc::new(Registry::new());
+    for spec in datasets.split(',') {
+        let (name, file) = name_value(spec, "datasets")?;
+        let ds = arcs_data::csv::load_csv_inferred(&file, max_categories)
+            .map_err(|err| CliError::Data(format!("{file}: {err}")))?;
+        let tenant = Tenant::from_dataset(&name, &ds, &tenant_config)
+            .map_err(|err| CliError::Data(format!("{name}: {err}")))?;
+        let _ = writeln!(
+            out,
+            "tenant `{name}`: {} tuples from {file}, {bins}x{bins} grid",
+            tenant.server().snapshot().array().n_tuples(),
+        );
+        registry.insert(tenant);
+    }
+
+    let config = DaemonConfig {
+        workers: args.get_or("workers", DaemonConfig::default().workers)?,
+        max_pending: args.get_or("max-pending", DaemonConfig::default().max_pending)?,
+    };
+    let handle = Daemon::bind(listen, Arc::clone(&registry), config)
+        .and_then(Daemon::spawn)
+        .map_err(run_err)?;
+    let addr = handle.addr();
+    let _ = writeln!(out, "arcsd listening on {addr}");
+
+    let _feeder = match args.get("feed") {
+        None => None,
+        Some(spec) => {
+            let (name, file) = name_value(spec, "feed")?;
+            let tenant = registry
+                .get(&name)
+                .map_err(|err| CliError::Run(err.to_string()))?
+                .ok_or_else(|| CliError::Usage(format!("--feed names unknown tenant `{name}`")))?;
+            let interval = Duration::from_millis(args.get_or("feed-interval-ms", 200u64)?);
+            let feeder = Feeder::spawn(tenant, file.clone().into(), interval).map_err(run_err)?;
+            let _ = writeln!(out, "feeding `{name}` from {file}");
+            Some(feeder)
+        }
+    };
+
+    // The port file is the readiness signal: it appears only once the
+    // accept loop is live.
+    if let Some(port_file) = args.get("port-file") {
+        std::fs::write(port_file, format!("{addr}\n")).map_err(run_err)?;
+    }
+
+    // The startup banner has to reach the operator *before* the daemon
+    // parks, so print it here and return empty output on the normal path.
+    print!("{out}");
+    match args.get("max-seconds") {
+        Some(_) => {
+            let seconds: u64 = args.get_or("max-seconds", 0)?;
+            std::thread::sleep(Duration::from_secs(seconds));
+            if let Some(feeder) = _feeder {
+                feeder.stop();
+            }
+            handle.shutdown();
+            Ok(format!("arcsd on {addr} retired after {seconds}s"))
+        }
+        None => loop {
+            std::thread::sleep(Duration::from_secs(3600));
+        },
+    }
+}
+
+/// `arcs client`: one operation against a running `arcsd`.
+pub fn client(argv: &[String]) -> Result<String, CliError> {
+    if argv.iter().any(|a| a == "--help" || a == "-h") {
+        return Ok(CLIENT_USAGE.to_string());
+    }
+    let args = Args::parse(
+        argv.iter().cloned(),
+        &[
+            "addr",
+            "dataset",
+            "group",
+            "support",
+            "confidence",
+            "deadline-ms",
+            "rows",
+            "rows-file",
+        ],
+        &["cluster"],
+    )?;
+    let [op] = args.positional() else {
+        return Err(CliError::Usage(format!(
+            "expected exactly one operation\n\n{CLIENT_USAGE}"
+        )));
+    };
+    let addr = args.require("addr")?;
+    let dataset = args.require("dataset")?;
+    let mut client = Client::connect(addr).map_err(client_err)?;
+
+    match op.as_str() {
+        "open" => {
+            let info = client.open(dataset).map_err(client_err)?;
+            let labels = info.labels.into_iter().map(Json::Str).collect();
+            Ok(Json::Obj(vec![
+                ("dataset".into(), Json::Str(info.dataset)),
+                ("epoch".into(), Json::Num(info.epoch as f64)),
+                ("labels".into(), Json::Arr(labels)),
+                ("n_tuples".into(), Json::Num(info.n_tuples as f64)),
+            ])
+            .to_string())
+        }
+        "query" => {
+            let support: f64 = args.get_or("support", 0.0)?;
+            let confidence: f64 = args.get_or("confidence", 0.5)?;
+            let thresholds = arcs_core::Thresholds::new(support, confidence)
+                .map_err(|err| CliError::Usage(err.to_string()))?;
+            let mut request =
+                Request::new().group(args.require("group")?).thresholds(thresholds);
+            if args.has("cluster") {
+                request = request.cluster(ClusterSpec::default());
+            }
+            if args.get("deadline-ms").is_some() {
+                request =
+                    request.deadline(Duration::from_millis(args.get_or("deadline-ms", 0u64)?));
+            }
+            let outcome = client.query_on(Some(dataset), &request).map_err(client_err)?;
+            Ok(Json::Obj(vec![
+                ("result".into(), query_result_to_json(&outcome.result)),
+                ("cache_hit".into(), Json::Bool(outcome.cache_hit)),
+                ("retries".into(), Json::Num(outcome.retries as f64)),
+            ])
+            .to_string())
+        }
+        "append" => {
+            let rows = match (args.get("rows"), args.get("rows-file")) {
+                (Some(rows), None) => rows.to_string(),
+                (None, Some(file)) => std::fs::read_to_string(file)
+                    .map_err(|err| CliError::Data(format!("{file}: {err}")))?,
+                _ => {
+                    return Err(CliError::Usage(
+                        "append needs exactly one of --rows or --rows-file".into(),
+                    ))
+                }
+            };
+            let (epoch, merged) = client.append(Some(dataset), &rows).map_err(client_err)?;
+            Ok(Json::Obj(vec![
+                ("epoch".into(), Json::Num(epoch as f64)),
+                ("rows".into(), Json::Num(merged as f64)),
+            ])
+            .to_string())
+        }
+        "stats" => Ok(client.stats(Some(dataset)).map_err(client_err)?.to_string()),
+        other => Err(CliError::Usage(format!(
+            "unknown client operation `{other}`\n\n{CLIENT_USAGE}"
+        ))),
+    }
+}

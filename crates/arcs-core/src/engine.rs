@@ -191,7 +191,7 @@ pub fn rule_grid(array: &BinArray, gk: u32, thresholds: Thresholds) -> Result<Gr
 
 /// [`rule_grid`] into a caller-owned buffer. The grid is resized only on
 /// dimension mismatch; otherwise its allocation is reused, which matters
-/// in the threshold search and in `segment_all_groups`, where the same
+/// in the threshold search and in `Session::segment_all`, where the same
 /// array is re-mined once per lattice cell / criterion group.
 pub fn rule_grid_into(
     array: &BinArray,

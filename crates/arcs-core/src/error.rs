@@ -105,6 +105,34 @@ pub enum ArcsError {
     },
 }
 
+impl ArcsError {
+    /// Stable machine-readable code for this error, used 1:1 as the wire
+    /// error code by the daemon protocol and mapped to CLI exit codes.
+    ///
+    /// Codes are part of the wire contract: they never change once
+    /// shipped, even if variant names or messages do.
+    pub fn code(&self) -> &'static str {
+        match self {
+            ArcsError::InvalidConfig(_) => "INVALID_CONFIG",
+            ArcsError::AttributeKind { .. } => "ATTRIBUTE_KIND",
+            ArcsError::UnknownGroup(_) => "UNKNOWN_GROUP",
+            ArcsError::OutOfBounds { .. } => "OUT_OF_BOUNDS",
+            ArcsError::Data(_) => "DATA",
+            ArcsError::NoSegmentation => "NO_SEGMENTATION",
+            ArcsError::InvalidTuple { .. } => "INVALID_TUPLE",
+            ArcsError::Io(_) => "IO",
+            ArcsError::Checkpoint { .. } => "CHECKPOINT",
+            ArcsError::GridTooLarge { .. } => "GRID_TOO_LARGE",
+            ArcsError::BudgetExceeded { .. } => "BUDGET_EXCEEDED",
+            ArcsError::AllocationFailed { .. } => "ALLOCATION_FAILED",
+            ArcsError::WorkerPanicked { .. } => "WORKER_PANICKED",
+            ArcsError::FaultInjected { .. } => "FAULT_INJECTED",
+            ArcsError::DeadlineExceeded { .. } => "DEADLINE_EXCEEDED",
+            ArcsError::Overloaded { .. } => "OVERLOADED",
+        }
+    }
+}
+
 impl fmt::Display for ArcsError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -204,6 +232,42 @@ mod tests {
         let err = ArcsError::NoSegmentation;
         assert!(std::error::Error::source(&err).is_none());
         assert!(err.to_string().contains("no segmentation"));
+    }
+
+    #[test]
+    fn wire_codes_are_stable_and_distinct() {
+        let samples = [
+            (ArcsError::InvalidConfig("x".into()), "INVALID_CONFIG"),
+            (
+                ArcsError::AttributeKind { attribute: "a".into(), expected: "quantitative" },
+                "ATTRIBUTE_KIND",
+            ),
+            (ArcsError::UnknownGroup("g".into()), "UNKNOWN_GROUP"),
+            (ArcsError::OutOfBounds { what: "w".into() }, "OUT_OF_BOUNDS"),
+            (ArcsError::Data(DataError::UnknownAttribute("x".into())), "DATA"),
+            (ArcsError::NoSegmentation, "NO_SEGMENTATION"),
+            (ArcsError::InvalidTuple { position: 1, message: "m".into() }, "INVALID_TUPLE"),
+            (ArcsError::Io("io".into()), "IO"),
+            (ArcsError::Checkpoint { message: "c".into() }, "CHECKPOINT"),
+            (ArcsError::GridTooLarge { nx: 1, ny: 1, nseg: 1 }, "GRID_TOO_LARGE"),
+            (
+                ArcsError::BudgetExceeded { required_bytes: 2, budget_bytes: 1 },
+                "BUDGET_EXCEEDED",
+            ),
+            (ArcsError::AllocationFailed { what: "w".into() }, "ALLOCATION_FAILED"),
+            (
+                ArcsError::WorkerPanicked { stage: "s", message: "m".into() },
+                "WORKER_PANICKED",
+            ),
+            (ArcsError::FaultInjected { point: "p" }, "FAULT_INJECTED"),
+            (ArcsError::DeadlineExceeded { stage: "s" }, "DEADLINE_EXCEEDED"),
+            (ArcsError::Overloaded { inflight: 1, queued: 1 }, "OVERLOADED"),
+        ];
+        let mut seen = std::collections::BTreeSet::new();
+        for (err, code) in samples {
+            assert_eq!(err.code(), code);
+            assert!(seen.insert(code), "duplicate wire code {code}");
+        }
     }
 
     #[test]

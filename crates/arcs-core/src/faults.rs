@@ -29,6 +29,10 @@
 //! | `serve.worker` | inside the panic-isolated query body (retried on panic) |
 //! | `serve.cache-insert` | before inserting a computed result into the cache |
 //! | `serve.cache-invalidate` | before post-swap cache invalidation (fault degrades reclamation, never correctness) |
+//! | `daemon.accept` | per accepted TCP connection in `arcsd` (fault drops that one connection) |
+//! | `daemon.frame-decode` | per received frame in `arcsd` (fault fails that one frame, not the connection) |
+//! | `daemon.tenant-lookup` | at `Registry::get` in `arcsd` (fault fails that one request) |
+//! | `daemon.feeder-merge` | per feeder merge tick in `arcsd` (fault retries the same bytes next tick) |
 //!
 //! [`BinArray::save`]: crate::binarray::BinArray::save
 //! [`BinArray::load`]: crate::binarray::BinArray::load

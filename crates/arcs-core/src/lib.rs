@@ -26,12 +26,14 @@ pub mod factorial;
 pub mod faults;
 pub mod grid;
 pub mod index;
+pub mod jsonio;
 pub mod mdl;
 pub mod metrics;
 pub mod multidim;
 pub mod optimizer;
 pub mod pipeline;
 pub mod render;
+pub mod request;
 pub mod select;
 pub mod serve;
 pub mod session;
@@ -56,6 +58,7 @@ pub use metrics::{
 };
 pub use optimizer::{optimize, OptimizerConfig, SearchStats, ThresholdLattice};
 pub use pipeline::{Arcs, ArcsConfig, Segmentation};
+pub use request::{AttrBinding, GroupRef, Request};
 pub use serve::{
     AdmissionGate, ClusterSpec, QueryRequest, QueryResponse, QueryResult, ServeConfig, Server,
     ServerStats, Snapshot, SnapshotStore,

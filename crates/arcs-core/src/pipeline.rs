@@ -7,19 +7,23 @@
 //! The primary entry points are the session constructors —
 //! [`Arcs::open`], [`Arcs::open_stream`] and [`Arcs::open_binned`] — which
 //! bin once and return a [`Session`](crate::session::Session) for mining,
-//! re-mining, and re-clustering. The `segment_*` methods on [`Arcs`] are
-//! retained as thin convenience wrappers over a one-shot session.
+//! re-mining, and re-clustering. The deprecated five-argument `segment_*`
+//! wrappers compile only under the `legacy-api` feature.
 
-use arcs_data::{Dataset, Schema, Tuple};
+use arcs_data::{Dataset, Schema};
+#[cfg(feature = "legacy-api")]
+use arcs_data::Tuple;
 
 use crate::binner::{Binner, BinningStrategy};
 use crate::binning::BinMap;
 use crate::cluster::{ClusteredRule, Rect};
 use crate::engine::Thresholds;
 use crate::error::ArcsError;
+#[cfg(feature = "legacy-api")]
 use crate::binarray::BinArray;
 use crate::mdl::MdlScore;
 use crate::optimizer::OptimizerConfig;
+#[cfg(any(feature = "legacy-api", test))]
 use crate::session::SegmentRequest;
 use crate::verify::ErrorCounts;
 
@@ -101,8 +105,9 @@ pub struct Segmentation {
     pub relaxation_steps: Vec<String>,
 }
 
-/// Per-group segmentation outcomes from [`Arcs::segment_all_groups`]:
-/// one `(group label, result)` entry per criterion value.
+/// Per-group segmentation outcomes from
+/// [`Session::segment_all`](crate::session::Session::segment_all): one
+/// `(group label, result)` entry per criterion value.
 pub type GroupSegmentations = Vec<(String, Result<Segmentation, ArcsError>)>;
 
 /// The configured ARCS system.
@@ -162,7 +167,7 @@ impl Arcs {
             BinningStrategy::EquiDepth => {
                 let ds = dataset.ok_or_else(|| {
                     ArcsError::InvalidConfig(
-                        "equi-depth binning requires in-memory data (use segment_dataset)".into(),
+                        "equi-depth binning requires in-memory data (use Arcs::open)".into(),
                     )
                 })?;
                 let x_col = ds.quant_column(schema.require(x_attr)?)?;
@@ -174,7 +179,7 @@ impl Arcs {
             BinningStrategy::Homogeneity { tolerance } => {
                 let ds = dataset.ok_or_else(|| {
                     ArcsError::InvalidConfig(
-                        "homogeneity binning requires in-memory data (use segment_dataset)".into(),
+                        "homogeneity binning requires in-memory data (use Arcs::open)".into(),
                     )
                 })?;
                 let x_col = ds.quant_column(schema.require(x_attr)?)?;
@@ -189,9 +194,12 @@ impl Arcs {
     /// Segments an in-memory dataset: clusters the `(x_attr, y_attr)`
     /// space for the tuples whose `criterion_attr` equals `group_label`.
     ///
-    /// **Deprecated** in favour of the session API, which names the
-    /// attributes once and keeps the binned state for re-mining:
+    /// Only compiled under the `legacy-api` feature; use the session API,
+    /// which names the attributes once and keeps the binned state for
+    /// re-mining:
     /// `arcs.open(&ds, SegmentRequest::new(x, y, criterion).group(label))?.segment()`.
+    #[cfg(feature = "legacy-api")]
+    #[deprecated(note = "use Arcs::open + Session::segment (see the session module)")]
     pub fn segment_dataset(
         &self,
         dataset: &Dataset,
@@ -214,8 +222,10 @@ impl Arcs {
     /// segmentation exists (e.g. no rule ever qualifies) report their
     /// error.
     ///
-    /// **Deprecated** in favour of
+    /// Only compiled under the `legacy-api` feature; use
     /// `arcs.open(&ds, SegmentRequest::new(x, y, criterion))?.segment_all()`.
+    #[cfg(feature = "legacy-api")]
+    #[deprecated(note = "use Arcs::open + Session::segment_all")]
     pub fn segment_all_groups(
         &self,
         dataset: &Dataset,
@@ -231,8 +241,10 @@ impl Arcs {
     /// sample (which must share `schema`). Only [`BinningStrategy::EquiWidth`]
     /// is possible here — the alternatives need a second look at the data.
     ///
-    /// **Deprecated** in favour of [`Arcs::open_stream`] + a
-    /// [`SegmentRequest`].
+    /// Only compiled under the `legacy-api` feature; use
+    /// [`Arcs::open_stream`] + a [`SegmentRequest`].
+    #[cfg(feature = "legacy-api")]
+    #[deprecated(note = "use Arcs::open_stream + Session::segment")]
     #[allow(clippy::too_many_arguments)]
     pub fn segment_stream<I>(
         &self,
@@ -257,8 +269,11 @@ impl Arcs {
     /// must be the one that produced the array — its bin maps decode the
     /// clusters back to attribute ranges.
     ///
-    /// **Deprecated** in favour of [`Arcs::open_binned`] + a
-    /// [`SegmentRequest`] (which take ownership and avoid this clone).
+    /// Only compiled under the `legacy-api` feature; use
+    /// [`Arcs::open_binned`] + a [`SegmentRequest`] (which take ownership
+    /// and avoid this clone).
+    #[cfg(feature = "legacy-api")]
+    #[deprecated(note = "use Arcs::open_binned + Session::segment")]
     #[allow(clippy::too_many_arguments)]
     pub fn segment_binned(
         &self,
@@ -324,11 +339,24 @@ mod tests {
         }
     }
 
+    /// One-shot session segment, the shape the legacy five-argument
+    /// wrapper used to provide.
+    fn segment_once(
+        arcs: &Arcs,
+        ds: &Dataset,
+        x: &str,
+        y: &str,
+        criterion: &str,
+        group: &str,
+    ) -> Result<Segmentation, ArcsError> {
+        arcs.open(ds, SegmentRequest::new(x, y, criterion).group(group))?.segment()
+    }
+
     #[test]
     fn segments_the_blocky_dataset() {
         let ds = blocky_dataset();
         let arcs = Arcs::new(small_config()).unwrap();
-        let seg = arcs.segment_dataset(&ds, "x", "y", "g", "A").unwrap();
+        let seg = segment_once(&arcs, &ds, "x", "y", "g", "A").unwrap();
         assert_eq!(seg.clusters.len(), 1);
         assert_eq!(seg.rules.len(), 1);
         let rule = &seg.rules[0];
@@ -346,18 +374,18 @@ mod tests {
         let ds = blocky_dataset();
         let arcs = Arcs::new(small_config()).unwrap();
         assert!(matches!(
-            arcs.segment_dataset(&ds, "x", "y", "g", "Z"),
+            segment_once(&arcs, &ds, "x", "y", "g", "Z"),
             Err(ArcsError::UnknownGroup(_))
         ));
-        assert!(arcs.segment_dataset(&ds, "x", "y", "missing", "A").is_err());
-        assert!(arcs.segment_dataset(&ds, "missing", "y", "g", "A").is_err());
+        assert!(segment_once(&arcs, &ds, "x", "y", "missing", "A").is_err());
+        assert!(segment_once(&arcs, &ds, "missing", "y", "g", "A").is_err());
     }
 
     #[test]
     fn empty_dataset_errors() {
         let ds = Dataset::new(small_schema());
         let arcs = Arcs::new(small_config()).unwrap();
-        assert!(arcs.segment_dataset(&ds, "x", "y", "g", "A").is_err());
+        assert!(segment_once(&arcs, &ds, "x", "y", "g", "A").is_err());
     }
 
     #[test]
@@ -370,18 +398,17 @@ mod tests {
     fn stream_and_dataset_agree() {
         let ds = blocky_dataset();
         let arcs = Arcs::new(small_config()).unwrap();
-        let from_ds = arcs.segment_dataset(&ds, "x", "y", "g", "A").unwrap();
+        let from_ds = segment_once(&arcs, &ds, "x", "y", "g", "A").unwrap();
         // Stream the same tuples; use the full dataset as the sample.
         let from_stream = arcs
-            .segment_stream(
+            .open_stream(
                 ds.schema(),
                 ds.iter().cloned(),
-                "x",
-                "y",
-                "g",
-                "A",
+                SegmentRequest::new("x", "y", "g").group("A"),
                 &ds,
             )
+            .unwrap()
+            .segment()
             .unwrap();
         assert_eq!(from_ds.clusters, from_stream.clusters);
     }
@@ -394,7 +421,7 @@ mod tests {
             ..small_config()
         };
         let arcs = Arcs::new(config).unwrap();
-        let seg = arcs.segment_dataset(&ds, "x", "y", "g", "A").unwrap();
+        let seg = segment_once(&arcs, &ds, "x", "y", "g", "A").unwrap();
         assert!(!seg.clusters.is_empty());
     }
 
@@ -410,7 +437,7 @@ mod tests {
         };
         config.optimizer.smoothing = crate::smooth::SmoothConfig::disabled();
         let arcs = Arcs::new(config).unwrap();
-        let seg = arcs.segment_dataset(&ds, "x", "y", "g", "A").unwrap();
+        let seg = segment_once(&arcs, &ds, "x", "y", "g", "A").unwrap();
         assert!(!seg.clusters.is_empty());
         // The block must be identified despite data-driven bin edges.
         assert!(seg.errors.recall() > 0.8, "recall {}", seg.errors.recall());
@@ -425,7 +452,13 @@ mod tests {
         };
         let arcs = Arcs::new(config).unwrap();
         let err = arcs
-            .segment_stream(ds.schema(), ds.iter().cloned(), "x", "y", "g", "A", &ds)
+            .open_stream(
+                ds.schema(),
+                ds.iter().cloned(),
+                SegmentRequest::new("x", "y", "g").group("A"),
+                &ds,
+            )
+            .map(|_| ())
             .unwrap_err();
         assert!(matches!(err, ArcsError::InvalidConfig(_)));
     }
@@ -434,14 +467,18 @@ mod tests {
     fn segment_all_groups_shares_one_binning() {
         let ds = blocky_dataset();
         let arcs = Arcs::new(small_config()).unwrap();
-        let all = arcs.segment_all_groups(&ds, "x", "y", "g").unwrap();
+        let all = arcs
+            .open(&ds, SegmentRequest::new("x", "y", "g"))
+            .unwrap()
+            .segment_all()
+            .unwrap();
         assert_eq!(all.len(), 2);
         assert_eq!(all[0].0, "A");
         assert_eq!(all[1].0, "other");
         let seg_a = all[0].1.as_ref().unwrap();
         assert_eq!(seg_a.clusters.len(), 1);
         // Must agree with the single-group entry point.
-        let direct = arcs.segment_dataset(&ds, "x", "y", "g", "A").unwrap();
+        let direct = segment_once(&arcs, &ds, "x", "y", "g", "A").unwrap();
         assert_eq!(seg_a.clusters, direct.clusters);
         // The complement group segments too (it covers the background).
         let seg_other = all[1].1.as_ref().unwrap();
@@ -452,7 +489,7 @@ mod tests {
     fn normal_segmentations_are_not_degraded() {
         let ds = blocky_dataset();
         let arcs = Arcs::new(small_config()).unwrap();
-        let seg = arcs.segment_dataset(&ds, "x", "y", "g", "A").unwrap();
+        let seg = segment_once(&arcs, &ds, "x", "y", "g", "A").unwrap();
         assert!(!seg.degraded);
         assert!(seg.relaxation_steps.is_empty());
     }
@@ -497,7 +534,7 @@ mod tests {
     fn degradation_ladder_rescues_no_segmentation() {
         let ds = speck_dataset();
         let arcs = Arcs::new(strict_pruning_config()).unwrap();
-        let seg = arcs.segment_dataset(&ds, "x", "y", "g", "A").unwrap();
+        let seg = segment_once(&arcs, &ds, "x", "y", "g", "A").unwrap();
         assert!(seg.degraded);
         assert_eq!(
             seg.relaxation_steps,
@@ -514,7 +551,7 @@ mod tests {
         config.degrade_on_no_segmentation = false;
         let arcs = Arcs::new(config).unwrap();
         assert!(matches!(
-            arcs.segment_dataset(&ds, "x", "y", "g", "A"),
+            segment_once(&arcs, &ds, "x", "y", "g", "A"),
             Err(ArcsError::NoSegmentation)
         ));
     }
@@ -534,23 +571,25 @@ mod tests {
         }
         let arcs = Arcs::new(small_config()).unwrap();
         assert!(matches!(
-            arcs.segment_dataset(&ds, "x", "y", "g", "A"),
+            segment_once(&arcs, &ds, "x", "y", "g", "A"),
             Err(ArcsError::NoSegmentation)
         ));
     }
 
     #[test]
-    fn segment_binned_matches_segment_dataset() {
+    fn open_binned_matches_open() {
         let ds = blocky_dataset();
         let arcs = Arcs::new(small_config()).unwrap();
-        let direct = arcs.segment_dataset(&ds, "x", "y", "g", "A").unwrap();
+        let direct = segment_once(&arcs, &ds, "x", "y", "g", "A").unwrap();
 
         // Re-create the pipeline's binner and array externally — the
-        // checkpoint/resume path hands exactly this to segment_binned.
+        // checkpoint/resume path hands exactly this to open_binned.
         let binner = Binner::equi_width(ds.schema(), "x", "y", "g", 10, 10).unwrap();
         let array = binner.bin_rows(ds.iter()).unwrap();
         let seg = arcs
-            .segment_binned(&array, &binner, &ds, "x", "y", "g", "A")
+            .open_binned(array, binner, &ds, SegmentRequest::new("x", "y", "g").group("A"))
+            .unwrap()
+            .segment()
             .unwrap();
         assert_eq!(seg.clusters, direct.clusters);
         assert_eq!(seg.thresholds, direct.thresholds);
@@ -564,7 +603,7 @@ mod tests {
         let mut gen = AgrawalGenerator::new(GeneratorConfig::paper_defaults(2024)).unwrap();
         let ds = gen.generate(20_000);
         let arcs = Arcs::with_defaults();
-        let seg = arcs.segment_dataset(&ds, "age", "salary", "group", "A").unwrap();
+        let seg = segment_once(&arcs, &ds, "age", "salary", "group", "A").unwrap();
         assert_eq!(
             seg.rules.len(),
             3,

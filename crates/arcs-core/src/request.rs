@@ -1,0 +1,730 @@
+//! The unified request schema shared by library, wire, and CLI.
+//!
+//! Before this module, three shapes described "one segmentation ask":
+//! [`SegmentRequest`] (attribute binding for opening a session),
+//! [`QueryRequest`] (group code + thresholds for the serving core), and
+//! [`ClusterSpec`] (smooth + cluster configuration) — and the serving
+//! cache keyed cluster configs by their `Debug` rendering, a second,
+//! drift-prone encoding of the same data. [`Request`] unifies them:
+//!
+//! * one serde-able shape ([`Request::to_json`] / [`Request::from_json`])
+//!   that the daemon's wire protocol, the CLI client, and the library all
+//!   share — the wire payload *is* the canonical request schema;
+//! * one canonical encoding of [`ClusterSpec`]
+//!   ([`ClusterSpec::to_json`] / [`ClusterSpec::from_json`] /
+//!   [`ClusterSpec::cache_token`]) used by both the result cache key and
+//!   the wire payload, with round-trip tests so the two can never drift
+//!   from the library structs;
+//! * conversions to and from the old shapes, which remain as thin
+//!   execution-plane aliases: [`Request::to_query_request`] resolves a
+//!   group reference against a tenant's label table, and
+//!   [`Request::to_segment_request`] extracts the attribute binding. The
+//!   old builders keep working.
+//!
+//! The canonical [`ClusterSpec`] encoding deliberately **excludes**
+//! [`BitOpConfig::threads`]: the engine guarantees bit-identical results
+//! at any thread count, so the thread count is an execution knob, not
+//! part of a query's identity. (The previous `Debug`-rendered cache key
+//! included it, splitting the cache across thread counts for identical
+//! results.)
+//!
+//! Entry points over a `Request`: [`crate::serve::Server::query_unified`]
+//! for the serving core and [`crate::session::Session::query`] for an
+//! owned session.
+
+use std::time::Duration;
+
+use crate::bitop::BitOpConfig;
+use crate::cluster::Rect;
+use crate::engine::{BinnedRule, Thresholds};
+use crate::error::ArcsError;
+use crate::jsonio::{obj, Json};
+use crate::serve::{ClusterSpec, QueryRequest, QueryResult};
+use crate::session::SegmentRequest;
+use crate::smooth::{BorderMode, Kernel, SmoothConfig};
+
+fn bad(message: impl Into<String>) -> ArcsError {
+    ArcsError::InvalidConfig(message.into())
+}
+
+/// The two LHS attributes and the segmentation criterion a request binds
+/// to — the information a [`SegmentRequest`] carried positionally.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AttrBinding {
+    /// The x (first LHS) attribute name.
+    pub x: String,
+    /// The y (second LHS) attribute name.
+    pub y: String,
+    /// The categorical criterion attribute name.
+    pub criterion: String,
+}
+
+/// A criterion group referenced either by label (human-facing: CLI, wire)
+/// or by code (execution-facing: the serving core mines by code).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GroupRef {
+    /// The group's label on the criterion attribute.
+    Label(String),
+    /// The group's code (its index in the criterion's label table).
+    Code(u32),
+}
+
+impl GroupRef {
+    /// Resolves the reference to a group code against a label table (the
+    /// criterion attribute's labels in code order).
+    pub fn resolve(&self, labels: &[String]) -> Result<u32, ArcsError> {
+        match self {
+            GroupRef::Code(code) => {
+                if (*code as usize) < labels.len() {
+                    Ok(*code)
+                } else {
+                    Err(ArcsError::UnknownGroup(format!("code {code}")))
+                }
+            }
+            GroupRef::Label(label) => labels
+                .iter()
+                .position(|l| l == label)
+                .map(|p| p as u32)
+                .ok_or_else(|| ArcsError::UnknownGroup(label.clone())),
+        }
+    }
+}
+
+/// One segmentation request — the canonical shape shared by the library
+/// entry points, the daemon wire protocol, and the CLI.
+///
+/// Every field is optional because different consumers need different
+/// halves: opening a session needs `attrs`; querying an already-open
+/// tenant needs `group` + `thresholds`; `cluster`, `deadline`, and
+/// `memory_budget` refine either. The conversion methods state which
+/// fields they require.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Request {
+    /// Attribute binding, required to open a session / tenant.
+    pub attrs: Option<AttrBinding>,
+    /// The criterion group to mine.
+    pub group: Option<GroupRef>,
+    /// Explicit thresholds. `None` means "run the threshold search"
+    /// (library sessions only — the wire protocol requires explicit
+    /// thresholds so responses are cacheable and deterministic).
+    pub thresholds: Option<Thresholds>,
+    /// When set, also smooth + cluster the rule grid.
+    pub cluster: Option<ClusterSpec>,
+    /// Per-request deadline.
+    pub deadline: Option<Duration>,
+    /// Per-request memory budget in bytes.
+    pub memory_budget: Option<usize>,
+}
+
+impl Request {
+    /// An empty request; chain builders to fill it in.
+    pub fn new() -> Self {
+        Request::default()
+    }
+
+    /// Binds the LHS attributes and criterion (what [`SegmentRequest`]
+    /// carried).
+    pub fn attrs(
+        mut self,
+        x: impl Into<String>,
+        y: impl Into<String>,
+        criterion: impl Into<String>,
+    ) -> Self {
+        self.attrs = Some(AttrBinding { x: x.into(), y: y.into(), criterion: criterion.into() });
+        self
+    }
+
+    /// Targets a criterion group by label.
+    pub fn group(mut self, label: impl Into<String>) -> Self {
+        self.group = Some(GroupRef::Label(label.into()));
+        self
+    }
+
+    /// Targets a criterion group by code.
+    pub fn group_code(mut self, code: u32) -> Self {
+        self.group = Some(GroupRef::Code(code));
+        self
+    }
+
+    /// Mines at explicit thresholds instead of searching.
+    pub fn thresholds(mut self, thresholds: Thresholds) -> Self {
+        self.thresholds = Some(thresholds);
+        self
+    }
+
+    /// Also smooth + cluster with `spec`.
+    pub fn cluster(mut self, spec: ClusterSpec) -> Self {
+        self.cluster = Some(spec);
+        self
+    }
+
+    /// Sets the per-request deadline.
+    pub fn deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Sets the per-request memory budget in bytes.
+    pub fn memory_budget(mut self, bytes: usize) -> Self {
+        self.memory_budget = Some(bytes);
+        self
+    }
+
+    // -- conversions to/from the thin execution-plane shapes ---------------
+
+    /// Lowers to the serving core's [`QueryRequest`], resolving the group
+    /// reference against `labels`. Requires `group` and `thresholds`.
+    pub fn to_query_request(&self, labels: &[String]) -> Result<QueryRequest, ArcsError> {
+        let group = self.group.as_ref().ok_or_else(|| bad("request names no group"))?;
+        let thresholds = self
+            .thresholds
+            .ok_or_else(|| bad("request has no thresholds (required for serving queries)"))?;
+        let mut query = QueryRequest::new(group.resolve(labels)?, thresholds);
+        query.cluster = self.cluster.clone();
+        query.deadline = self.deadline;
+        query.memory_budget = self.memory_budget;
+        Ok(query)
+    }
+
+    /// Lifts a [`QueryRequest`] into the canonical shape (group kept as a
+    /// code; no attribute binding — the server is already bound).
+    pub fn from_query_request(query: &QueryRequest) -> Self {
+        Request {
+            attrs: None,
+            group: Some(GroupRef::Code(query.gk)),
+            thresholds: Some(query.thresholds),
+            cluster: query.cluster.clone(),
+            deadline: query.deadline,
+            memory_budget: query.memory_budget,
+        }
+    }
+
+    /// Extracts the session-opening [`SegmentRequest`]. Requires `attrs`;
+    /// a group *label* and the memory budget carry over (a group *code*
+    /// cannot — sessions resolve labels at open time).
+    pub fn to_segment_request(&self) -> Result<SegmentRequest, ArcsError> {
+        let attrs = self
+            .attrs
+            .as_ref()
+            .ok_or_else(|| bad("request has no attribute binding (x/y/criterion)"))?;
+        let mut seg = SegmentRequest::new(&attrs.x, &attrs.y, &attrs.criterion);
+        match &self.group {
+            Some(GroupRef::Label(label)) => seg = seg.group(label.clone()),
+            Some(GroupRef::Code(_)) => {
+                return Err(bad(
+                    "a session open needs the group by label, not code \
+                     (codes are assigned at open time)",
+                ))
+            }
+            None => {}
+        }
+        if let Some(bytes) = self.memory_budget {
+            seg = seg.memory_budget(bytes);
+        }
+        Ok(seg)
+    }
+
+    /// Lifts a [`SegmentRequest`] into the canonical shape.
+    pub fn from_segment_request(seg: &SegmentRequest) -> Self {
+        let mut request = Request::new().attrs(seg.x_attr(), seg.y_attr(), seg.criterion_attr());
+        if let Some(label) = seg.group_label() {
+            request = request.group(label);
+        }
+        if let Some(bytes) = seg.memory_budget_bytes() {
+            request = request.memory_budget(bytes);
+        }
+        request
+    }
+
+    // -- the canonical JSON encoding ---------------------------------------
+
+    /// Serializes to the canonical JSON object (the wire payload shape).
+    /// Absent fields are omitted, so the encoding is minimal and stable.
+    pub fn to_json(&self) -> Json {
+        let mut pairs: Vec<(&str, Json)> = Vec::new();
+        if let Some(attrs) = &self.attrs {
+            pairs.push((
+                "attrs",
+                obj(vec![
+                    ("x", Json::Str(attrs.x.clone())),
+                    ("y", Json::Str(attrs.y.clone())),
+                    ("criterion", Json::Str(attrs.criterion.clone())),
+                ]),
+            ));
+        }
+        match &self.group {
+            Some(GroupRef::Label(label)) => {
+                pairs.push(("group", obj(vec![("label", Json::Str(label.clone()))])));
+            }
+            Some(GroupRef::Code(code)) => {
+                pairs.push(("group", obj(vec![("code", Json::Num(*code as f64))])));
+            }
+            None => {}
+        }
+        if let Some(t) = self.thresholds {
+            pairs.push(("thresholds", thresholds_to_json(t)));
+        }
+        if let Some(spec) = &self.cluster {
+            pairs.push(("cluster", spec.to_json()));
+        }
+        if let Some(deadline) = self.deadline {
+            pairs.push(("deadline_ms", Json::Num(deadline.as_millis() as f64)));
+        }
+        if let Some(bytes) = self.memory_budget {
+            pairs.push(("memory_budget", Json::Num(bytes as f64)));
+        }
+        obj(pairs)
+    }
+
+    /// Decodes the canonical JSON object. Unknown keys are ignored
+    /// (forward compatibility); known keys with wrong types, invalid
+    /// threshold ranges, or malformed group references are typed
+    /// [`ArcsError::InvalidConfig`] errors.
+    pub fn from_json(json: &Json) -> Result<Self, ArcsError> {
+        if !matches!(json, Json::Obj(_)) {
+            return Err(bad("request must be a JSON object"));
+        }
+        let attrs = match json.get("attrs") {
+            None => None,
+            Some(a) => Some(AttrBinding {
+                x: require_str(a, "x", "attrs.x")?,
+                y: require_str(a, "y", "attrs.y")?,
+                criterion: require_str(a, "criterion", "attrs.criterion")?,
+            }),
+        };
+        let group = match json.get("group") {
+            None => None,
+            Some(g) => Some(match (g.get("label"), g.get("code")) {
+                (Some(label), None) => GroupRef::Label(
+                    label.as_str().ok_or_else(|| bad("group.label must be a string"))?.to_string(),
+                ),
+                (None, Some(code)) => GroupRef::Code(
+                    code.as_u64()
+                        .and_then(|c| u32::try_from(c).ok())
+                        .ok_or_else(|| bad("group.code must be a u32"))?,
+                ),
+                _ => return Err(bad("group must carry exactly one of `label` or `code`")),
+            }),
+        };
+        let thresholds = json.get("thresholds").map(thresholds_from_json).transpose()?;
+        let cluster = json.get("cluster").map(ClusterSpec::from_json).transpose()?;
+        let deadline = match json.get("deadline_ms") {
+            None => None,
+            Some(ms) => Some(Duration::from_millis(
+                ms.as_u64().ok_or_else(|| bad("deadline_ms must be a non-negative integer"))?,
+            )),
+        };
+        let memory_budget = match json.get("memory_budget") {
+            None => None,
+            Some(bytes) => Some(
+                bytes
+                    .as_usize()
+                    .ok_or_else(|| bad("memory_budget must be a non-negative integer"))?,
+            ),
+        };
+        Ok(Request { attrs, group, thresholds, cluster, deadline, memory_budget })
+    }
+}
+
+fn require_str(json: &Json, key: &str, what: &str) -> Result<String, ArcsError> {
+    json.get(key)
+        .and_then(Json::as_str)
+        .map(str::to_string)
+        .ok_or_else(|| bad(format!("{what} must be a string")))
+}
+
+fn require_f64(json: &Json, key: &str, what: &str) -> Result<f64, ArcsError> {
+    json.get(key)
+        .and_then(Json::as_f64)
+        .ok_or_else(|| bad(format!("{what} must be a number")))
+}
+
+fn require_usize(json: &Json, key: &str, what: &str) -> Result<usize, ArcsError> {
+    json.get(key)
+        .and_then(Json::as_usize)
+        .ok_or_else(|| bad(format!("{what} must be a non-negative integer")))
+}
+
+/// Canonical JSON for [`Thresholds`] (`{"min_support", "min_confidence"}`).
+pub fn thresholds_to_json(t: Thresholds) -> Json {
+    obj(vec![
+        ("min_support", Json::Num(t.min_support)),
+        ("min_confidence", Json::Num(t.min_confidence)),
+    ])
+}
+
+/// Decodes [`Thresholds`] from canonical JSON, re-validating the `[0, 1]`
+/// ranges through [`Thresholds::new`].
+pub fn thresholds_from_json(json: &Json) -> Result<Thresholds, ArcsError> {
+    Thresholds::new(
+        require_f64(json, "min_support", "thresholds.min_support")?,
+        require_f64(json, "min_confidence", "thresholds.min_confidence")?,
+    )
+}
+
+impl ClusterSpec {
+    /// The canonical JSON encoding of this spec — the **single conversion
+    /// point** shared by wire payloads and the serving cache key, so the
+    /// two can never drift. [`BitOpConfig::threads`] is excluded: results
+    /// are bit-identical at any thread count, so it is not part of a
+    /// query's identity.
+    pub fn to_json(&self) -> Json {
+        obj(vec![
+            (
+                "smoothing",
+                obj(vec![
+                    (
+                        "kernel",
+                        Json::Str(
+                            match self.smoothing.kernel {
+                                Kernel::Box3 => "box3",
+                                Kernel::Gaussian3 => "gaussian3",
+                            }
+                            .to_string(),
+                        ),
+                    ),
+                    ("threshold", Json::Num(self.smoothing.threshold)),
+                    ("passes", Json::Num(self.smoothing.passes as f64)),
+                    (
+                        "border",
+                        Json::Str(
+                            match self.smoothing.border {
+                                BorderMode::FullKernel => "full_kernel",
+                                BorderMode::InBounds => "in_bounds",
+                            }
+                            .to_string(),
+                        ),
+                    ),
+                ]),
+            ),
+            (
+                "bitop",
+                obj(vec![
+                    ("min_area_fraction", Json::Num(self.bitop.min_area_fraction)),
+                    ("min_area_cells", Json::Num(self.bitop.min_area_cells as f64)),
+                    ("max_clusters", Json::Num(self.bitop.max_clusters as f64)),
+                ]),
+            ),
+        ])
+    }
+
+    /// Decodes a spec from canonical JSON. The thread count (not part of
+    /// the encoding) comes back as the local default — an execution
+    /// choice of the decoding host, never of the wire.
+    pub fn from_json(json: &Json) -> Result<Self, ArcsError> {
+        let smoothing = json
+            .get("smoothing")
+            .ok_or_else(|| bad("cluster spec missing `smoothing`"))?;
+        let kernel = match smoothing.get("kernel").and_then(Json::as_str) {
+            Some("box3") => Kernel::Box3,
+            Some("gaussian3") => Kernel::Gaussian3,
+            Some(other) => return Err(bad(format!("unknown smoothing kernel `{other}`"))),
+            None => return Err(bad("smoothing.kernel must be a string")),
+        };
+        let border = match smoothing.get("border").and_then(Json::as_str) {
+            Some("full_kernel") => BorderMode::FullKernel,
+            Some("in_bounds") => BorderMode::InBounds,
+            Some(other) => return Err(bad(format!("unknown border mode `{other}`"))),
+            None => return Err(bad("smoothing.border must be a string")),
+        };
+        let bitop = json.get("bitop").ok_or_else(|| bad("cluster spec missing `bitop`"))?;
+        Ok(ClusterSpec {
+            smoothing: SmoothConfig {
+                kernel,
+                threshold: require_f64(smoothing, "threshold", "smoothing.threshold")?,
+                passes: require_usize(smoothing, "passes", "smoothing.passes")?,
+                border,
+            },
+            bitop: BitOpConfig {
+                min_area_fraction: require_f64(bitop, "min_area_fraction", "bitop.min_area_fraction")?,
+                min_area_cells: require_usize(bitop, "min_area_cells", "bitop.min_area_cells")?,
+                max_clusters: require_usize(bitop, "max_clusters", "bitop.max_clusters")?,
+                threads: BitOpConfig::default().threads,
+            },
+        })
+    }
+
+    /// The spec's identity as a compact string — the serving cache keys
+    /// cluster configurations by this token, which is exactly the
+    /// canonical JSON rendering, so a cache key and a wire payload always
+    /// agree on what a configuration *is*.
+    pub fn cache_token(&self) -> String {
+        self.to_json().to_string()
+    }
+}
+
+/// Canonical JSON for a served [`QueryResult`] — the response payload
+/// shape shared by the daemon and the CLI client.
+pub fn query_result_to_json(result: &QueryResult) -> Json {
+    let rules = result
+        .rules
+        .iter()
+        .map(|r| {
+            obj(vec![
+                ("x", Json::Num(r.x as f64)),
+                ("y", Json::Num(r.y as f64)),
+                ("group", Json::Num(r.group as f64)),
+                ("support", Json::Num(r.support)),
+                ("confidence", Json::Num(r.confidence)),
+                ("count", Json::Num(r.count as f64)),
+                ("lift", Json::Num(r.lift)),
+                ("leverage", Json::Num(r.leverage)),
+            ])
+        })
+        .collect();
+    let mut pairs = vec![
+        ("epoch", Json::Num(result.epoch as f64)),
+        ("rules", Json::Arr(rules)),
+    ];
+    if let Some(clusters) = &result.clusters {
+        pairs.push((
+            "clusters",
+            Json::Arr(
+                clusters
+                    .iter()
+                    .map(|c| {
+                        obj(vec![
+                            ("x0", Json::Num(c.x0 as f64)),
+                            ("y0", Json::Num(c.y0 as f64)),
+                            ("x1", Json::Num(c.x1 as f64)),
+                            ("y1", Json::Num(c.y1 as f64)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ));
+    }
+    pairs.push(("coarsening_steps", Json::Num(result.coarsening_steps as f64)));
+    obj(pairs)
+}
+
+/// Decodes a [`QueryResult`] from its canonical JSON. Floats round-trip
+/// bit-identically (see [`crate::jsonio`]), so a decoded result compares
+/// `==` against the in-process original — the property the daemon's
+/// end-to-end oracle test rests on.
+pub fn query_result_from_json(json: &Json) -> Result<QueryResult, ArcsError> {
+    let rules = json
+        .get("rules")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| bad("result missing `rules` array"))?
+        .iter()
+        .map(|r| {
+            Ok(BinnedRule {
+                x: require_usize(r, "x", "rule.x")?,
+                y: require_usize(r, "y", "rule.y")?,
+                group: require_usize(r, "group", "rule.group")? as u32,
+                support: require_f64(r, "support", "rule.support")?,
+                confidence: require_f64(r, "confidence", "rule.confidence")?,
+                count: require_usize(r, "count", "rule.count")? as u32,
+                lift: require_f64(r, "lift", "rule.lift")?,
+                leverage: require_f64(r, "leverage", "rule.leverage")?,
+            })
+        })
+        .collect::<Result<Vec<_>, ArcsError>>()?;
+    let clusters = match json.get("clusters") {
+        None => None,
+        Some(c) => Some(
+            c.as_arr()
+                .ok_or_else(|| bad("`clusters` must be an array"))?
+                .iter()
+                .map(|r| {
+                    Rect::new(
+                        require_usize(r, "x0", "cluster.x0")?,
+                        require_usize(r, "y0", "cluster.y0")?,
+                        require_usize(r, "x1", "cluster.x1")?,
+                        require_usize(r, "y1", "cluster.y1")?,
+                    )
+                })
+                .collect::<Result<Vec<_>, ArcsError>>()?,
+        ),
+    };
+    Ok(QueryResult {
+        epoch: json.get("epoch").and_then(Json::as_u64).ok_or_else(|| bad("result missing `epoch`"))?,
+        rules,
+        clusters,
+        coarsening_steps: require_usize(json, "coarsening_steps", "coarsening_steps")? as u32,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn full_request() -> Request {
+        Request::new()
+            .attrs("age", "salary", "group")
+            .group("excellent")
+            .thresholds(Thresholds::new(0.017, 0.53).unwrap())
+            .cluster(ClusterSpec {
+                smoothing: SmoothConfig {
+                    kernel: Kernel::Gaussian3,
+                    threshold: 0.37,
+                    passes: 2,
+                    border: BorderMode::InBounds,
+                },
+                bitop: BitOpConfig {
+                    min_area_fraction: 0.013,
+                    min_area_cells: 3,
+                    max_clusters: 77,
+                    threads: 4,
+                },
+            })
+            .deadline(Duration::from_millis(250))
+            .memory_budget(1 << 20)
+    }
+
+    #[test]
+    fn request_round_trips_through_json() {
+        let request = full_request();
+        let text = request.to_json().to_string();
+        let back = Request::from_json(&crate::jsonio::parse(&text).unwrap()).unwrap();
+        // Everything except the (deliberately non-wire) thread count
+        // round-trips; compare with threads normalised.
+        let mut normalised = request.clone();
+        if let Some(spec) = &mut normalised.cluster {
+            spec.bitop.threads = BitOpConfig::default().threads;
+        }
+        assert_eq!(back, normalised);
+    }
+
+    #[test]
+    fn minimal_request_round_trips() {
+        let request = Request::new().group_code(3).thresholds(Thresholds::new(0.0, 0.0).unwrap());
+        let text = request.to_json().to_string();
+        let back = Request::from_json(&crate::jsonio::parse(&text).unwrap()).unwrap();
+        assert_eq!(back, request);
+        assert!(back.attrs.is_none());
+        assert!(back.cluster.is_none());
+    }
+
+    #[test]
+    fn cluster_spec_cache_token_ignores_threads_but_nothing_else() {
+        let base = ClusterSpec::default();
+        let mut threads_differ = base.clone();
+        threads_differ.bitop.threads = base.bitop.threads + 7;
+        assert_eq!(base.cache_token(), threads_differ.cache_token());
+
+        // Every canonical field must perturb the token.
+        let mut m = base.clone();
+        m.smoothing.kernel = Kernel::Gaussian3;
+        assert_ne!(base.cache_token(), m.cache_token());
+        let mut m = base.clone();
+        m.smoothing.threshold += 1e-12;
+        assert_ne!(base.cache_token(), m.cache_token());
+        let mut m = base.clone();
+        m.smoothing.passes += 1;
+        assert_ne!(base.cache_token(), m.cache_token());
+        let mut m = base.clone();
+        m.smoothing.border = BorderMode::InBounds;
+        assert_ne!(base.cache_token(), m.cache_token());
+        let mut m = base.clone();
+        m.bitop.min_area_fraction += 1e-12;
+        assert_ne!(base.cache_token(), m.cache_token());
+        let mut m = base.clone();
+        m.bitop.min_area_cells += 1;
+        assert_ne!(base.cache_token(), m.cache_token());
+        let mut m = base.clone();
+        m.bitop.max_clusters += 1;
+        assert_ne!(base.cache_token(), m.cache_token());
+    }
+
+    #[test]
+    fn cluster_spec_round_trips_and_token_matches_wire_payload() {
+        let spec = full_request().cluster.unwrap();
+        let wire = spec.to_json().to_string();
+        let back = ClusterSpec::from_json(&crate::jsonio::parse(&wire).unwrap()).unwrap();
+        // The wire payload and the cache token are the same bytes — the
+        // single-conversion-point guarantee.
+        assert_eq!(wire, spec.cache_token());
+        assert_eq!(back.cache_token(), spec.cache_token());
+        assert_eq!(back.smoothing, spec.smoothing);
+        assert_eq!(back.bitop.min_area_fraction, spec.bitop.min_area_fraction);
+        assert_eq!(back.bitop.min_area_cells, spec.bitop.min_area_cells);
+        assert_eq!(back.bitop.max_clusters, spec.bitop.max_clusters);
+    }
+
+    #[test]
+    fn conversions_to_the_thin_shapes() {
+        let request = full_request();
+        let labels = vec!["excellent".to_string(), "other".to_string()];
+        let query = request.to_query_request(&labels).unwrap();
+        assert_eq!(query.gk, 0);
+        assert_eq!(query.thresholds, request.thresholds.unwrap());
+        assert_eq!(query.deadline, request.deadline);
+        assert_eq!(query.memory_budget, request.memory_budget);
+        assert_eq!(Request::from_query_request(&query).to_query_request(&labels).unwrap().gk, 0);
+
+        let seg = request.to_segment_request().unwrap();
+        assert_eq!(seg.x_attr(), "age");
+        assert_eq!(seg.group_label(), Some("excellent"));
+        assert_eq!(seg.memory_budget_bytes(), Some(1 << 20));
+        let lifted = Request::from_segment_request(&seg);
+        assert_eq!(lifted.attrs, request.attrs);
+        assert_eq!(lifted.group, request.group);
+
+        // Missing required halves are typed errors.
+        assert!(Request::new().to_query_request(&labels).is_err());
+        assert!(Request::new().group("x").to_query_request(&labels).is_err());
+        assert!(Request::new().to_segment_request().is_err());
+        assert!(matches!(
+            Request::new().group("nope").thresholds(Thresholds::new(0.1, 0.1).unwrap())
+                .to_query_request(&labels),
+            Err(ArcsError::UnknownGroup(_))
+        ));
+        assert!(matches!(
+            Request::new().group_code(9).thresholds(Thresholds::new(0.1, 0.1).unwrap())
+                .to_query_request(&labels),
+            Err(ArcsError::UnknownGroup(_))
+        ));
+    }
+
+    #[test]
+    fn malformed_request_json_is_a_typed_error() {
+        for bad_doc in [
+            "[]",
+            r#"{"group": {}}"#,
+            r#"{"group": {"label": "a", "code": 1}}"#,
+            r#"{"group": {"code": -1}}"#,
+            r#"{"thresholds": {"min_support": 2.0, "min_confidence": 0.5}}"#,
+            r#"{"thresholds": {"min_support": 0.1}}"#,
+            r#"{"cluster": {"smoothing": {"kernel": "warp", "threshold": 0.4, "passes": 1, "border": "full_kernel"}, "bitop": {"min_area_fraction": 0, "min_area_cells": 1, "max_clusters": 1}}}"#,
+            r#"{"cluster": {}}"#,
+            r#"{"deadline_ms": -5}"#,
+            r#"{"memory_budget": 0.5}"#,
+            r#"{"attrs": {"x": "a"}}"#,
+        ] {
+            let parsed = crate::jsonio::parse(bad_doc).unwrap();
+            assert!(
+                matches!(Request::from_json(&parsed), Err(ArcsError::InvalidConfig(_))),
+                "should reject {bad_doc}"
+            );
+        }
+    }
+
+    #[test]
+    fn query_results_round_trip_bit_identically() {
+        let result = QueryResult {
+            epoch: 3,
+            rules: vec![BinnedRule {
+                x: 2,
+                y: 5,
+                group: 1,
+                support: 1.0 / 3.0,
+                confidence: 0.123_456_789_012_345_67,
+                count: 41,
+                lift: 1.7 / 0.3,
+                leverage: -0.001_234_5,
+            }],
+            clusters: Some(vec![Rect::new(1, 2, 3, 4).unwrap()]),
+            coarsening_steps: 1,
+        };
+        let text = query_result_to_json(&result).to_string();
+        let back = query_result_from_json(&crate::jsonio::parse(&text).unwrap()).unwrap();
+        assert_eq!(back, result);
+
+        let no_clusters = QueryResult { clusters: None, ..result };
+        let text = query_result_to_json(&no_clusters).to_string();
+        let back = query_result_from_json(&crate::jsonio::parse(&text).unwrap()).unwrap();
+        assert_eq!(back, no_clusters);
+    }
+}

@@ -314,14 +314,18 @@ impl AdmissionGate {
 /// entries of superseded snapshots can never be returned for a current
 /// request — active invalidation (on swap) only reclaims their memory.
 /// Threshold floats are keyed by bit pattern; the cluster configuration by
-/// its exact rendered form.
+/// its canonical encoding ([`ClusterSpec::cache_token`]) — the same bytes
+/// the wire protocol carries, so cache identity and wire payloads cannot
+/// drift. The token excludes the thread count: results are bit-identical
+/// at any thread count, so two requests differing only in threads share
+/// one entry.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 struct CacheKey {
     epoch: u64,
     gk: u32,
     support_bits: u64,
     confidence_bits: u64,
-    /// `Debug` rendering of the `(SmoothConfig, BitOpConfig)` pair, or
+    /// [`ClusterSpec::cache_token`] of the request's cluster spec, or
     /// empty for mine-only queries. Exact string equality — no hashing
     /// collisions can alias two different configurations.
     cluster: String,
@@ -338,7 +342,7 @@ impl CacheKey {
             cluster: request
                 .cluster
                 .as_ref()
-                .map(|spec| format!("{:?}|{:?}", spec.smoothing, spec.bitop))
+                .map(ClusterSpec::cache_token)
                 .unwrap_or_default(),
             coarsening_steps: plan.coarsening_steps,
         }
@@ -418,7 +422,7 @@ impl ResultCache {
 
 /// Smoothing plus clustering configuration for queries that want decoded
 /// cluster rectangles, not just rules.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct ClusterSpec {
     /// Low-pass smoothing applied to the rule grid before clustering.
     pub smoothing: SmoothConfig,
@@ -669,6 +673,19 @@ impl Server {
             lock(&self.cache).invalidate_before(next.epoch);
         }
         Ok(next.epoch)
+    }
+
+    /// Serves a canonical [`Request`](crate::request::Request): resolves
+    /// its group reference against `labels` (the criterion attribute's
+    /// labels in code order), lowers it to a [`QueryRequest`], and runs
+    /// [`query`](Server::query). This is the entry point the daemon and
+    /// CLI share — one request shape across library, wire, and CLI.
+    pub fn query_unified(
+        &self,
+        request: &crate::request::Request,
+        labels: &[String],
+    ) -> Result<QueryResponse, ArcsError> {
+        self.query(&request.to_query_request(labels)?)
     }
 
     /// Serves one request end to end: admission → cache lookup →

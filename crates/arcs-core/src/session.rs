@@ -584,6 +584,70 @@ impl Session {
         Ok(rules)
     }
 
+    /// Serves a canonical [`Request`](crate::request::Request) against
+    /// the session's owned bin array — the same request shape (and the
+    /// same mining path) the daemon serves over the wire, so a library
+    /// caller and a wire client asking the same question get bit-identical
+    /// answers.
+    ///
+    /// Requires explicit `thresholds` (threshold *search* stays on
+    /// [`segment`](Session::segment), which returns the richer
+    /// [`Segmentation`]); the group comes from the request, falling back
+    /// to the group the session was opened with. `deadline` and
+    /// `memory_budget` are serving-core admission concerns and are
+    /// ignored here — the session caller owns its own resources. The
+    /// returned result's `epoch` is 0: sessions are not epoch-versioned.
+    pub fn query(
+        &mut self,
+        request: &crate::request::Request,
+    ) -> Result<crate::serve::QueryResult, ArcsError> {
+        let thresholds = request.thresholds.ok_or_else(|| {
+            ArcsError::InvalidConfig(
+                "session query needs explicit thresholds — use segment() for \
+                 the threshold search"
+                    .into(),
+            )
+        })?;
+        let gk = match &request.group {
+            Some(group) => group.resolve(&self.labels)?,
+            None => {
+                let label = self.request_group("query")?;
+                self.group_code(&label)?
+            }
+        };
+
+        let start = Instant::now();
+        let (rules, visited) = {
+            let index = self.occupancy_index();
+            engine::mine_rules_indexed(index, gk, thresholds)
+        };
+        self.record_stage(Stage::Search, start.elapsed());
+        self.report.counters.rules_emitted += rules.len() as u64;
+        self.report.counters.cells_visited += visited;
+
+        let clusters = match &request.cluster {
+            None => None,
+            Some(spec) => {
+                let start = Instant::now();
+                let grid = engine::rule_grid(&self.array, gk, thresholds)?;
+                let smoothed = smooth(&grid, &spec.smoothing)?;
+                let (rects, stats) = bitop::cluster_with_stats(&smoothed, &spec.bitop)?;
+                self.record_stage(Stage::Search, start.elapsed());
+                self.report.counters.candidates_enumerated += stats.candidates_enumerated;
+                self.report.counters.clusters_pruned += stats.clusters_pruned;
+                Some(rects)
+            }
+        };
+        self.notify_counters();
+        self.thresholds = Some(thresholds);
+        Ok(crate::serve::QueryResult {
+            epoch: 0,
+            rules,
+            clusters,
+            coarsening_steps: self.budget_coarsening,
+        })
+    }
+
     /// Decodes cluster rectangles into [`ClusteredRule`]s with aggregate
     /// support/confidence computed from the bin array.
     fn decode(
@@ -797,10 +861,14 @@ mod tests {
         }
     }
 
+    /// The deprecated five-argument wrapper (behind `legacy-api`) must
+    /// stay a thin alias of the session path.
+    #[cfg(feature = "legacy-api")]
     #[test]
     fn session_matches_the_deprecated_entry_point() {
         let ds = blocky_dataset();
         let arcs = Arcs::new(small_config()).unwrap();
+        #[allow(deprecated)]
         let legacy = arcs.segment_dataset(&ds, "x", "y", "g", "A").unwrap();
         let mut session = arcs
             .open(&ds, SegmentRequest::new("x", "y", "g").group("A"))
@@ -1016,6 +1084,53 @@ mod tests {
         let bad = BinArray::new(3, 3, 2).unwrap();
         assert!(session.merge_delta(&bad).is_err());
         assert_eq!(session.remine(floor).unwrap(), oracle);
+    }
+
+    #[test]
+    fn unified_query_matches_server_and_remine() {
+        use crate::request::Request;
+        use crate::serve::{ServeConfig, Server};
+
+        let ds = blocky_dataset();
+        let arcs = Arcs::new(small_config()).unwrap();
+        let mut session = arcs
+            .open(&ds, SegmentRequest::new("x", "y", "g").group("A"))
+            .unwrap();
+
+        let thresholds = Thresholds::new(0.01, 0.5).unwrap();
+        let spec = crate::serve::ClusterSpec {
+            bitop: BitOpConfig::no_pruning(),
+            ..crate::serve::ClusterSpec::default()
+        };
+        let request = Request::new()
+            .group("A")
+            .thresholds(thresholds)
+            .cluster(spec.clone());
+
+        // The same request served by the serving core over the same array
+        // answers bit-identically — one schema, one mining path.
+        let server = Server::new(session.bin_array().clone(), ServeConfig::default()).unwrap();
+        let labels: Vec<String> = session.group_labels().to_vec();
+        let served = server.query_unified(&request, &labels).unwrap();
+        let local = session.query(&request).unwrap();
+        assert_eq!(local.rules, served.result.rules);
+        assert_eq!(local.clusters, served.result.clusters);
+
+        // And it agrees with the narrow-shape methods it unifies.
+        assert_eq!(local.rules, session.remine(thresholds).unwrap());
+
+        // Thresholds are required; a bad group is a typed error; the
+        // request's group falls back to the session's when omitted.
+        assert!(matches!(
+            session.query(&Request::new().group("A")),
+            Err(ArcsError::InvalidConfig(_))
+        ));
+        assert!(matches!(
+            session.query(&Request::new().group("Z").thresholds(thresholds)),
+            Err(ArcsError::UnknownGroup(_))
+        ));
+        let defaulted = session.query(&Request::new().thresholds(thresholds)).unwrap();
+        assert_eq!(defaulted.rules, local.rules);
     }
 
     #[test]

@@ -1,0 +1,209 @@
+//! A blocking `arcsd` client over one TCP connection.
+//!
+//! Wraps the frame codec into typed calls mirroring the wire ops. Every
+//! daemon-side failure surfaces as [`ClientError::Wire`] carrying the
+//! typed code, so callers (the CLI, tests) can branch on error class
+//! without string matching.
+
+use std::io::{self, BufReader, BufWriter};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+use arcs_core::jsonio::Json;
+use arcs_core::request::Request;
+use arcs_core::ArcsError;
+
+use crate::protocol::{
+    query_outcome_from_json, read_frame, split_response, write_frame, FrameError, QueryOutcome,
+    WireError, WireRequest,
+};
+
+/// Why a client call failed.
+#[derive(Debug)]
+pub enum ClientError {
+    /// The daemon answered with a typed error frame.
+    Wire(WireError),
+    /// The daemon's bytes violated the protocol (or the connection died
+    /// mid-frame).
+    Protocol(String),
+    /// A local socket error.
+    Io(io::Error),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Wire(err) => write!(f, "{err}"),
+            ClientError::Protocol(msg) => write!(f, "protocol error: {msg}"),
+            ClientError::Io(err) => write!(f, "i/o error: {err}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(err: io::Error) -> Self {
+        ClientError::Io(err)
+    }
+}
+
+impl ClientError {
+    /// The typed wire code, when the daemon sent one.
+    pub fn code(&self) -> Option<&str> {
+        match self {
+            ClientError::Wire(err) => Some(&err.code),
+            _ => None,
+        }
+    }
+}
+
+/// Metadata returned by `open`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OpenInfo {
+    /// The dataset key now bound as the connection default.
+    pub dataset: String,
+    /// Current snapshot epoch.
+    pub epoch: u64,
+    /// The criterion attribute's labels, in code order.
+    pub labels: Vec<String>,
+    /// Tuples in the current snapshot.
+    pub n_tuples: u64,
+}
+
+/// One blocking connection to an `arcsd` daemon.
+#[derive(Debug)]
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+}
+
+impl Client {
+    /// Connects to `addr`.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Self, ClientError> {
+        Self::from_stream(TcpStream::connect(addr)?)
+    }
+
+    /// Like [`connect`](Client::connect), bounding the TCP connect.
+    pub fn connect_timeout(
+        addr: &std::net::SocketAddr,
+        timeout: Duration,
+    ) -> Result<Self, ClientError> {
+        Self::from_stream(TcpStream::connect_timeout(addr, timeout)?)
+    }
+
+    fn from_stream(stream: TcpStream) -> Result<Self, ClientError> {
+        stream.set_nodelay(true)?;
+        let read_half = stream.try_clone()?;
+        Ok(Client { reader: BufReader::new(read_half), writer: BufWriter::new(stream) })
+    }
+
+    /// One request/response round trip.
+    fn call(&mut self, request: &WireRequest) -> Result<Json, ClientError> {
+        write_frame(&mut self.writer, request.to_json().to_string().as_bytes())?;
+        let payload = match read_frame(&mut self.reader) {
+            Ok(payload) => payload,
+            Err(FrameError::Closed) => {
+                return Err(ClientError::Protocol("daemon closed the connection".into()))
+            }
+            Err(FrameError::Protocol(msg)) => return Err(ClientError::Protocol(msg)),
+            Err(FrameError::Io(err)) => return Err(ClientError::Io(err)),
+        };
+        let text = std::str::from_utf8(&payload)
+            .map_err(|_| ClientError::Protocol("response is not UTF-8".into()))?;
+        let json = arcs_core::jsonio::parse(text)
+            .map_err(|err| ClientError::Protocol(format!("response is not JSON: {err}")))?;
+        split_response(json).map_err(ClientError::Wire)
+    }
+
+    /// Binds the connection's default dataset; returns its metadata.
+    pub fn open(&mut self, dataset: &str) -> Result<OpenInfo, ClientError> {
+        let body = self.call(&WireRequest::Open { dataset: dataset.to_string() })?;
+        let field = |name: &str| {
+            body.get(name)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| ClientError::Protocol(format!("open response lacks `{name}`")))
+        };
+        let labels = match body.get("labels") {
+            Some(Json::Arr(items)) => items
+                .iter()
+                .map(|item| item.as_str().map(str::to_string))
+                .collect::<Option<Vec<_>>>()
+                .unwrap_or_default(),
+            _ => Vec::new(),
+        };
+        Ok(OpenInfo {
+            dataset: dataset.to_string(),
+            epoch: field("epoch")?,
+            labels,
+            n_tuples: field("n_tuples")?,
+        })
+    }
+
+    /// Serves a unified [`Request`] against the connection's default
+    /// dataset.
+    pub fn query(&mut self, request: &Request) -> Result<QueryOutcome, ClientError> {
+        self.query_on(None, request)
+    }
+
+    /// Serves a unified [`Request`] against an explicit dataset.
+    pub fn query_on(
+        &mut self,
+        dataset: Option<&str>,
+        request: &Request,
+    ) -> Result<QueryOutcome, ClientError> {
+        let body = self.call(&WireRequest::Query {
+            dataset: dataset.map(str::to_string),
+            request: request.clone(),
+        })?;
+        query_outcome_from_json(&body).map_err(ClientError::Wire)
+    }
+
+    /// Merges header-less CSV `rows`; returns `(new epoch, rows merged)`.
+    pub fn append(
+        &mut self,
+        dataset: Option<&str>,
+        rows: &str,
+    ) -> Result<(u64, u64), ClientError> {
+        let body = self.call(&WireRequest::Append {
+            dataset: dataset.map(str::to_string),
+            rows: rows.to_string(),
+        })?;
+        let field = |name: &str| {
+            body.get(name)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| ClientError::Protocol(format!("append response lacks `{name}`")))
+        };
+        Ok((field("epoch")?, field("rows")?))
+    }
+
+    /// Fetches the dataset server's stats as the raw JSON document (the
+    /// field names mirror [`ServerStats`]).
+    ///
+    /// [`ServerStats`]: arcs_core::serve::ServerStats
+    pub fn stats(&mut self, dataset: Option<&str>) -> Result<Json, ClientError> {
+        let body = self.call(&WireRequest::Stats { dataset: dataset.map(str::to_string) })?;
+        body.get("stats")
+            .cloned()
+            .ok_or_else(|| ClientError::Protocol("stats response lacks `stats`".into()))
+    }
+
+    /// Says goodbye; the daemon closes the connection after responding.
+    pub fn close(mut self) -> Result<(), ClientError> {
+        self.call(&WireRequest::Close).map(|_| ())
+    }
+}
+
+/// Maps a typed wire code back onto the error class an in-process
+/// [`ArcsError`] caller would see. Unknown and daemon-level codes map to
+/// `None` — they have no library equivalent.
+pub fn wire_code_to_arcs(code: &str, message: &str) -> Option<ArcsError> {
+    Some(match code {
+        "DEADLINE_EXCEEDED" => ArcsError::DeadlineExceeded { stage: "wire" },
+        "OVERLOADED" => ArcsError::Overloaded { inflight: 0, queued: 0 },
+        "UNKNOWN_GROUP" => ArcsError::UnknownGroup(message.to_string()),
+        "NO_SEGMENTATION" => ArcsError::NoSegmentation,
+        "INVALID_CONFIG" => ArcsError::InvalidConfig(message.to_string()),
+        _ => return None,
+    })
+}

@@ -1,0 +1,330 @@
+//! The `arcsd` daemon: a TCP accept loop feeding a persistent
+//! connection-handler pool.
+//!
+//! One thread accepts connections and enqueues them on a bounded queue;
+//! `workers` persistent handler threads pop connections and serve frames
+//! until the peer closes, sends `close`, or violates the protocol. A
+//! handler owns at most one connection at a time, so `workers` bounds the
+//! daemon's concurrent connections; further accepted sockets wait in the
+//! queue (up to its bound, then are dropped — the TCP peer sees EOF and
+//! can retry).
+//!
+//! Failure model: per-tenant back-pressure lives in each tenant's
+//! [`AdmissionGate`] (overload and deadline errors travel back as typed
+//! wire codes); daemon-level failures are injectable at the
+//! `daemon.accept` and `daemon.frame-decode` failpoints — an accept fault
+//! drops that one connection, a decode fault fails that one frame; the
+//! daemon itself keeps serving in both cases.
+//!
+//! [`AdmissionGate`]: arcs_core::serve::AdmissionGate
+
+use std::collections::VecDeque;
+use std::io::{self, BufReader, BufWriter};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+use arcs_core::faults;
+use arcs_core::jsonio::Json;
+
+use crate::protocol::{
+    ok_response, query_response_to_json, read_frame, stats_to_json, write_frame, FrameError,
+    WireError, WireRequest, CODE_NO_DATASET, CODE_UNKNOWN_DATASET,
+};
+use crate::registry::{Registry, Tenant};
+
+/// Daemon tuning knobs.
+#[derive(Debug, Clone)]
+pub struct DaemonConfig {
+    /// Persistent connection-handler threads (= concurrent connections).
+    pub workers: usize,
+    /// Accepted connections allowed to wait for a free handler before
+    /// the daemon starts dropping new ones.
+    pub max_pending: usize,
+}
+
+impl Default for DaemonConfig {
+    fn default() -> Self {
+        DaemonConfig { workers: 4, max_pending: 64 }
+    }
+}
+
+/// Queue shared between the accept loop and the handler pool.
+#[derive(Debug, Default)]
+struct ConnQueue {
+    queue: Mutex<VecDeque<TcpStream>>,
+    ready: Condvar,
+}
+
+impl ConnQueue {
+    /// Enqueues `stream` unless the queue is full. A dropped stream is a
+    /// clean close from the peer's point of view.
+    fn push(&self, stream: TcpStream, bound: usize) {
+        let mut queue = self.queue.lock().unwrap_or_else(|p| p.into_inner());
+        if queue.len() < bound {
+            queue.push_back(stream);
+            drop(queue);
+            self.ready.notify_one();
+        }
+    }
+
+    /// Blocks until a connection is available or `running` goes false.
+    fn pop(&self, running: &AtomicBool) -> Option<TcpStream> {
+        let mut queue = self.queue.lock().unwrap_or_else(|p| p.into_inner());
+        loop {
+            if let Some(stream) = queue.pop_front() {
+                return Some(stream);
+            }
+            if !running.load(Ordering::SeqCst) {
+                return None;
+            }
+            queue = self
+                .ready
+                .wait(queue)
+                .unwrap_or_else(|p| p.into_inner());
+        }
+    }
+}
+
+/// A bound-but-not-yet-running daemon.
+#[derive(Debug)]
+pub struct Daemon {
+    listener: TcpListener,
+    registry: Arc<Registry>,
+    config: DaemonConfig,
+}
+
+impl Daemon {
+    /// Binds `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port).
+    pub fn bind(
+        addr: impl ToSocketAddrs,
+        registry: Arc<Registry>,
+        config: DaemonConfig,
+    ) -> io::Result<Daemon> {
+        let listener = TcpListener::bind(addr)?;
+        Ok(Daemon { listener, registry, config })
+    }
+
+    /// The bound address (resolves port 0 to the actual port).
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Starts the accept loop and handler pool; returns a handle that
+    /// serves until [`DaemonHandle::shutdown`].
+    pub fn spawn(self) -> io::Result<DaemonHandle> {
+        let addr = self.local_addr()?;
+        let running = Arc::new(AtomicBool::new(true));
+        let conns = Arc::new(ConnQueue::default());
+
+        let mut handlers = Vec::with_capacity(self.config.workers.max(1));
+        for i in 0..self.config.workers.max(1) {
+            let conns = Arc::clone(&conns);
+            let running = Arc::clone(&running);
+            let registry = Arc::clone(&self.registry);
+            handlers.push(
+                std::thread::Builder::new()
+                    .name(format!("arcsd-handler-{i}"))
+                    .spawn(move || {
+                        while let Some(stream) = conns.pop(&running) {
+                            // A dying connection must not take its handler
+                            // thread down with it.
+                            let _ = std::panic::catch_unwind(
+                                std::panic::AssertUnwindSafe(|| {
+                                    handle_connection(stream, &registry);
+                                }),
+                            );
+                        }
+                    })?,
+            );
+        }
+
+        let accept = {
+            let running = Arc::clone(&running);
+            let conns = Arc::clone(&conns);
+            let listener = self.listener;
+            let max_pending = self.config.max_pending.max(1);
+            std::thread::Builder::new().name("arcsd-accept".into()).spawn(move || {
+                for stream in listener.incoming() {
+                    if !running.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    let Ok(stream) = stream else { continue };
+                    // An injected accept fault drops this one connection;
+                    // the loop keeps serving.
+                    if faults::check("daemon.accept").is_err() {
+                        continue;
+                    }
+                    conns.push(stream, max_pending);
+                }
+            })?
+        };
+
+        Ok(DaemonHandle { addr, running, conns, accept, handlers })
+    }
+}
+
+/// A running daemon. Dropping the handle *without* calling
+/// [`shutdown`](DaemonHandle::shutdown) detaches the threads.
+#[derive(Debug)]
+pub struct DaemonHandle {
+    addr: SocketAddr,
+    running: Arc<AtomicBool>,
+    conns: Arc<ConnQueue>,
+    accept: JoinHandle<()>,
+    handlers: Vec<JoinHandle<()>>,
+}
+
+impl DaemonHandle {
+    /// The address the daemon serves on.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops accepting, drains the handler pool, and joins every thread.
+    /// In-queue connections that never got a handler are dropped.
+    pub fn shutdown(self) {
+        self.running.store(false, Ordering::SeqCst);
+        // Unblock the accept loop: `incoming()` has no timeout, so poke
+        // it with a throwaway connection to our own port.
+        let _ = TcpStream::connect(self.addr);
+        self.conns.ready.notify_all();
+        let _ = self.accept.join();
+        for handler in self.handlers {
+            self.conns.ready.notify_all();
+            let _ = handler.join();
+        }
+    }
+}
+
+/// Serves one connection until close / EOF / protocol violation.
+fn handle_connection(stream: TcpStream, registry: &Registry) {
+    let _ = stream.set_nodelay(true);
+    let Ok(read_half) = stream.try_clone() else { return };
+    let mut reader = BufReader::new(read_half);
+    let mut writer = BufWriter::new(stream);
+    // The connection's default dataset, bound by `open`.
+    let mut current: Option<Arc<Tenant>> = None;
+
+    loop {
+        let payload = match read_frame(&mut reader) {
+            Ok(payload) => payload,
+            Err(FrameError::Closed) => return,
+            Err(FrameError::Protocol(message)) => {
+                // Best effort: tell the peer why before hanging up. The
+                // stream may already be unusable; either way we're done.
+                let _ = send(&mut writer, &WireError::protocol(message).to_json());
+                return;
+            }
+            Err(FrameError::Io(_)) => return,
+        };
+
+        let reply = serve_frame(&payload, registry, &mut current);
+        let closing = matches!(reply.get("bye"), Some(&Json::Bool(true)));
+        if send(&mut writer, &reply).is_err() || closing {
+            return;
+        }
+    }
+}
+
+/// Decodes and executes one frame, always producing a response document.
+fn serve_frame(payload: &[u8], registry: &Registry, current: &mut Option<Arc<Tenant>>) -> Json {
+    if let Err(err) = faults::check("daemon.frame-decode") {
+        return WireError::from_arcs(&err).to_json();
+    }
+    let request = match decode_request(payload) {
+        Ok(request) => request,
+        Err(err) => return err.to_json(),
+    };
+    match execute(request, registry, current) {
+        Ok(body) => body,
+        Err(err) => err.to_json(),
+    }
+}
+
+/// Bytes → [`WireRequest`], with every failure mode a [`CODE_PROTOCOL`]
+/// error: invalid UTF-8, invalid JSON, or an invalid request shape.
+fn decode_request(payload: &[u8]) -> Result<WireRequest, WireError> {
+    let text = std::str::from_utf8(payload)
+        .map_err(|_| WireError::protocol("payload is not UTF-8"))?;
+    let json = arcs_core::jsonio::parse(text)
+        .map_err(|err| WireError::protocol(format!("payload is not JSON: {err}")))?;
+    WireRequest::from_json(&json)
+}
+
+/// Resolves the tenant a request addresses: its explicit `dataset` key,
+/// else the connection's `open`-bound default.
+fn resolve(
+    dataset: &Option<String>,
+    registry: &Registry,
+    current: &Option<Arc<Tenant>>,
+) -> Result<Arc<Tenant>, WireError> {
+    match dataset {
+        Some(name) => lookup(registry, name),
+        None => current.clone().ok_or_else(|| {
+            WireError::new(CODE_NO_DATASET, "no dataset: send `open` or name one explicitly")
+        }),
+    }
+}
+
+fn lookup(registry: &Registry, name: &str) -> Result<Arc<Tenant>, WireError> {
+    match registry.get(name) {
+        Ok(Some(tenant)) => Ok(tenant),
+        Ok(None) => Err(WireError::new(
+            CODE_UNKNOWN_DATASET,
+            format!("dataset `{name}` is not served (have: {})", registry.names().join(", ")),
+        )),
+        Err(err) => Err(WireError::from_arcs(&err)),
+    }
+}
+
+/// Executes a decoded request against the registry.
+fn execute(
+    request: WireRequest,
+    registry: &Registry,
+    current: &mut Option<Arc<Tenant>>,
+) -> Result<Json, WireError> {
+    match request {
+        WireRequest::Open { dataset } => {
+            let tenant = lookup(registry, &dataset)?;
+            let snapshot = tenant.server().snapshot();
+            let labels =
+                tenant.labels().iter().map(|l| Json::Str(l.clone())).collect::<Vec<_>>();
+            let body = ok_response(vec![
+                ("dataset", Json::Str(dataset)),
+                ("epoch", Json::Num(snapshot.epoch() as f64)),
+                ("labels", Json::Arr(labels)),
+                ("n_tuples", Json::Num(snapshot.array().n_tuples() as f64)),
+            ]);
+            *current = Some(tenant);
+            Ok(body)
+        }
+        WireRequest::Query { dataset, request } => {
+            let tenant = resolve(&dataset, registry, current)?;
+            let response = tenant
+                .server()
+                .query_unified(&request, tenant.labels())
+                .map_err(|err| WireError::from_arcs(&err))?;
+            Ok(query_response_to_json(&response))
+        }
+        WireRequest::Append { dataset, rows } => {
+            let tenant = resolve(&dataset, registry, current)?;
+            let (epoch, merged) =
+                tenant.append_csv(&rows).map_err(|err| WireError::from_arcs(&err))?;
+            Ok(ok_response(vec![
+                ("epoch", Json::Num(epoch as f64)),
+                ("rows", Json::Num(merged as f64)),
+            ]))
+        }
+        WireRequest::Stats { dataset } => {
+            let tenant = resolve(&dataset, registry, current)?;
+            Ok(ok_response(vec![("stats", stats_to_json(&tenant.server().stats()))]))
+        }
+        WireRequest::Close => Ok(ok_response(vec![("bye", Json::Bool(true))])),
+    }
+}
+
+fn send(writer: &mut impl io::Write, body: &Json) -> io::Result<()> {
+    write_frame(writer, body.to_string().as_bytes())
+}

@@ -1,0 +1,163 @@
+//! Streaming-append feeder: tails a growing CSV file into periodic
+//! copy-on-write `append` delta merges on a tenant.
+//!
+//! The feeder starts at the file's current end (classic `tail -f`
+//! semantics: pre-existing rows are assumed to be the dataset the tenant
+//! was built from) and polls on a fixed interval. Each tick reads the
+//! newly appended bytes, keeps only *complete* lines (a partially
+//! written last line stays buffered on disk until its newline arrives),
+//! and merges them as one batch via [`Tenant::append_csv`].
+//!
+//! Failure model, per tick:
+//! * **Injected fault** (`daemon.feeder-merge` failpoint) or **I/O
+//!   error**: nothing is consumed; the same bytes are retried next tick.
+//! * **Malformed batch**: the batch is rejected atomically by
+//!   [`Tenant::append_csv`]; the feeder *skips* it (advancing past the
+//!   poison rows, counting them in [`FeederStats::batches_failed`])
+//!   rather than retrying forever — a poison row must not wedge the
+//!   feed.
+//! * **Truncated file**: the offset resets to the new end; tailing
+//!   resumes from there.
+
+use std::io::{Read, Seek, SeekFrom};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use arcs_core::faults;
+
+use crate::registry::Tenant;
+
+/// Monotonic counters of a feeder's lifetime, readable while it runs.
+#[derive(Debug, Default)]
+pub struct FeederStats {
+    /// Rows merged into the tenant.
+    pub rows_merged: AtomicU64,
+    /// Batches merged (snapshot swaps caused).
+    pub batches_merged: AtomicU64,
+    /// Batches rejected for malformed content and skipped.
+    pub batches_failed: AtomicU64,
+    /// Ticks retried after an injected fault or I/O error.
+    pub retries: AtomicU64,
+}
+
+/// A running feeder thread.
+#[derive(Debug)]
+pub struct Feeder {
+    stop: Arc<AtomicBool>,
+    stats: Arc<FeederStats>,
+    handle: JoinHandle<()>,
+}
+
+impl Feeder {
+    /// Starts tailing `path` into `tenant` every `interval`.
+    pub fn spawn(
+        tenant: Arc<Tenant>,
+        path: PathBuf,
+        interval: Duration,
+    ) -> std::io::Result<Feeder> {
+        let stop = Arc::new(AtomicBool::new(false));
+        let stats = Arc::new(FeederStats::default());
+        // Start at the current end: rows already present are the
+        // tenant's epoch-0 data, not a delta.
+        let mut offset = std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
+
+        let handle = {
+            let stop = Arc::clone(&stop);
+            let stats = Arc::clone(&stats);
+            std::thread::Builder::new().name("arcsd-feeder".into()).spawn(move || {
+                while !stop.load(Ordering::SeqCst) {
+                    std::thread::sleep(interval);
+                    offset = tick(&tenant, &path, offset, &stats);
+                }
+            })?
+        };
+        Ok(Feeder { stop, stats, handle })
+    }
+
+    /// The feeder's live counters.
+    pub fn stats(&self) -> &FeederStats {
+        &self.stats
+    }
+
+    /// Stops the tail loop and joins the thread.
+    pub fn stop(self) {
+        self.stop.store(true, Ordering::SeqCst);
+        let _ = self.handle.join();
+    }
+}
+
+/// One poll: merge complete new lines, returning the next offset.
+fn tick(tenant: &Tenant, path: &PathBuf, offset: u64, stats: &FeederStats) -> u64 {
+    let len = match std::fs::metadata(path) {
+        Ok(meta) => meta.len(),
+        Err(_) => {
+            stats.retries.fetch_add(1, Ordering::Relaxed);
+            return offset;
+        }
+    };
+    if len < offset {
+        // The file was truncated or replaced; resume tailing at its end.
+        return len;
+    }
+    if len == offset {
+        return offset;
+    }
+    let text = match read_from(path, offset, (len - offset) as usize) {
+        Ok(bytes) => bytes,
+        Err(_) => {
+            stats.retries.fetch_add(1, Ordering::Relaxed);
+            return offset;
+        }
+    };
+    // Only complete lines: everything up to (and including) the last
+    // newline. A mid-write tail stays on disk for the next tick.
+    let Some(end) = text.iter().rposition(|&b| b == b'\n') else {
+        return offset;
+    };
+    let batch = &text[..=end];
+    let consumed = offset + batch.len() as u64;
+    let Ok(batch) = std::str::from_utf8(batch) else {
+        // Binary garbage can never parse; skip it rather than wedge.
+        stats.batches_failed.fetch_add(1, Ordering::Relaxed);
+        return consumed;
+    };
+    if batch.bytes().all(|b| b == b'\n') {
+        return consumed;
+    }
+    if faults::check("daemon.feeder-merge").is_err() {
+        // Injected fault: consume nothing, retry the identical batch.
+        stats.retries.fetch_add(1, Ordering::Relaxed);
+        return offset;
+    }
+    match tenant.append_csv(batch) {
+        Ok((_epoch, rows)) => {
+            stats.rows_merged.fetch_add(rows, Ordering::Relaxed);
+            stats.batches_merged.fetch_add(1, Ordering::Relaxed);
+        }
+        Err(err) => {
+            eprintln!("arcsd feeder: skipping bad batch from {}: {err}", path.display());
+            stats.batches_failed.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+    consumed
+}
+
+fn read_from(path: &PathBuf, offset: u64, len: usize) -> std::io::Result<Vec<u8>> {
+    let mut file = std::fs::File::open(path)?;
+    file.seek(SeekFrom::Start(offset))?;
+    let mut buf = vec![0u8; len];
+    let mut filled = 0;
+    while filled < buf.len() {
+        match file.read(&mut buf[filled..]) {
+            Ok(0) => break,
+            Ok(n) => filled += n,
+            Err(err) if err.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(err) => return Err(err),
+        }
+    }
+    buf.truncate(filled);
+    Ok(buf)
+}

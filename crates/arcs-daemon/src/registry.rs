@@ -1,0 +1,250 @@
+//! Multi-dataset tenancy: one serving core per dataset key.
+//!
+//! Each [`Tenant`] owns the full serving stack for one dataset — the
+//! [`Binner`] that maps tuples to grid cells, the criterion's label
+//! table, the originating [`Schema`] (needed to parse appended CSV rows),
+//! and the epoch-versioned [`Server`] with its own admission gate and
+//! result cache. Tenants are independent: overload or appends on one
+//! dataset never block queries on another.
+//!
+//! The [`Registry`] is the daemon's name → tenant map. Lookups pass the
+//! `daemon.tenant-lookup` failpoint, so fault schedules can reject
+//! resolution without touching the tenants themselves.
+
+use std::collections::BTreeMap;
+use std::sync::{Arc, RwLock};
+
+use arcs_core::faults;
+use arcs_core::serve::{ServeConfig, Server};
+use arcs_core::{ArcsError, Binner};
+use arcs_data::{AttrKind, Dataset, Schema};
+
+/// How to build a tenant from a dataset.
+#[derive(Debug, Clone)]
+pub struct TenantConfig {
+    /// X-axis (LHS) attribute name.
+    pub x: String,
+    /// Y-axis (LHS) attribute name.
+    pub y: String,
+    /// Criterion (RHS) attribute name; must be categorical.
+    pub criterion: String,
+    /// Number of x bins.
+    pub n_x_bins: usize,
+    /// Number of y bins.
+    pub n_y_bins: usize,
+    /// Threads for the initial binning pass (results are bit-identical
+    /// at any thread count).
+    pub threads: usize,
+    /// The tenant server's serving configuration (admission, deadline,
+    /// retries, cache).
+    pub serve: ServeConfig,
+}
+
+impl TenantConfig {
+    /// A config binning `(x, y)` against `criterion` on the paper's
+    /// default 50×50 grid with default serving limits.
+    pub fn new(x: &str, y: &str, criterion: &str) -> Self {
+        TenantConfig {
+            x: x.to_string(),
+            y: y.to_string(),
+            criterion: criterion.to_string(),
+            n_x_bins: 50,
+            n_y_bins: 50,
+            threads: std::thread::available_parallelism().map_or(1, |n| n.get()),
+            serve: ServeConfig::default(),
+        }
+    }
+}
+
+/// One dataset's serving stack.
+#[derive(Debug)]
+pub struct Tenant {
+    name: String,
+    schema: Schema,
+    binner: Binner,
+    labels: Vec<String>,
+    server: Server,
+}
+
+impl Tenant {
+    /// Bins `dataset` once and stands up a [`Server`] holding the result
+    /// as its epoch-0 snapshot.
+    pub fn from_dataset(
+        name: &str,
+        dataset: &Dataset,
+        config: &TenantConfig,
+    ) -> Result<Self, ArcsError> {
+        let schema = dataset.schema().clone();
+        let labels = criterion_labels(&schema, &config.criterion)?;
+        let binner = Binner::equi_width(
+            &schema,
+            &config.x,
+            &config.y,
+            &config.criterion,
+            config.n_x_bins,
+            config.n_y_bins,
+        )?;
+        let array = binner.bin_rows_parallel(dataset.rows(), config.threads.max(1))?;
+        let server = Server::new(array, config.serve.clone())?;
+        Ok(Tenant { name: name.to_string(), schema, binner, labels, server })
+    }
+
+    /// The dataset key this tenant serves.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The schema appended CSV rows must conform to.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// The binner mapping tuples into the tenant's grid.
+    pub fn binner(&self) -> &Binner {
+        &self.binner
+    }
+
+    /// The criterion attribute's labels, in code order.
+    pub fn labels(&self) -> &[String] {
+        &self.labels
+    }
+
+    /// The tenant's serving core.
+    pub fn server(&self) -> &Server {
+        &self.server
+    }
+
+    /// Parses header-less CSV `rows` against the tenant's schema, bins
+    /// them into a delta array, and merges it as a copy-on-write snapshot
+    /// swap. Returns the new epoch and the number of rows merged. The
+    /// whole batch is rejected on the first malformed row — a partial
+    /// merge would leave the epoch unreproducible.
+    pub fn append_csv(&self, rows: &str) -> Result<(u64, u64), ArcsError> {
+        let header: Vec<&str> =
+            self.schema.attributes().iter().map(|a| a.name.as_str()).collect();
+        let text = format!("{}\n{}", header.join(","), rows);
+        let delta_ds = arcs_data::csv::read_csv(self.schema.clone(), text.as_bytes())
+            .map_err(ArcsError::Data)?;
+        let delta = self.binner.bin_rows(delta_ds.iter())?;
+        let epoch = self.server.append(&delta)?;
+        Ok((epoch, delta_ds.len() as u64))
+    }
+}
+
+/// Extracts the criterion attribute's label table.
+fn criterion_labels(schema: &Schema, criterion: &str) -> Result<Vec<String>, ArcsError> {
+    let attr = schema
+        .attributes()
+        .iter()
+        .find(|a| a.name == criterion)
+        .ok_or_else(|| {
+            ArcsError::InvalidConfig(format!("criterion attribute `{criterion}` does not exist"))
+        })?;
+    match &attr.kind {
+        AttrKind::Categorical { labels } => Ok(labels.clone()),
+        AttrKind::Quantitative { .. } => Err(ArcsError::AttributeKind {
+            attribute: criterion.to_string(),
+            expected: "categorical",
+        }),
+    }
+}
+
+/// The daemon's dataset-key → tenant map.
+#[derive(Debug, Default)]
+pub struct Registry {
+    tenants: RwLock<BTreeMap<String, Arc<Tenant>>>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// Registers (or replaces) a tenant under its name.
+    pub fn insert(&self, tenant: Tenant) -> Arc<Tenant> {
+        let tenant = Arc::new(tenant);
+        let mut map = self.tenants.write().unwrap_or_else(|p| p.into_inner());
+        map.insert(tenant.name().to_string(), Arc::clone(&tenant));
+        tenant
+    }
+
+    /// Resolves a dataset key. `Ok(None)` means the name is not served;
+    /// the `daemon.tenant-lookup` failpoint can inject a typed error.
+    pub fn get(&self, name: &str) -> Result<Option<Arc<Tenant>>, ArcsError> {
+        faults::check("daemon.tenant-lookup")?;
+        let map = self.tenants.read().unwrap_or_else(|p| p.into_inner());
+        Ok(map.get(name).cloned())
+    }
+
+    /// The registered dataset keys, sorted.
+    pub fn names(&self) -> Vec<String> {
+        let map = self.tenants.read().unwrap_or_else(|p| p.into_inner());
+        map.keys().cloned().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use arcs_data::{Attribute, Value};
+
+    fn tiny_dataset() -> Dataset {
+        let schema = Schema::new(vec![
+            Attribute::quantitative("x", 0.0, 10.0),
+            Attribute::quantitative("y", 0.0, 10.0),
+            Attribute::categorical("g", ["A", "other"]),
+        ])
+        .unwrap();
+        let mut ds = Dataset::new(schema);
+        for i in 0..100 {
+            let (x, y) = ((i % 10) as f64 + 0.5, ((i / 10) % 10) as f64 + 0.5);
+            let g = u32::from(!(2.0..5.0).contains(&x) || !(2.0..5.0).contains(&y));
+            ds.push(vec![Value::Quant(x), Value::Quant(y), Value::Cat(g)]).unwrap();
+        }
+        ds
+    }
+
+    fn tiny_config() -> TenantConfig {
+        TenantConfig { n_x_bins: 10, n_y_bins: 10, ..TenantConfig::new("x", "y", "g") }
+    }
+
+    #[test]
+    fn tenants_register_resolve_and_append() {
+        let registry = Registry::new();
+        let ds = tiny_dataset();
+        registry.insert(Tenant::from_dataset("tiny", &ds, &tiny_config()).unwrap());
+
+        assert_eq!(registry.names(), vec!["tiny".to_string()]);
+        assert!(registry.get("nope").unwrap().is_none());
+
+        let tenant = registry.get("tiny").unwrap().unwrap();
+        assert_eq!(tenant.labels(), ["A".to_string(), "other".to_string()]);
+        assert_eq!(tenant.server().snapshot().epoch(), 0);
+
+        let (epoch, rows) = tenant.append_csv("2.5,2.5,A\n3.5,3.5,A\n").unwrap();
+        assert_eq!((epoch, rows), (1, 2));
+        assert_eq!(tenant.server().snapshot().epoch(), 1);
+    }
+
+    #[test]
+    fn appends_reject_malformed_batches_atomically() {
+        let ds = tiny_dataset();
+        let tenant = Tenant::from_dataset("tiny", &ds, &tiny_config()).unwrap();
+        let before = tenant.server().snapshot();
+        let err = tenant.append_csv("2.5,2.5,A\nnot-a-number,3.5,A\n").unwrap_err();
+        assert!(matches!(err, ArcsError::Data(_)), "{err}");
+        // The good first row must not have been merged.
+        let after = tenant.server().snapshot();
+        assert_eq!(after.epoch(), before.epoch());
+        assert_eq!(after.checksum(), before.checksum());
+    }
+
+    #[test]
+    fn quantitative_criteria_are_rejected() {
+        let ds = tiny_dataset();
+        let err =
+            Tenant::from_dataset("tiny", &ds, &TenantConfig::new("x", "g", "y")).unwrap_err();
+        assert!(matches!(err, ArcsError::AttributeKind { .. }), "{err}");
+    }
+}

@@ -1,0 +1,100 @@
+//! Property tests for the wire codec: encode/decode round-trips, and
+//! "never panic, always a typed error" over truncated, oversized, and
+//! garbage frames.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+use arcs_core::engine::Thresholds;
+use arcs_core::jsonio;
+use arcs_core::request::Request;
+use arcs_daemon::protocol::{
+    read_frame, write_frame, FrameError, WireRequest, CODE_PROTOCOL, HEADER_LEN, MAGIC, VERSION,
+};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Any payload round-trips through one frame exactly.
+    #[test]
+    fn payloads_round_trip(payload in vec(any::<u8>(), 0..2048)) {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &payload).unwrap();
+        prop_assert_eq!(wire.len(), HEADER_LEN + payload.len());
+        let back = read_frame(&mut &wire[..]).unwrap();
+        prop_assert_eq!(back, payload);
+    }
+
+    /// Arbitrary bytes never panic the decoder: they decode as a frame,
+    /// a clean close, or a typed frame error.
+    #[test]
+    fn garbage_never_panics(bytes in vec(any::<u8>(), 0..64)) {
+        match read_frame(&mut &bytes[..]) {
+            Ok(_) | Err(FrameError::Closed) | Err(FrameError::Protocol(_)) => {}
+            Err(FrameError::Io(err)) => prop_assert!(false, "io error from memory: {err}"),
+        }
+    }
+
+    /// Every strict prefix of a valid frame is a protocol error (cut
+    /// connection), never a panic and never a silent success.
+    #[test]
+    fn truncated_frames_are_protocol_errors(cut_fraction in 0u8..100) {
+        let request = WireRequest::Open { dataset: "trades".into() };
+        let mut wire = Vec::new();
+        write_frame(&mut wire, request.to_json().to_string().as_bytes()).unwrap();
+        let cut = 1 + (cut_fraction as usize * (wire.len() - 2)) / 100;
+        prop_assert!(cut < wire.len());
+        let err = read_frame(&mut &wire[..cut]).unwrap_err();
+        prop_assert!(matches!(err, FrameError::Protocol(_)), "cut {cut}: {err}");
+    }
+
+    /// A header advertising more payload than [`MAX_FRAME`] is rejected
+    /// before any allocation happens.
+    #[test]
+    fn oversized_lengths_are_rejected(extra in 1u32..=u32::MAX - (8 << 20)) {
+        let len = (8u32 << 20) + extra;
+        let mut wire = Vec::new();
+        wire.extend_from_slice(&MAGIC);
+        wire.push(VERSION);
+        wire.push(0);
+        wire.extend_from_slice(&len.to_be_bytes());
+        let err = read_frame(&mut &wire[..]).unwrap_err();
+        prop_assert!(matches!(err, FrameError::Protocol(_)), "{err}");
+    }
+
+    /// Query requests with arbitrary finite thresholds survive the wire
+    /// bit-identically (floats included).
+    #[test]
+    fn query_requests_round_trip(
+        support_millis in 0u32..=1000,
+        confidence_millis in 0u32..=1000,
+        code in 0u32..8,
+    ) {
+        let thresholds = Thresholds::new(
+            support_millis as f64 / 1000.0,
+            confidence_millis as f64 / 1000.0,
+        ).unwrap();
+        let request = WireRequest::Query {
+            dataset: Some("d".into()),
+            request: Request::new().group_code(code).thresholds(thresholds),
+        };
+        let mut wire = Vec::new();
+        write_frame(&mut wire, request.to_json().to_string().as_bytes()).unwrap();
+        let payload = read_frame(&mut &wire[..]).unwrap();
+        let json = jsonio::parse(std::str::from_utf8(&payload).unwrap()).unwrap();
+        prop_assert_eq!(WireRequest::from_json(&json).unwrap(), request);
+    }
+
+    /// Arbitrary JSON documents fed to the request parser yield a typed
+    /// PROTOCOL error or a valid request — never a panic.
+    #[test]
+    fn arbitrary_json_documents_never_panic_the_request_parser(
+        text in "[a-z{}\\[\\]\",:0-9.]{0,40}",
+    ) {
+        if let Ok(json) = jsonio::parse(&text) {
+            if let Err(err) = WireRequest::from_json(&json) {
+                prop_assert_eq!(err.code.as_str(), CODE_PROTOCOL, "{}", text);
+            }
+        }
+    }
+}

@@ -40,7 +40,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let (x_attr, y_attr) = (&x_attr, &y_attr);
 
         let arcs = Arcs::with_defaults();
-        match arcs.segment_dataset(&train, x_attr, y_attr, "group", "A") {
+        let request = SegmentRequest::new(x_attr.as_str(), y_attr.as_str(), "group").group("A");
+        match arcs.open(&train, request).and_then(|mut s| s.segment()) {
             Ok(seg) => {
                 let binner = Binner::equi_width(
                     train.schema(),

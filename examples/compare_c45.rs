@@ -22,7 +22,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // --- ARCS -----------------------------------------------------------
     let t0 = Instant::now();
     let arcs = Arcs::with_defaults();
-    let seg = arcs.segment_dataset(&train, "age", "salary", "group", "A")?;
+    let mut session = arcs.open(&train, SegmentRequest::new("age", "salary", "group").group("A"))?;
+    let seg = session.segment()?;
     let arcs_time = t0.elapsed();
 
     // Error on held-out data: a tuple is misclassified when cluster

@@ -75,7 +75,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // data (§3.1).
     let arcs = Arcs::with_defaults();
     for rating in ["excellent", "above_average"] {
-        let seg = arcs.segment_dataset(&customers, &x_attr, &y_attr, "rating", rating)?;
+        let request =
+            SegmentRequest::new(x_attr.as_str(), y_attr.as_str(), "rating").group(rating);
+        let seg = arcs.open(&customers, request)?.segment()?;
         println!("\nsegmentation for rating = {rating}:");
         for rule in &seg.rules {
             println!(

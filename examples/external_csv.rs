@@ -62,13 +62,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 2. Load and segment.
     let dataset = read_csv(schema, csv_text.as_bytes())?;
     let arcs = Arcs::with_defaults();
-    let seg = arcs.segment_dataset(
-        &dataset,
-        "monthly_usage_gb",
-        "tenure_months",
-        "tier",
-        "premium",
-    )?;
+    let request =
+        SegmentRequest::new("monthly_usage_gb", "tenure_months", "tier").group("premium");
+    let seg = arcs.open(&dataset, request)?.segment()?;
 
     println!("\nsegmentation for tier = premium:");
     for rule in &seg.rules {

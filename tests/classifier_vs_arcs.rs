@@ -18,7 +18,7 @@ fn both_systems_learn_f2_without_noise() {
     let (train, test) = workload(15_000, 0.0, 1);
 
     let arcs = Arcs::with_defaults();
-    let seg = arcs.segment_dataset(&train, "age", "salary", "group", "A").unwrap();
+    let seg = arcs.open(&train, SegmentRequest::new("age", "salary", "group").group("A")).unwrap().segment().unwrap();
     let binner =
         Binner::equi_width(train.schema(), "age", "salary", "group", 50, 50).unwrap();
     let arcs_err = verify_tuples(&seg.clusters, &binner, test.iter(), 0).rate();
@@ -36,7 +36,7 @@ fn c45_produces_many_more_rules_than_arcs() {
     let (train, _test) = workload(15_000, 0.10, 2);
 
     let arcs = Arcs::with_defaults();
-    let seg = arcs.segment_dataset(&train, "age", "salary", "group", "A").unwrap();
+    let seg = arcs.open(&train, SegmentRequest::new("age", "salary", "group").group("A")).unwrap().segment().unwrap();
 
     let tree = DecisionTree::train(&train, "group", TreeConfig::default()).unwrap();
     let rules = RuleSet::from_tree(&tree, &train, RulesConfig::default()).unwrap();
@@ -56,7 +56,7 @@ fn with_outliers_arcs_is_competitive() {
     let (train, test) = workload(20_000, 0.10, 3);
 
     let arcs = Arcs::with_defaults();
-    let seg = arcs.segment_dataset(&train, "age", "salary", "group", "A").unwrap();
+    let seg = arcs.open(&train, SegmentRequest::new("age", "salary", "group").group("A")).unwrap().segment().unwrap();
     let binner =
         Binner::equi_width(train.schema(), "age", "salary", "group", 50, 50).unwrap();
     let arcs_err = verify_tuples(&seg.clusters, &binner, test.iter(), 0).rate();
@@ -90,7 +90,7 @@ fn sliq_baseline_matches_c45_accuracy() {
     );
 
     let arcs = Arcs::with_defaults();
-    let seg = arcs.segment_dataset(&train, "age", "salary", "group", "A").unwrap();
+    let seg = arcs.open(&train, SegmentRequest::new("age", "salary", "group").group("A")).unwrap().segment().unwrap();
     assert!(
         sliq.n_leaves() > 3 * seg.rules.len(),
         "SLIQ {} leaves vs ARCS {} rules",

@@ -10,7 +10,7 @@ fn identical_seeds_reproduce_identical_segmentations() {
         let mut gen = AgrawalGenerator::new(GeneratorConfig::paper_defaults(seed)).unwrap();
         let ds = gen.generate(10_000);
         let arcs = Arcs::with_defaults();
-        arcs.segment_dataset(&ds, "age", "salary", "group", "A").unwrap()
+        arcs.open(&ds, SegmentRequest::new("age", "salary", "group").group("A")).unwrap().segment().unwrap()
     };
     let a = run(123);
     let b = run(123);
@@ -23,7 +23,7 @@ fn different_data_seeds_still_recover_three_rules() {
         let mut gen = AgrawalGenerator::new(GeneratorConfig::paper_defaults(seed)).unwrap();
         let ds = gen.generate(25_000);
         let arcs = Arcs::with_defaults();
-        let seg = arcs.segment_dataset(&ds, "age", "salary", "group", "A").unwrap();
+        let seg = arcs.open(&ds, SegmentRequest::new("age", "salary", "group").group("A")).unwrap().segment().unwrap();
         assert_eq!(
             seg.rules.len(),
             3,
@@ -39,11 +39,15 @@ fn sampling_seed_changes_only_the_sample() {
     let ds = gen.generate(15_000);
     let seg_a = Arcs::new(ArcsConfig { seed: 1, ..ArcsConfig::default() })
         .unwrap()
-        .segment_dataset(&ds, "age", "salary", "group", "A")
+        .open(&ds, SegmentRequest::new("age", "salary", "group").group("A"))
+        .unwrap()
+        .segment()
         .unwrap();
     let seg_b = Arcs::new(ArcsConfig { seed: 2, ..ArcsConfig::default() })
         .unwrap()
-        .segment_dataset(&ds, "age", "salary", "group", "A")
+        .open(&ds, SegmentRequest::new("age", "salary", "group").group("A"))
+        .unwrap()
+        .segment()
         .unwrap();
     // The data and therefore the candidate grids are identical; different
     // verification samples may pick slightly different thresholds but the

@@ -14,7 +14,7 @@ fn arcs_recovers_f2_disjuncts_with_low_region_error() {
     let mut gen = AgrawalGenerator::new(GeneratorConfig::paper_defaults(1)).unwrap();
     let ds = gen.generate(30_000);
     let arcs = Arcs::with_defaults();
-    let seg = arcs.segment_dataset(&ds, "age", "salary", "group", "A").unwrap();
+    let seg = arcs.open(&ds, SegmentRequest::new("age", "salary", "group").group("A")).unwrap().segment().unwrap();
     assert_eq!(seg.rules.len(), 3);
 
     let binner = Binner::equi_width(ds.schema(), "age", "salary", "group", 50, 50).unwrap();
@@ -40,7 +40,7 @@ fn arcs_withstands_ten_percent_outliers() {
         AgrawalGenerator::new(GeneratorConfig::paper_defaults_with_outliers(2)).unwrap();
     let ds = gen.generate(30_000);
     let arcs = Arcs::with_defaults();
-    let seg = arcs.segment_dataset(&ds, "age", "salary", "group", "A").unwrap();
+    let seg = arcs.open(&ds, SegmentRequest::new("age", "salary", "group").group("A")).unwrap().segment().unwrap();
     assert_eq!(
         seg.rules.len(),
         3,
@@ -60,17 +60,16 @@ fn stream_and_dataset_paths_agree() {
     let mut gen = AgrawalGenerator::new(GeneratorConfig::paper_defaults(3)).unwrap();
     let ds = gen.generate(15_000);
     let arcs = Arcs::with_defaults();
-    let by_dataset = arcs.segment_dataset(&ds, "age", "salary", "group", "A").unwrap();
+    let by_dataset = arcs.open(&ds, SegmentRequest::new("age", "salary", "group").group("A")).unwrap().segment().unwrap();
     let by_stream = arcs
-        .segment_stream(
+        .open_stream(
             ds.schema(),
             ds.iter().cloned(),
-            "age",
-            "salary",
-            "group",
-            "A",
+            SegmentRequest::new("age", "salary", "group").group("A"),
             &ds,
         )
+        .unwrap()
+        .segment()
         .unwrap();
     assert_eq!(by_dataset.clusters, by_stream.clusters);
     assert_eq!(by_dataset.thresholds, by_stream.thresholds);
@@ -83,8 +82,8 @@ fn other_group_segmentation_is_complementary() {
     let mut gen = AgrawalGenerator::new(GeneratorConfig::paper_defaults(4)).unwrap();
     let ds = gen.generate(20_000);
     let arcs = Arcs::with_defaults();
-    let a = arcs.segment_dataset(&ds, "age", "salary", "group", "A").unwrap();
-    let other = arcs.segment_dataset(&ds, "age", "salary", "group", "other").unwrap();
+    let a = arcs.open(&ds, SegmentRequest::new("age", "salary", "group").group("A")).unwrap().segment().unwrap();
+    let other = arcs.open(&ds, SegmentRequest::new("age", "salary", "group").group("other")).unwrap().segment().unwrap();
     assert!(!a.rules.is_empty());
     assert!(!other.rules.is_empty());
     // The "other" clusters should avoid the A disjunct cores.
@@ -131,7 +130,11 @@ fn categorical_segmentation_on_agrawal_data() {
 fn three_way_profitability_segmentation() {
     let ds = arcs::data::generator::generate_three_way(40_000, 0.05, 13).unwrap();
     let arcs = Arcs::with_defaults();
-    let all = arcs.segment_all_groups(&ds, "age", "salary", "rating").unwrap();
+    let all = arcs
+        .open(&ds, SegmentRequest::new("age", "salary", "rating"))
+        .unwrap()
+        .segment_all()
+        .unwrap();
     assert_eq!(all.len(), 3);
 
     let excellent = all
@@ -175,7 +178,7 @@ fn segmentation_diagnostics_are_consistent() {
     let mut gen = AgrawalGenerator::new(GeneratorConfig::paper_defaults(6)).unwrap();
     let ds = gen.generate(10_000);
     let arcs = Arcs::with_defaults();
-    let seg = arcs.segment_dataset(&ds, "age", "salary", "group", "A").unwrap();
+    let seg = arcs.open(&ds, SegmentRequest::new("age", "salary", "group").group("A")).unwrap().segment().unwrap();
     assert_eq!(seg.score.n_clusters, seg.clusters.len());
     assert_eq!(seg.rules.len(), seg.clusters.len());
     assert_eq!(seg.score.errors, seg.errors.total());

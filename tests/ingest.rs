@@ -181,11 +181,16 @@ fn interrupted_bin_stream_resumes_bit_identical() {
     // an in-memory run over the full dataset.
     let config = ArcsConfig { n_x_bins: 30, n_y_bins: 30, ..ArcsConfig::default() };
     let arcs = Arcs::new(config).unwrap();
+    let request = || SegmentRequest::new("age", "salary", "group").group("A");
     let from_resumed = arcs
-        .segment_binned(&resumed, &binner, &ds, "age", "salary", "group", "A")
+        .open_binned(resumed.clone(), binner.clone(), &ds, request())
+        .unwrap()
+        .segment()
         .unwrap();
     let from_reference = arcs
-        .segment_binned(&reference, &binner, &ds, "age", "salary", "group", "A")
+        .open_binned(reference.clone(), binner.clone(), &ds, request())
+        .unwrap()
+        .segment()
         .unwrap();
     assert_eq!(from_resumed, from_reference);
 
@@ -223,7 +228,7 @@ fn too_tight_thresholds_degrade_instead_of_failing() {
         threads: 1,
     };
     let arcs = Arcs::new(config.clone()).unwrap();
-    let seg = arcs.segment_dataset(&ds, "x", "y", "g", "A").unwrap();
+    let seg = arcs.open(&ds, SegmentRequest::new("x", "y", "g").group("A")).unwrap().segment().unwrap();
     assert!(seg.degraded);
     assert!(!seg.relaxation_steps.is_empty());
     assert!(!seg.clusters.is_empty());
@@ -232,7 +237,9 @@ fn too_tight_thresholds_degrade_instead_of_failing() {
     config.degrade_on_no_segmentation = false;
     let strict = Arcs::new(config).unwrap();
     assert!(matches!(
-        strict.segment_dataset(&ds, "x", "y", "g", "A"),
+        strict
+            .open(&ds, SegmentRequest::new("x", "y", "g").group("A"))
+            .and_then(|mut s| s.segment()),
         Err(ArcsError::NoSegmentation)
     ));
 }

@@ -44,8 +44,8 @@ fn combining_two_2d_segmentations_recovers_a_3d_box() {
     let config = ArcsConfig { n_x_bins: 10, n_y_bins: 10, ..ArcsConfig::default() };
     let arcs = Arcs::new(config).unwrap();
 
-    let seg_ab = arcs.segment_dataset(&ds, "a", "b", "g", "X").unwrap();
-    let seg_bc = arcs.segment_dataset(&ds, "b", "c", "g", "X").unwrap();
+    let seg_ab = arcs.open(&ds, SegmentRequest::new("a", "b", "g").group("X")).unwrap().segment().unwrap();
+    let seg_bc = arcs.open(&ds, SegmentRequest::new("b", "c", "g").group("X")).unwrap().segment().unwrap();
     assert!(!seg_ab.rules.is_empty());
     assert!(!seg_bc.rules.is_empty());
 
@@ -96,8 +96,8 @@ fn csv_roundtrip_preserves_segmentation() {
     assert_eq!(reloaded.len(), ds.len());
 
     let arcs = Arcs::with_defaults();
-    let original = arcs.segment_dataset(&ds, "age", "salary", "group", "A").unwrap();
-    let roundtrip = arcs.segment_dataset(&reloaded, "age", "salary", "group", "A").unwrap();
+    let original = arcs.open(&ds, SegmentRequest::new("age", "salary", "group").group("A")).unwrap().segment().unwrap();
+    let roundtrip = arcs.open(&reloaded, SegmentRequest::new("age", "salary", "group").group("A")).unwrap().segment().unwrap();
     // CSV stores full f64 precision (`{}` formatting), so clusters must be
     // identical.
     assert_eq!(original.clusters, roundtrip.clusters);

@@ -10,7 +10,7 @@ use arcs::prelude::*;
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(32))]
 
-    /// Random small datasets with mixed structure: `segment_dataset`
+    /// Random small datasets with mixed structure: the session pipeline
     /// always returns `Ok` or a typed `Err` and upholds its output
     /// invariants when it succeeds.
     #[test]
@@ -34,7 +34,9 @@ proptest! {
             sample_size,
             ..ArcsConfig::default()
         }).unwrap();
-        match arcs.segment_dataset(&ds, "x", "y", "g", "A") {
+        match arcs.open(&ds, SegmentRequest::new("x", "y", "g").group("A"))
+            .and_then(|mut s| s.segment())
+        {
             Ok(seg) => {
                 prop_assert_eq!(seg.rules.len(), seg.clusters.len());
                 prop_assert_eq!(seg.n_tuples, rows.len() as u64);
@@ -84,7 +86,9 @@ proptest! {
             },
             ..ArcsConfig::default()
         }).unwrap();
-        match arcs.segment_dataset(&ds, "x", "y", "g", "A") {
+        match arcs.open(&ds, SegmentRequest::new("x", "y", "g").group("A"))
+            .and_then(|mut s| s.segment())
+        {
             Ok(_) | Err(ArcsError::NoSegmentation) => {}
             Err(other) => prop_assert!(false, "unexpected error {other}"),
         }
