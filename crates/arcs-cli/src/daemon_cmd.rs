@@ -8,12 +8,14 @@
 //! do for the in-process commands.
 
 use std::fmt::Write as _;
+use std::path::PathBuf;
 use std::sync::Arc;
 use std::time::Duration;
 
 use arcs_core::jsonio::Json;
 use arcs_core::request::{query_result_to_json, Request};
 use arcs_core::serve::{ClusterSpec, ServeConfig};
+use arcs_daemon::client::RetryPolicy;
 use arcs_daemon::daemon::{Daemon, DaemonConfig};
 use arcs_daemon::registry::{Registry, Tenant, TenantConfig};
 use arcs_daemon::{Client, ClientError, Feeder};
@@ -22,12 +24,15 @@ use crate::args::Args;
 use crate::commands::CliError;
 
 pub const DAEMON_USAGE: &str = "\
-arcs daemon --listen <ADDR> --datasets <NAME=FILE[,NAME=FILE...]>
-            --x <ATTR> --y <ATTR> --criterion <ATTR>
+arcs daemon --listen <ADDR> [--datasets <NAME=FILE[,NAME=FILE...]>]
+            [--x <ATTR> --y <ATTR> --criterion <ATTR>]
+            [--data-dir <DIR>]
             [--bins 50] [--max-categories 16]
             [--workers 4] [--max-pending 64]
             [--max-inflight <N>] [--max-queued 64] [--cache 256]
             [--deadline-ms <MS>]
+            [--idle-timeout-ms 30000] [--read-timeout-ms 10000]
+            [--checkpoint-every 256] [--checkpoint-interval-ms 500]
             [--feed <NAME=FILE>] [--feed-interval-ms 200]
             [--port-file <FILE>] [--max-seconds <N>]
 
@@ -37,12 +42,46 @@ snapshot store, admission gate, and result cache; all share the same
 (x, y, criterion) binning configuration. The daemon runs until
 --max-seconds elapses (default: forever).
 
+Durability (--data-dir DIR):
+  Tenants live in DIR/<name>/ as a checkpointed snapshot plus a
+  checksummed write-ahead log. On startup every tenant directory found
+  in DIR is recovered (checkpoint + WAL replay, torn tails healed) and
+  served at its pre-crash epoch; --datasets then only creates tenants
+  that do not exist yet (--x/--y/--criterion required for those). Every
+  append is fsynced to the WAL before it is merged, a background
+  checkpointer folds the log every --checkpoint-every records, and a
+  clean shutdown checkpoints everything. Audit a directory with
+  `arcs fsck`.
+
+Connection hygiene:
+  --idle-timeout-ms N   close a connection idle between frames for N ms
+  --read-timeout-ms N   close a connection whose frame stalls mid-read
+                        for N ms (slow-loris guard); 0 disables either
+
 Readiness and scripting:
   --port-file FILE    write the bound address to FILE once the daemon is
                       accepting connections — scripts wait on the file,
                       then read the address from it
   --feed NAME=FILE    tail FILE for appended CSV rows and merge complete
-                      batches into tenant NAME every --feed-interval-ms";
+                      batches into tenant NAME every --feed-interval-ms;
+                      with --data-dir, the consumed offset rides in the
+                      WAL and a restart resumes exactly after the last
+                      durable batch";
+
+pub const FSCK_USAGE: &str = "\
+arcs fsck --data-dir <DIR> [--repair]
+
+Audits every tenant directory under DIR: the tenant descriptor, the
+checkpoint pair (array + meta, checksummed), and the write-ahead log
+(record CRCs, sequence continuity, and whether each surviving record
+still applies on top of the checkpoint). Prints a JSON report and exits
+0 when the directory is clean (or was fully repaired), 3 otherwise.
+
+--repair truncates torn or corrupt WAL tails to the last whole record,
+recreates a destroyed log from the checkpoint's sequence number, and
+removes stale temporary files. It never deletes checkpoints and never
+invents data: anything beyond that (a missing checkpoint, a record that
+no longer applies) stays an error in the report.";
 
 pub const CLIENT_USAGE: &str = "\
 arcs client --addr <HOST:PORT> <OP> [OPTIONS]
@@ -58,6 +97,11 @@ OPS:
           Merge header-less CSV rows as one atomic delta batch.
   stats   --dataset <NAME>
           Print the tenant's serving counters as JSON.
+
+OPTIONS:
+  --retry N   retry transient connect failures and OVERLOADED responses
+              to idempotent ops (open/query/stats) up to N times with
+              bounded exponential backoff; append is never retried
 
 Wire error codes map onto the CLI exit classes: data-shaped failures
 (unknown dataset/group, malformed rows) exit 3, expired deadlines and
@@ -106,6 +150,7 @@ pub fn daemon(argv: &[String]) -> Result<String, CliError> {
             "x",
             "y",
             "criterion",
+            "data-dir",
             "bins",
             "max-categories",
             "workers",
@@ -114,6 +159,10 @@ pub fn daemon(argv: &[String]) -> Result<String, CliError> {
             "max-queued",
             "cache",
             "deadline-ms",
+            "idle-timeout-ms",
+            "read-timeout-ms",
+            "checkpoint-every",
+            "checkpoint-interval-ms",
             "feed",
             "feed-interval-ms",
             "port-file",
@@ -122,10 +171,13 @@ pub fn daemon(argv: &[String]) -> Result<String, CliError> {
         &[],
     )?;
     let listen = args.require("listen")?;
-    let datasets = args.require("datasets")?;
-    let x = args.require("x")?;
-    let y = args.require("y")?;
-    let criterion = args.require("criterion")?;
+    let data_dir = args.get("data-dir").map(PathBuf::from);
+    let datasets = args.get("datasets");
+    if datasets.is_none() && data_dir.is_none() {
+        return Err(CliError::Usage(
+            "need --datasets, --data-dir, or both\n\n".to_string() + DAEMON_USAGE,
+        ));
+    }
     let bins: usize = args.get_or("bins", 50)?;
     let max_categories: usize = args.get_or("max-categories", 16)?;
 
@@ -143,32 +195,102 @@ pub fn daemon(argv: &[String]) -> Result<String, CliError> {
     if args.get("deadline-ms").is_some() {
         serve.default_deadline = Some(Duration::from_millis(args.get_or("deadline-ms", 0u64)?));
     }
-    let tenant_config = TenantConfig {
-        n_x_bins: bins,
-        n_y_bins: bins,
-        serve,
-        ..TenantConfig::new(x, y, criterion)
+
+    let feed_spec = match args.get("feed") {
+        None => None,
+        Some(spec) => Some(name_value(spec, "feed")?),
     };
 
     let mut out = String::new();
     let registry = Arc::new(Registry::new());
-    for spec in datasets.split(',') {
-        let (name, file) = name_value(spec, "datasets")?;
-        let ds = arcs_data::csv::load_csv_inferred(&file, max_categories)
-            .map_err(|err| CliError::Data(format!("{file}: {err}")))?;
-        let tenant = Tenant::from_dataset(&name, &ds, &tenant_config)
-            .map_err(|err| CliError::Data(format!("{name}: {err}")))?;
-        let _ = writeln!(
-            out,
-            "tenant `{name}`: {} tuples from {file}, {bins}x{bins} grid",
-            tenant.server().snapshot().array().n_tuples(),
-        );
-        registry.insert(tenant);
+
+    // Recovery first: every tenant directory already in the data dir
+    // comes back at its durable epoch, no source CSV needed.
+    let mut recovered_names: Vec<String> = Vec::new();
+    if let Some(dir) = &data_dir {
+        std::fs::create_dir_all(dir)
+            .map_err(|err| CliError::Run(format!("--data-dir {}: {err}", dir.display())))?;
+        let reports = registry
+            .open_data_dir(dir, &serve)
+            .map_err(|err| CliError::Data(format!("recovery from {}: {err}", dir.display())))?;
+        for (name, report) in reports {
+            let _ = writeln!(
+                out,
+                "tenant `{name}`: recovered at epoch {} \
+                 ({} WAL records replayed, {} torn bytes healed)",
+                report.epoch, report.replayed_records, report.torn_bytes,
+            );
+            recovered_names.push(name);
+        }
     }
 
+    if let Some(datasets) = datasets {
+        let x = args.require("x")?;
+        let y = args.require("y")?;
+        let criterion = args.require("criterion")?;
+        let tenant_config = TenantConfig {
+            n_x_bins: bins,
+            n_y_bins: bins,
+            serve,
+            ..TenantConfig::new(x, y, criterion)
+        };
+        for spec in datasets.split(',') {
+            let (name, file) = name_value(spec, "datasets")?;
+            if recovered_names.contains(&name) {
+                let _ = writeln!(
+                    out,
+                    "tenant `{name}`: already recovered from the data dir; ignoring {file}",
+                );
+                continue;
+            }
+            let ds = arcs_data::csv::load_csv_inferred(&file, max_categories)
+                .map_err(|err| CliError::Data(format!("{file}: {err}")))?;
+            let tenant = match &data_dir {
+                None => Tenant::from_dataset(&name, &ds, &tenant_config),
+                Some(dir) => {
+                    // Seed the durable feeder offset with the feed file's
+                    // current length: `tail -f` semantics survive a crash
+                    // that happens before the first feeder merge.
+                    let feeder_offset = feed_spec
+                        .as_ref()
+                        .filter(|(feed_name, _)| *feed_name == name)
+                        .map(|(_, feed_file)| {
+                            std::fs::metadata(feed_file).map(|m| m.len()).unwrap_or(0)
+                        });
+                    Tenant::from_dataset_durable(&name, &ds, &tenant_config, dir, feeder_offset)
+                }
+            }
+            .map_err(|err| CliError::Data(format!("{name}: {err}")))?;
+            let _ = writeln!(
+                out,
+                "tenant `{name}`: {} tuples from {file}, {bins}x{bins} grid{}",
+                tenant.server().snapshot().array().n_tuples(),
+                if tenant.is_durable() { " (durable)" } else { "" },
+            );
+            registry.insert(tenant);
+        }
+    }
+
+    let timeout_flag = |flag: &str, default: Option<Duration>| -> Result<Option<Duration>, CliError> {
+        match args.get(flag) {
+            None => Ok(default),
+            Some(_) => {
+                let ms: u64 = args.get_or(flag, 0)?;
+                Ok((ms > 0).then(|| Duration::from_millis(ms)))
+            }
+        }
+    };
+    let defaults = DaemonConfig::default();
     let config = DaemonConfig {
-        workers: args.get_or("workers", DaemonConfig::default().workers)?,
-        max_pending: args.get_or("max-pending", DaemonConfig::default().max_pending)?,
+        workers: args.get_or("workers", defaults.workers)?,
+        max_pending: args.get_or("max-pending", defaults.max_pending)?,
+        idle_timeout: timeout_flag("idle-timeout-ms", defaults.idle_timeout)?,
+        read_timeout: timeout_flag("read-timeout-ms", defaults.read_timeout)?,
+        checkpoint_every: args.get_or("checkpoint-every", defaults.checkpoint_every)?,
+        checkpoint_interval: Duration::from_millis(args.get_or(
+            "checkpoint-interval-ms",
+            defaults.checkpoint_interval.as_millis() as u64,
+        )?),
     };
     let handle = Daemon::bind(listen, Arc::clone(&registry), config)
         .and_then(Daemon::spawn)
@@ -176,17 +298,23 @@ pub fn daemon(argv: &[String]) -> Result<String, CliError> {
     let addr = handle.addr();
     let _ = writeln!(out, "arcsd listening on {addr}");
 
-    let _feeder = match args.get("feed") {
+    let _feeder = match feed_spec {
         None => None,
-        Some(spec) => {
-            let (name, file) = name_value(spec, "feed")?;
+        Some((name, file)) => {
             let tenant = registry
                 .get(&name)
                 .map_err(|err| CliError::Run(err.to_string()))?
                 .ok_or_else(|| CliError::Usage(format!("--feed names unknown tenant `{name}`")))?;
             let interval = Duration::from_millis(args.get_or("feed-interval-ms", 200u64)?);
-            let feeder = Feeder::spawn(tenant, file.clone().into(), interval).map_err(run_err)?;
-            let _ = writeln!(out, "feeding `{name}` from {file}");
+            // Durable tenants resume at the last offset in the WAL or
+            // checkpoint; ephemeral ones tail from the file's end.
+            let offset = match tenant.store().and_then(|store| store.feeder_offset()) {
+                Some(offset) => offset,
+                None => std::fs::metadata(&file).map(|m| m.len()).unwrap_or(0),
+            };
+            let feeder = Feeder::spawn_at(tenant, file.clone().into(), interval, offset)
+                .map_err(run_err)?;
+            let _ = writeln!(out, "feeding `{name}` from {file} at byte {offset}");
             Some(feeder)
         }
     };
@@ -216,6 +344,21 @@ pub fn daemon(argv: &[String]) -> Result<String, CliError> {
     }
 }
 
+/// `arcs fsck`: audit (and optionally repair) a daemon data directory.
+/// Returns the JSON report plus the process exit status: 0 when the
+/// directory is clean or was fully repaired, 3 when problems remain.
+pub fn fsck(argv: &[String]) -> Result<(String, u8), CliError> {
+    if argv.iter().any(|a| a == "--help" || a == "-h") {
+        return Ok((FSCK_USAGE.to_string(), 0));
+    }
+    let args = Args::parse(argv.iter().cloned(), &["data-dir"], &["repair"])?;
+    let data_dir = PathBuf::from(args.require("data-dir")?);
+    let report = arcs_daemon::store::fsck(&data_dir, args.has("repair"))
+        .map_err(|err| CliError::Data(err.to_string()))?;
+    let status = if report.clean() { 0 } else { 3 };
+    Ok((report.to_json().to_string(), status))
+}
+
 /// `arcs client`: one operation against a running `arcsd`.
 pub fn client(argv: &[String]) -> Result<String, CliError> {
     if argv.iter().any(|a| a == "--help" || a == "-h") {
@@ -232,6 +375,7 @@ pub fn client(argv: &[String]) -> Result<String, CliError> {
             "deadline-ms",
             "rows",
             "rows-file",
+            "retry",
         ],
         &["cluster"],
     )?;
@@ -242,7 +386,16 @@ pub fn client(argv: &[String]) -> Result<String, CliError> {
     };
     let addr = args.require("addr")?;
     let dataset = args.require("dataset")?;
-    let mut client = Client::connect(addr).map_err(client_err)?;
+    // --retry N: bounded exponential backoff for transient connect
+    // failures, and for OVERLOADED responses to idempotent ops (append
+    // is never retried — an ambiguous outcome must surface).
+    let mut client = match args.get("retry") {
+        None => Client::connect(addr).map_err(client_err)?,
+        Some(_) => {
+            let retries: u32 = args.get_or("retry", 0)?;
+            Client::connect_with_retry(addr, RetryPolicy::new(retries)).map_err(client_err)?
+        }
+    };
 
     match op.as_str() {
         "open" => {

@@ -33,6 +33,11 @@
 //! | `daemon.frame-decode` | per received frame in `arcsd` (fault fails that one frame, not the connection) |
 //! | `daemon.tenant-lookup` | at `Registry::get` in `arcsd` (fault fails that one request) |
 //! | `daemon.feeder-merge` | per feeder merge tick in `arcsd` (fault retries the same bytes next tick) |
+//! | `wal.write` | at [`WalWriter::append`] entry, before any byte lands |
+//! | `wal.fsync` | after a WAL record's bytes are written, before the fsync that acknowledges it |
+//! | `wal.checkpoint` | at [`save_checkpoint`] entry, before the array snapshot is written |
+//! | `wal.replay` | at [`replay`] entry, before the log is scanned |
+//! | `wal.truncate` | at [`WalWriter::reset`] entry, before the post-checkpoint truncation |
 //!
 //! [`BinArray::save`]: crate::binarray::BinArray::save
 //! [`BinArray::load`]: crate::binarray::BinArray::load
@@ -42,6 +47,10 @@
 //! [`verify_sampled`]: crate::verify::verify_sampled
 //! [`SnapshotStore::append`]: crate::serve::SnapshotStore::append
 //! [`AdmissionGate::admit`]: crate::serve::AdmissionGate::admit
+//! [`WalWriter::append`]: crate::wal::WalWriter::append
+//! [`WalWriter::reset`]: crate::wal::WalWriter::reset
+//! [`save_checkpoint`]: crate::wal::save_checkpoint
+//! [`replay`]: crate::wal::replay
 //!
 //! # Schedule specification
 //!

@@ -40,6 +40,7 @@ pub mod session;
 pub mod smooth;
 pub mod sql;
 pub mod verify;
+pub mod wal;
 
 pub use binarray::BinArray;
 pub use binner::{BadTuplePolicy, Binner, BinningStrategy, CheckpointSpec, StreamReport};
@@ -64,6 +65,7 @@ pub use serve::{
     ServerStats, Snapshot, SnapshotStore,
 };
 pub use session::{SegmentRequest, Session};
+pub use wal::{CheckpointMeta, WalRecord, WalReplay, WalTail, WalWriter};
 pub use mdl::{mdl_cost, MdlScore, MdlWeights};
 pub use smooth::{smooth_reference, BorderMode, Kernel, SmoothConfig, SmoothStats};
 pub use verify::ErrorCounts;

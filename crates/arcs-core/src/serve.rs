@@ -140,8 +140,17 @@ pub struct SnapshotStore {
 impl SnapshotStore {
     /// Creates a store holding `array` as epoch 0.
     pub fn new(array: BinArray) -> Self {
+        Self::with_epoch(array, 0)
+    }
+
+    /// Creates a store holding `array` as an explicit starting epoch —
+    /// the recovery path: a daemon restoring a tenant from checkpoint +
+    /// WAL replay must resume the epoch sequence where the crashed
+    /// process left it, so recovered query results (which carry the
+    /// epoch) stay bit-identical to an uninterrupted run.
+    pub fn with_epoch(array: BinArray, epoch: u64) -> Self {
         SnapshotStore {
-            current: RwLock::new(Arc::new(Snapshot::build(0, array))),
+            current: RwLock::new(Arc::new(Snapshot::build(epoch, array))),
             writer: Mutex::new(()),
             swaps: AtomicU64::new(0),
         }
@@ -628,9 +637,16 @@ pub struct Server {
 impl Server {
     /// Creates a server holding `array` as its epoch-0 snapshot.
     pub fn new(array: BinArray, config: ServeConfig) -> Result<Self, ArcsError> {
+        Self::recovered(array, 0, config)
+    }
+
+    /// Creates a server holding `array` at an explicit starting epoch —
+    /// used by durable recovery to resume the epoch sequence after a
+    /// checkpoint + WAL replay (see [`SnapshotStore::with_epoch`]).
+    pub fn recovered(array: BinArray, epoch: u64, config: ServeConfig) -> Result<Self, ArcsError> {
         let gate = AdmissionGate::new(config.max_inflight, config.max_queued)?;
         Ok(Server {
-            store: SnapshotStore::new(array),
+            store: SnapshotStore::with_epoch(array, epoch),
             gate,
             cache: Mutex::new(ResultCache::new(config.cache_capacity)),
             config,

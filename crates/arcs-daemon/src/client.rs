@@ -58,6 +58,80 @@ impl ClientError {
     }
 }
 
+/// Opt-in bounded-exponential-backoff retry policy for transient
+/// failures. Without one, a [`Client`] never retries anything (the
+/// default, and what the deterministic tests rely on).
+///
+/// Two failure classes are retried, both safe by construction:
+///
+/// * **Transient connect errors** (refused / reset / aborted / timed
+///   out) in [`Client::connect_with_retry`] — no request was sent, so a
+///   retry cannot duplicate work.
+/// * **`OVERLOADED` responses** to idempotent calls (`open`, `query`,
+///   `stats`) — the daemon *answered*, it just shed the request.
+///   `append` is never retried: an ambiguous outcome must surface.
+///
+/// Backoff doubles from `base_backoff` up to `max_backoff`, then takes a
+/// deterministic half-to-full jitter from `seed` so co-started clients
+/// don't stampede in lockstep while tests stay reproducible.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Retries after the first attempt (0 = behave as if no policy).
+    pub max_retries: u32,
+    /// First backoff step.
+    pub base_backoff: Duration,
+    /// Backoff ceiling before jitter.
+    pub max_backoff: Duration,
+    /// Seed for the deterministic jitter.
+    pub seed: u64,
+}
+
+impl RetryPolicy {
+    /// A policy with `max_retries` retries, 25 ms base, 1 s cap.
+    pub fn new(max_retries: u32) -> Self {
+        RetryPolicy {
+            max_retries,
+            base_backoff: Duration::from_millis(25),
+            max_backoff: Duration::from_secs(1),
+            seed: 0x9E37_79B9_7F4A_7C15,
+        }
+    }
+
+    /// The sleep before retry number `attempt` (0-based): exponential,
+    /// capped, jittered into `[cap/2, cap]` deterministically.
+    pub fn backoff(&self, attempt: u32) -> Duration {
+        let doubled = self.base_backoff.saturating_mul(1u32 << attempt.min(20));
+        let capped = doubled.min(self.max_backoff);
+        let nanos = capped.as_nanos().min(u128::from(u64::MAX)) as u64;
+        let half = nanos / 2;
+        let jitter = if half == 0 { 0 } else { self.mix(attempt) % (half + 1) };
+        Duration::from_nanos(half + jitter)
+    }
+
+    /// splitmix64 of `seed ^ attempt` — stateless, so the schedule is a
+    /// pure function of (policy, attempt).
+    fn mix(&self, attempt: u32) -> u64 {
+        let mut z = self
+            .seed
+            .wrapping_add(u64::from(attempt).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// `true` for socket errors a fresh connect attempt can plausibly fix.
+fn transient_connect_error(err: &io::Error) -> bool {
+    matches!(
+        err.kind(),
+        io::ErrorKind::ConnectionRefused
+            | io::ErrorKind::ConnectionReset
+            | io::ErrorKind::ConnectionAborted
+            | io::ErrorKind::TimedOut
+            | io::ErrorKind::WouldBlock
+    )
+}
+
 /// Metadata returned by `open`.
 #[derive(Debug, Clone, PartialEq)]
 pub struct OpenInfo {
@@ -76,12 +150,43 @@ pub struct OpenInfo {
 pub struct Client {
     reader: BufReader<TcpStream>,
     writer: BufWriter<TcpStream>,
+    retry: Option<RetryPolicy>,
 }
 
 impl Client {
     /// Connects to `addr`.
     pub fn connect(addr: impl ToSocketAddrs) -> Result<Self, ClientError> {
         Self::from_stream(TcpStream::connect(addr)?)
+    }
+
+    /// Connects with `policy` retrying transient connect failures, and
+    /// arms the returned client to retry `OVERLOADED` responses to
+    /// idempotent calls under the same policy.
+    pub fn connect_with_retry(
+        addr: impl ToSocketAddrs,
+        policy: RetryPolicy,
+    ) -> Result<Self, ClientError> {
+        let mut attempt = 0u32;
+        loop {
+            match TcpStream::connect(&addr) {
+                Ok(stream) => {
+                    let mut client = Self::from_stream(stream)?;
+                    client.retry = Some(policy);
+                    return Ok(client);
+                }
+                Err(err) if attempt < policy.max_retries && transient_connect_error(&err) => {
+                    std::thread::sleep(policy.backoff(attempt));
+                    attempt += 1;
+                }
+                Err(err) => return Err(ClientError::Io(err)),
+            }
+        }
+    }
+
+    /// Arms (or with `None`, disarms) retries of `OVERLOADED` responses
+    /// to idempotent calls on this connection.
+    pub fn set_retry(&mut self, policy: Option<RetryPolicy>) {
+        self.retry = policy;
     }
 
     /// Like [`connect`](Client::connect), bounding the TCP connect.
@@ -95,7 +200,11 @@ impl Client {
     fn from_stream(stream: TcpStream) -> Result<Self, ClientError> {
         stream.set_nodelay(true)?;
         let read_half = stream.try_clone()?;
-        Ok(Client { reader: BufReader::new(read_half), writer: BufWriter::new(stream) })
+        Ok(Client {
+            reader: BufReader::new(read_half),
+            writer: BufWriter::new(stream),
+            retry: None,
+        })
     }
 
     /// One request/response round trip.
@@ -116,9 +225,27 @@ impl Client {
         split_response(json).map_err(ClientError::Wire)
     }
 
+    /// [`call`](Client::call) for idempotent requests: with a retry
+    /// policy armed, retryable error frames (the daemon shedding load)
+    /// are retried on the same connection with backoff.
+    fn call_idempotent(&mut self, request: &WireRequest) -> Result<Json, ClientError> {
+        let mut attempt = 0u32;
+        loop {
+            let retries = self.retry.as_ref().map_or(0, |p| p.max_retries);
+            match self.call(request) {
+                Err(ClientError::Wire(err)) if attempt < retries && err.retryable() => {
+                    let policy = self.retry.as_ref().expect("retries > 0 implies a policy");
+                    std::thread::sleep(policy.backoff(attempt));
+                    attempt += 1;
+                }
+                other => return other,
+            }
+        }
+    }
+
     /// Binds the connection's default dataset; returns its metadata.
     pub fn open(&mut self, dataset: &str) -> Result<OpenInfo, ClientError> {
-        let body = self.call(&WireRequest::Open { dataset: dataset.to_string() })?;
+        let body = self.call_idempotent(&WireRequest::Open { dataset: dataset.to_string() })?;
         let field = |name: &str| {
             body.get(name)
                 .and_then(Json::as_u64)
@@ -152,7 +279,7 @@ impl Client {
         dataset: Option<&str>,
         request: &Request,
     ) -> Result<QueryOutcome, ClientError> {
-        let body = self.call(&WireRequest::Query {
+        let body = self.call_idempotent(&WireRequest::Query {
             dataset: dataset.map(str::to_string),
             request: request.clone(),
         })?;
@@ -182,7 +309,7 @@ impl Client {
     ///
     /// [`ServerStats`]: arcs_core::serve::ServerStats
     pub fn stats(&mut self, dataset: Option<&str>) -> Result<Json, ClientError> {
-        let body = self.call(&WireRequest::Stats { dataset: dataset.map(str::to_string) })?;
+        let body = self.call_idempotent(&WireRequest::Stats { dataset: dataset.map(str::to_string) })?;
         body.get("stats")
             .cloned()
             .ok_or_else(|| ClientError::Protocol("stats response lacks `stats`".into()))

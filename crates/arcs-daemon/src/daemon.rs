@@ -16,23 +16,40 @@
 //! drops that one connection, a decode fault fails that one frame; the
 //! daemon itself keeps serving in both cases.
 //!
+//! Connection hygiene: every handler reads frames under two clocks — an
+//! **idle timeout** between frames and a **read (stall) timeout** once a
+//! frame has started — so a stalled or slow-loris peer can never pin a
+//! handler-pool worker forever. Both fire a typed `PROTOCOL` error frame
+//! before the daemon hangs up.
+//!
+//! Durability: when the registry holds durable tenants, a background
+//! checkpointer folds their WALs into checkpoints, and
+//! [`DaemonHandle::shutdown`] is a graceful drain — stop accepting,
+//! finish in-flight frames, then checkpoint every tenant so the next
+//! start replays nothing.
+//!
 //! [`AdmissionGate`]: arcs_core::serve::AdmissionGate
 
 use std::collections::VecDeque;
-use std::io::{self, BufReader, BufWriter};
+use std::io::{self, BufWriter, Read};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
 use arcs_core::faults;
 use arcs_core::jsonio::Json;
 
 use crate::protocol::{
-    ok_response, query_response_to_json, read_frame, stats_to_json, write_frame, FrameError,
-    WireError, WireRequest, CODE_NO_DATASET, CODE_UNKNOWN_DATASET,
+    ok_response, parse_frame_header, query_response_to_json, stats_to_json, write_frame,
+    FrameError, WireError, WireRequest, CODE_NO_DATASET, CODE_UNKNOWN_DATASET, HEADER_LEN,
 };
 use crate::registry::{Registry, Tenant};
+
+/// Poll granularity for timed socket reads and the checkpointer: bounds
+/// how late a timeout or a shutdown request can be noticed.
+const POLL_TICK: Duration = Duration::from_millis(50);
 
 /// Daemon tuning knobs.
 #[derive(Debug, Clone)]
@@ -42,11 +59,31 @@ pub struct DaemonConfig {
     /// Accepted connections allowed to wait for a free handler before
     /// the daemon starts dropping new ones.
     pub max_pending: usize,
+    /// How long a connection may sit idle *between* frames before the
+    /// daemon sends a typed timeout error and closes it (`None` = wait
+    /// forever).
+    pub idle_timeout: Option<Duration>,
+    /// How long a started frame may stall *mid-read* before the daemon
+    /// gives up on the peer (the slow-loris guard; `None` = forever).
+    pub read_timeout: Option<Duration>,
+    /// Background checkpointer threshold: fold a durable tenant's WAL
+    /// into a checkpoint once this many records accumulate (0 disables
+    /// the checkpointer; shutdown still checkpoints).
+    pub checkpoint_every: u64,
+    /// How often the background checkpointer scans the tenants.
+    pub checkpoint_interval: Duration,
 }
 
 impl Default for DaemonConfig {
     fn default() -> Self {
-        DaemonConfig { workers: 4, max_pending: 64 }
+        DaemonConfig {
+            workers: 4,
+            max_pending: 64,
+            idle_timeout: Some(Duration::from_secs(30)),
+            read_timeout: Some(Duration::from_secs(10)),
+            checkpoint_every: 256,
+            checkpoint_interval: Duration::from_millis(500),
+        }
     }
 }
 
@@ -84,6 +121,13 @@ impl ConnQueue {
                 .wait(queue)
                 .unwrap_or_else(|p| p.into_inner());
         }
+    }
+
+    /// Drops every queued connection (the shutdown path: sockets that
+    /// never reached a handler are closed, not served).
+    fn clear(&self) {
+        let mut queue = self.queue.lock().unwrap_or_else(|p| p.into_inner());
+        queue.clear();
     }
 }
 
@@ -123,6 +167,7 @@ impl Daemon {
             let conns = Arc::clone(&conns);
             let running = Arc::clone(&running);
             let registry = Arc::clone(&self.registry);
+            let config = self.config.clone();
             handlers.push(
                 std::thread::Builder::new()
                     .name(format!("arcsd-handler-{i}"))
@@ -132,7 +177,7 @@ impl Daemon {
                             // thread down with it.
                             let _ = std::panic::catch_unwind(
                                 std::panic::AssertUnwindSafe(|| {
-                                    handle_connection(stream, &registry);
+                                    handle_connection(stream, &registry, &running, &config);
                                 }),
                             );
                         }
@@ -161,7 +206,41 @@ impl Daemon {
             })?
         };
 
-        Ok(DaemonHandle { addr, running, conns, accept, handlers })
+        let checkpointer = if self.config.checkpoint_every > 0 {
+            let running = Arc::clone(&running);
+            let registry = Arc::clone(&self.registry);
+            let every = self.config.checkpoint_every;
+            let interval = self.config.checkpoint_interval;
+            Some(std::thread::Builder::new().name("arcsd-checkpoint".into()).spawn(
+                move || {
+                    let mut last = Instant::now();
+                    while running.load(Ordering::SeqCst) {
+                        std::thread::sleep(POLL_TICK);
+                        if last.elapsed() < interval {
+                            continue;
+                        }
+                        last = Instant::now();
+                        for tenant in registry.tenants() {
+                            if let Err(err) = tenant.maybe_checkpoint(every) {
+                                eprintln!("arcsd checkpoint: {}: {err}", tenant.name());
+                            }
+                        }
+                    }
+                },
+            )?)
+        } else {
+            None
+        };
+
+        Ok(DaemonHandle {
+            addr,
+            running,
+            conns,
+            accept,
+            handlers,
+            checkpointer,
+            registry: self.registry,
+        })
     }
 }
 
@@ -174,6 +253,8 @@ pub struct DaemonHandle {
     conns: Arc<ConnQueue>,
     accept: JoinHandle<()>,
     handlers: Vec<JoinHandle<()>>,
+    checkpointer: Option<JoinHandle<()>>,
+    registry: Arc<Registry>,
 }
 
 impl DaemonHandle {
@@ -182,43 +263,185 @@ impl DaemonHandle {
         self.addr
     }
 
-    /// Stops accepting, drains the handler pool, and joins every thread.
-    /// In-queue connections that never got a handler are dropped.
+    /// Graceful drain: stop accepting, let every handler finish its
+    /// in-flight frame (connections idle between frames are closed at
+    /// the next poll tick), join all threads, then checkpoint every
+    /// durable tenant so the WAL is folded and the next start replays
+    /// nothing. Queued connections that never reached a handler are
+    /// dropped, not served.
     pub fn shutdown(self) {
         self.running.store(false, Ordering::SeqCst);
         // Unblock the accept loop: `incoming()` has no timeout, so poke
         // it with a throwaway connection to our own port.
         let _ = TcpStream::connect(self.addr);
-        self.conns.ready.notify_all();
         let _ = self.accept.join();
+        self.conns.clear();
+        self.conns.ready.notify_all();
         for handler in self.handlers {
             self.conns.ready.notify_all();
             let _ = handler.join();
         }
+        if let Some(checkpointer) = self.checkpointer {
+            let _ = checkpointer.join();
+        }
+        // Final flush: one checkpoint per durable tenant with anything
+        // outstanding in its WAL.
+        for tenant in self.registry.tenants() {
+            if let Err(err) = tenant.maybe_checkpoint(1) {
+                eprintln!("arcsd shutdown checkpoint: {}: {err}", tenant.name());
+            }
+        }
     }
 }
 
-/// Serves one connection until close / EOF / protocol violation.
-fn handle_connection(stream: TcpStream, registry: &Registry) {
+/// Why a timed frame read stopped without producing a frame.
+enum ReadStop {
+    /// Peer closed cleanly at a frame boundary.
+    Closed,
+    /// The daemon is draining; no new frame had started.
+    Shutdown,
+    /// No frame arrived within the idle budget.
+    IdleTimeout(Duration),
+    /// A started frame stalled mid-read past the stall budget.
+    StallTimeout(Duration),
+    /// The bytes violate the framing rules.
+    Protocol(String),
+    /// Hard socket error.
+    Io,
+}
+
+/// Reads one frame directly off `stream` under the two connection
+/// clocks: the idle budget runs until the frame's first byte, the stall
+/// budget from then on. The stream must already be in `POLL_TICK`
+/// read-timeout mode. Between frames the `running` flag is honoured, so
+/// a draining daemon releases idle connections within one tick; a frame
+/// already in progress is always finished (the drain guarantee).
+fn read_frame_timed(
+    stream: &TcpStream,
+    running: &AtomicBool,
+    idle: Option<Duration>,
+    stall: Option<Duration>,
+) -> Result<Vec<u8>, ReadStop> {
+    let mut header = [0u8; HEADER_LEN];
+    read_exact_timed(stream, Some(running), &mut header, idle, stall)?;
+    let len = parse_frame_header(&header).map_err(|err| match err {
+        FrameError::Protocol(message) => ReadStop::Protocol(message),
+        FrameError::Closed => ReadStop::Closed,
+        FrameError::Io(_) => ReadStop::Io,
+    })?;
+    let mut payload = vec![0u8; len];
+    // The frame has started: the stall clock governs the payload too,
+    // and shutdown no longer interrupts.
+    read_exact_timed(stream, None, &mut payload, stall, stall).map_err(|stop| match stop {
+        ReadStop::Closed => ReadStop::Protocol("truncated frame payload".into()),
+        ReadStop::IdleTimeout(limit) => ReadStop::StallTimeout(limit),
+        other => other,
+    })?;
+    Ok(payload)
+}
+
+/// Fills `buf` from `stream`, polling every `POLL_TICK`. `first_budget`
+/// bounds the wait for the first byte, `rest_budget` the gap between
+/// subsequent bytes. With `running` set, a shutdown before any byte
+/// arrives aborts the read.
+fn read_exact_timed(
+    stream: &TcpStream,
+    running: Option<&AtomicBool>,
+    buf: &mut [u8],
+    first_budget: Option<Duration>,
+    rest_budget: Option<Duration>,
+) -> Result<(), ReadStop> {
+    let mut filled = 0;
+    let mut last_progress = Instant::now();
+    while filled < buf.len() {
+        if filled == 0 {
+            if let Some(running) = running {
+                if !running.load(Ordering::SeqCst) {
+                    return Err(ReadStop::Shutdown);
+                }
+            }
+        }
+        match (&mut (&*stream)).read(&mut buf[filled..]) {
+            Ok(0) if filled == 0 => return Err(ReadStop::Closed),
+            Ok(0) => {
+                return Err(ReadStop::Protocol(format!(
+                    "connection cut after {filled} of {} bytes",
+                    buf.len()
+                )))
+            }
+            Ok(n) => {
+                filled += n;
+                last_progress = Instant::now();
+            }
+            Err(err)
+                if matches!(
+                    err.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ) =>
+            {
+                let budget = if filled == 0 { first_budget } else { rest_budget };
+                if let Some(limit) = budget {
+                    if last_progress.elapsed() >= limit {
+                        return Err(if filled == 0 {
+                            ReadStop::IdleTimeout(limit)
+                        } else {
+                            ReadStop::StallTimeout(limit)
+                        });
+                    }
+                }
+            }
+            Err(err) if err.kind() == io::ErrorKind::Interrupted => continue,
+            Err(_) => return Err(ReadStop::Io),
+        }
+    }
+    Ok(())
+}
+
+/// Serves one connection until close / EOF / timeout / protocol
+/// violation / daemon drain.
+fn handle_connection(
+    stream: TcpStream,
+    registry: &Registry,
+    running: &AtomicBool,
+    config: &DaemonConfig,
+) {
     let _ = stream.set_nodelay(true);
-    let Ok(read_half) = stream.try_clone() else { return };
-    let mut reader = BufReader::new(read_half);
-    let mut writer = BufWriter::new(stream);
+    // Short poll ticks make both connection clocks and the shutdown
+    // drain observable without a reader thread per timer.
+    if stream.set_read_timeout(Some(POLL_TICK)).is_err() {
+        return;
+    }
+    let Ok(write_half) = stream.try_clone() else { return };
+    let mut writer = BufWriter::new(write_half);
     // The connection's default dataset, bound by `open`.
     let mut current: Option<Arc<Tenant>> = None;
 
     loop {
-        let payload = match read_frame(&mut reader) {
-            Ok(payload) => payload,
-            Err(FrameError::Closed) => return,
-            Err(FrameError::Protocol(message)) => {
-                // Best effort: tell the peer why before hanging up. The
-                // stream may already be unusable; either way we're done.
-                let _ = send(&mut writer, &WireError::protocol(message).to_json());
-                return;
-            }
-            Err(FrameError::Io(_)) => return,
-        };
+        let payload =
+            match read_frame_timed(&stream, running, config.idle_timeout, config.read_timeout) {
+                Ok(payload) => payload,
+                Err(ReadStop::Closed | ReadStop::Shutdown | ReadStop::Io) => return,
+                Err(ReadStop::IdleTimeout(limit)) => {
+                    let message =
+                        format!("idle timeout: no request within {}ms", limit.as_millis());
+                    let _ = send(&mut writer, &WireError::protocol(message).to_json());
+                    return;
+                }
+                Err(ReadStop::StallTimeout(limit)) => {
+                    let message = format!(
+                        "read timeout: frame stalled mid-read for {}ms",
+                        limit.as_millis()
+                    );
+                    let _ = send(&mut writer, &WireError::protocol(message).to_json());
+                    return;
+                }
+                Err(ReadStop::Protocol(message)) => {
+                    // Best effort: tell the peer why before hanging up. The
+                    // stream may already be unusable; either way we're done.
+                    let _ = send(&mut writer, &WireError::protocol(message).to_json());
+                    return;
+                }
+            };
 
         let reply = serve_frame(&payload, registry, &mut current);
         let closing = matches!(reply.get("bye"), Some(&Json::Bool(true)));

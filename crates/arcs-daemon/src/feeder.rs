@@ -18,6 +18,13 @@
 //!   feed.
 //! * **Truncated file**: the offset resets to the new end; tailing
 //!   resumes from there.
+//!
+//! On a **durable** tenant, each merged batch's post-batch byte offset
+//! rides inside the tenant's WAL record (via
+//! [`Tenant::append_csv_with_offset`]) and into every checkpoint, so a
+//! restarted daemon spawns the feeder with [`Feeder::spawn_at`] at the
+//! last durable offset — never re-reading from byte 0, never
+//! double-appending a batch that is already in the log.
 
 use std::io::{Read, Seek, SeekFrom};
 use std::path::PathBuf;
@@ -52,17 +59,31 @@ pub struct Feeder {
 }
 
 impl Feeder {
-    /// Starts tailing `path` into `tenant` every `interval`.
+    /// Starts tailing `path` into `tenant` every `interval`, from the
+    /// file's current end (classic `tail -f`: pre-existing rows are the
+    /// tenant's epoch-0 data, not a delta).
     pub fn spawn(
         tenant: Arc<Tenant>,
         path: PathBuf,
         interval: Duration,
     ) -> std::io::Result<Feeder> {
+        let offset = std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
+        Self::spawn_at(tenant, path, interval, offset)
+    }
+
+    /// Starts tailing `path` from an explicit byte `offset` — the
+    /// restart path: the caller passes the last durable offset
+    /// ([`crate::store::TenantStore::feeder_offset`]) so already-logged
+    /// batches are never re-appended.
+    pub fn spawn_at(
+        tenant: Arc<Tenant>,
+        path: PathBuf,
+        interval: Duration,
+        offset: u64,
+    ) -> std::io::Result<Feeder> {
         let stop = Arc::new(AtomicBool::new(false));
         let stats = Arc::new(FeederStats::default());
-        // Start at the current end: rows already present are the
-        // tenant's epoch-0 data, not a delta.
-        let mut offset = std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
+        let mut offset = offset;
 
         let handle = {
             let stop = Arc::clone(&stop);
@@ -132,7 +153,9 @@ fn tick(tenant: &Tenant, path: &PathBuf, offset: u64, stats: &FeederStats) -> u6
         stats.retries.fetch_add(1, Ordering::Relaxed);
         return offset;
     }
-    match tenant.append_csv(batch) {
+    // Record the post-batch offset in the WAL (durable tenants): a
+    // restarted feeder resumes exactly past the batches already logged.
+    match tenant.append_csv_with_offset(batch, Some(consumed)) {
         Ok((_epoch, rows)) => {
             stats.rows_merged.fetch_add(rows, Ordering::Relaxed);
             stats.batches_merged.fetch_add(1, Ordering::Relaxed);

@@ -39,9 +39,11 @@ pub mod daemon;
 pub mod feeder;
 pub mod protocol;
 pub mod registry;
+pub mod store;
 
-pub use client::{Client, ClientError, OpenInfo};
+pub use client::{Client, ClientError, OpenInfo, RetryPolicy};
 pub use daemon::{Daemon, DaemonConfig, DaemonHandle};
 pub use feeder::{Feeder, FeederStats};
 pub use protocol::{FrameError, QueryOutcome, WireError, WireRequest};
 pub use registry::{Registry, Tenant, TenantConfig};
+pub use store::{fsck, FsckReport, RecoveryReport, TenantMeta, TenantStore};

@@ -70,6 +70,17 @@ pub const CODE_UNKNOWN_DATASET: &str = "UNKNOWN_DATASET";
 /// never sent `open`.
 pub const CODE_NO_DATASET: &str = "NO_DATASET";
 
+/// Codes a client may safely retry (with backoff) for *idempotent*
+/// requests: the daemon answered but shed the work, so nothing was
+/// partially applied. Part of the wire contract, like the codes
+/// themselves.
+pub const RETRYABLE_CODES: &[&str] = &["OVERLOADED"];
+
+/// `true` when `code` is in [`RETRYABLE_CODES`].
+pub fn retryable_code(code: &str) -> bool {
+    RETRYABLE_CODES.contains(&code)
+}
+
 /// Why reading a frame failed.
 #[derive(Debug)]
 pub enum FrameError {
@@ -134,18 +145,10 @@ fn read_exact_or_eof<R: Read>(reader: &mut R, buf: &mut [u8]) -> io::Result<bool
     Ok(true)
 }
 
-/// Reads one frame's payload. See [`FrameError`] for the failure taxonomy;
-/// this function never panics on arbitrary wire bytes.
-pub fn read_frame<R: Read>(reader: &mut R) -> Result<Vec<u8>, FrameError> {
-    let mut header = [0u8; HEADER_LEN];
-    match read_exact_or_eof(reader, &mut header) {
-        Ok(true) => {}
-        Ok(false) => return Err(FrameError::Closed),
-        Err(err) if err.kind() == io::ErrorKind::UnexpectedEof => {
-            return Err(FrameError::Protocol("truncated frame header".into()))
-        }
-        Err(err) => return Err(FrameError::Io(err)),
-    }
+/// Validates a frame header and returns the payload length. Shared by
+/// [`read_frame`] and the daemon's timeout-aware reader, so the two
+/// paths cannot drift on what a legal header is.
+pub fn parse_frame_header(header: &[u8; HEADER_LEN]) -> Result<usize, FrameError> {
     if header[..2] != MAGIC {
         return Err(FrameError::Protocol(format!(
             "bad magic {:02x}{:02x}",
@@ -167,6 +170,22 @@ pub fn read_frame<R: Read>(reader: &mut R) -> Result<Vec<u8>, FrameError> {
             "frame of {len} bytes exceeds the {MAX_FRAME}-byte limit"
         )));
     }
+    Ok(len)
+}
+
+/// Reads one frame's payload. See [`FrameError`] for the failure taxonomy;
+/// this function never panics on arbitrary wire bytes.
+pub fn read_frame<R: Read>(reader: &mut R) -> Result<Vec<u8>, FrameError> {
+    let mut header = [0u8; HEADER_LEN];
+    match read_exact_or_eof(reader, &mut header) {
+        Ok(true) => {}
+        Ok(false) => return Err(FrameError::Closed),
+        Err(err) if err.kind() == io::ErrorKind::UnexpectedEof => {
+            return Err(FrameError::Protocol("truncated frame header".into()))
+        }
+        Err(err) => return Err(FrameError::Io(err)),
+    }
+    let len = parse_frame_header(&header)?;
     let mut payload = vec![0u8; len];
     match read_exact_or_eof(reader, &mut payload) {
         Ok(true) => Ok(payload),
@@ -313,6 +332,12 @@ impl WireError {
     /// Maps an [`ArcsError`] 1:1 onto its stable wire code.
     pub fn from_arcs(err: &ArcsError) -> Self {
         WireError { code: err.code().to_string(), message: err.to_string() }
+    }
+
+    /// Whether a client may retry the request that produced this error
+    /// (idempotent requests only); see [`RETRYABLE_CODES`].
+    pub fn retryable(&self) -> bool {
+        retryable_code(&self.code)
     }
 
     /// Serialises to the `{"ok": false, ...}` response document.

@@ -12,12 +12,17 @@
 //! resolution without touching the tenants themselves.
 
 use std::collections::BTreeMap;
+use std::path::Path;
 use std::sync::{Arc, RwLock};
 
 use arcs_core::faults;
 use arcs_core::serve::{ServeConfig, Server};
 use arcs_core::{ArcsError, Binner};
 use arcs_data::{AttrKind, Dataset, Schema};
+
+use crate::store::{
+    bin_batch, valid_tenant_name, RecoveryReport, TenantMeta, TenantStore,
+};
 
 /// How to build a tenant from a dataset.
 #[derive(Debug, Clone)]
@@ -64,11 +69,14 @@ pub struct Tenant {
     binner: Binner,
     labels: Vec<String>,
     server: Server,
+    /// The durable half, when the tenant lives in a data directory.
+    store: Option<TenantStore>,
 }
 
 impl Tenant {
     /// Bins `dataset` once and stands up a [`Server`] holding the result
-    /// as its epoch-0 snapshot.
+    /// as its epoch-0 snapshot. The tenant is ephemeral: appends are not
+    /// logged and nothing survives a restart.
     pub fn from_dataset(
         name: &str,
         dataset: &Dataset,
@@ -86,7 +94,97 @@ impl Tenant {
         )?;
         let array = binner.bin_rows_parallel(dataset.rows(), config.threads.max(1))?;
         let server = Server::new(array, config.serve.clone())?;
-        Ok(Tenant { name: name.to_string(), schema, binner, labels, server })
+        Ok(Tenant { name: name.to_string(), schema, binner, labels, server, store: None })
+    }
+
+    /// Like [`from_dataset`](Tenant::from_dataset), but durable: the
+    /// tenant directory `<data_dir>/<name>` is initialised with the
+    /// descriptor, an epoch-0 checkpoint of the binned array, and an
+    /// empty WAL, so a restart rebuilds this tenant without the source
+    /// dataset. `feeder_offset` seeds the durable feeder resume point
+    /// (the feed file's current length) when a feeder tails this tenant.
+    pub fn from_dataset_durable(
+        name: &str,
+        dataset: &Dataset,
+        config: &TenantConfig,
+        data_dir: &Path,
+        feeder_offset: Option<u64>,
+    ) -> Result<Self, ArcsError> {
+        if !valid_tenant_name(name) {
+            return Err(ArcsError::InvalidConfig(format!(
+                "tenant name `{name}` is not durable-safe: use ASCII letters, digits, \
+                 `.`, `_`, `-` (max 128 chars, no leading dot)"
+            )));
+        }
+        let schema = dataset.schema().clone();
+        let labels = criterion_labels(&schema, &config.criterion)?;
+        let binner = Binner::equi_width(
+            &schema,
+            &config.x,
+            &config.y,
+            &config.criterion,
+            config.n_x_bins,
+            config.n_y_bins,
+        )?;
+        let array = binner.bin_rows_parallel(dataset.rows(), config.threads.max(1))?;
+        let meta = TenantMeta {
+            x: config.x.clone(),
+            y: config.y.clone(),
+            criterion: config.criterion.clone(),
+            n_x_bins: config.n_x_bins,
+            n_y_bins: config.n_y_bins,
+            schema: schema.clone(),
+        };
+        let store = TenantStore::create(&data_dir.join(name), &meta, &array, feeder_offset)?;
+        let server = Server::new(array, config.serve.clone())?;
+        Ok(Tenant { name: name.to_string(), schema, binner, labels, server, store: Some(store) })
+    }
+
+    /// Recovers a durable tenant from `<data_dir>/<name>`: checkpoint
+    /// load, WAL torn-tail healing, replay of logged batches past the
+    /// checkpoint. The server resumes at the recovered epoch, so query
+    /// responses are bit-identical to an uninterrupted run that stopped
+    /// at the same durable prefix.
+    pub fn open_durable(
+        name: &str,
+        data_dir: &Path,
+        serve: ServeConfig,
+    ) -> Result<(Self, RecoveryReport), ArcsError> {
+        let (store, meta, array, report) = TenantStore::open(&data_dir.join(name))?;
+        let labels = criterion_labels(&meta.schema, &meta.criterion)?;
+        let binner = meta.build_binner()?;
+        let server = Server::recovered(array, report.epoch, serve)?;
+        let tenant = Tenant {
+            name: name.to_string(),
+            schema: meta.schema,
+            binner,
+            labels,
+            server,
+            store: Some(store),
+        };
+        Ok((tenant, report))
+    }
+
+    /// Whether appends to this tenant are write-ahead logged.
+    pub fn is_durable(&self) -> bool {
+        self.store.is_some()
+    }
+
+    /// The durable store, when this tenant lives in a data directory.
+    pub fn store(&self) -> Option<&TenantStore> {
+        self.store.as_ref()
+    }
+
+    /// Checkpoints the tenant when at least `min_records` WAL records
+    /// have accumulated; no-op (`Ok(false)`) for ephemeral tenants. The
+    /// snapshot captured is exactly the logged state: the capture runs
+    /// under the same lock appends take.
+    pub fn maybe_checkpoint(&self, min_records: u64) -> Result<bool, ArcsError> {
+        let Some(store) = &self.store else { return Ok(false) };
+        store.checkpoint_with(min_records, || {
+            let snapshot = self.server.snapshot();
+            (snapshot.epoch(), Arc::clone(snapshot.array()))
+        })
     }
 
     /// The dataset key this tenant serves.
@@ -119,15 +217,32 @@ impl Tenant {
     /// swap. Returns the new epoch and the number of rows merged. The
     /// whole batch is rejected on the first malformed row — a partial
     /// merge would leave the epoch unreproducible.
+    ///
+    /// On a durable tenant the batch is written ahead to the WAL
+    /// (fsynced) before the merge: once this returns `Ok`, the batch
+    /// survives a crash.
     pub fn append_csv(&self, rows: &str) -> Result<(u64, u64), ArcsError> {
-        let header: Vec<&str> =
-            self.schema.attributes().iter().map(|a| a.name.as_str()).collect();
-        let text = format!("{}\n{}", header.join(","), rows);
-        let delta_ds = arcs_data::csv::read_csv(self.schema.clone(), text.as_bytes())
-            .map_err(ArcsError::Data)?;
-        let delta = self.binner.bin_rows(delta_ds.iter())?;
-        let epoch = self.server.append(&delta)?;
-        Ok((epoch, delta_ds.len() as u64))
+        self.append_csv_with_offset(rows, None)
+    }
+
+    /// [`append_csv`](Tenant::append_csv) with a feeder byte offset
+    /// recorded in the WAL record: `offset` is the position in the feed
+    /// file *after* this batch, so a restarted feeder resumes there and
+    /// never double-appends.
+    pub fn append_csv_with_offset(
+        &self,
+        rows: &str,
+        offset: Option<u64>,
+    ) -> Result<(u64, u64), ArcsError> {
+        let delta = bin_batch(&self.schema, &self.binner, rows)?;
+        let n_rows = delta.n_tuples();
+        let epoch = match &self.store {
+            None => self.server.append(&delta)?,
+            Some(store) => {
+                store.append(rows.as_bytes(), offset, || self.server.append(&delta))?
+            }
+        };
+        Ok((epoch, n_rows))
     }
 }
 
@@ -177,10 +292,47 @@ impl Registry {
         Ok(map.get(name).cloned())
     }
 
+    /// All registered tenants, sorted by name. Internal maintenance path
+    /// (checkpointer, shutdown flush): no failpoint, unlike
+    /// [`get`](Registry::get).
+    pub fn tenants(&self) -> Vec<Arc<Tenant>> {
+        let map = self.tenants.read().unwrap_or_else(|p| p.into_inner());
+        map.values().cloned().collect()
+    }
+
     /// The registered dataset keys, sorted.
     pub fn names(&self) -> Vec<String> {
         let map = self.tenants.read().unwrap_or_else(|p| p.into_inner());
         map.keys().cloned().collect()
+    }
+
+    /// Opens every tenant directory under `data_dir` (checkpoint load +
+    /// WAL replay) and registers the recovered tenants. Returns
+    /// `(name, recovery report)` per tenant, sorted by name. A directory
+    /// that fails to recover aborts the whole open — serving a partial
+    /// registry would silently answer `UNKNOWN_DATASET` for data that
+    /// exists on disk.
+    pub fn open_data_dir(
+        &self,
+        data_dir: &Path,
+        serve: &ServeConfig,
+    ) -> Result<Vec<(String, RecoveryReport)>, ArcsError> {
+        let mut names: Vec<String> = std::fs::read_dir(data_dir)
+            .map_err(|e| ArcsError::Io(format!("cannot read {}: {e}", data_dir.display())))?
+            .filter_map(|entry| entry.ok())
+            .filter(|entry| {
+                entry.path().is_dir() && entry.path().join(crate::store::TENANT_META_FILE).is_file()
+            })
+            .map(|entry| entry.file_name().to_string_lossy().into_owned())
+            .collect();
+        names.sort();
+        let mut reports = Vec::with_capacity(names.len());
+        for name in names {
+            let (tenant, report) = Tenant::open_durable(&name, data_dir, serve.clone())?;
+            self.insert(tenant);
+            reports.push((name, report));
+        }
+        Ok(reports)
     }
 }
 
@@ -238,6 +390,54 @@ mod tests {
         let after = tenant.server().snapshot();
         assert_eq!(after.epoch(), before.epoch());
         assert_eq!(after.checksum(), before.checksum());
+    }
+
+    #[test]
+    fn durable_tenants_recover_bit_identical() {
+        let data_dir =
+            std::env::temp_dir().join(format!("arcs-registry-durable-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&data_dir);
+        std::fs::create_dir_all(&data_dir).unwrap();
+
+        let ds = tiny_dataset();
+        let tenant =
+            Tenant::from_dataset_durable("tiny", &ds, &tiny_config(), &data_dir, None).unwrap();
+        assert!(tenant.is_durable());
+        tenant.append_csv("2.5,2.5,A\n3.5,3.5,A\n").unwrap();
+        tenant.append_csv_with_offset("4.5,4.5,other\n", Some(64)).unwrap();
+        let live = tenant.server().snapshot();
+        drop(tenant);
+
+        let registry = Registry::new();
+        let reports = registry.open_data_dir(&data_dir, &ServeConfig::default()).unwrap();
+        assert_eq!(reports.len(), 1);
+        assert_eq!(reports[0].0, "tiny");
+        assert_eq!(reports[0].1.replayed_records, 2);
+
+        let recovered = registry.get("tiny").unwrap().unwrap();
+        let snapshot = recovered.server().snapshot();
+        assert_eq!(snapshot.epoch(), live.epoch());
+        assert_eq!(snapshot.checksum(), live.checksum());
+        assert_eq!(recovered.store().unwrap().feeder_offset(), Some(64));
+
+        // Checkpoint folds the WAL; a further restart still agrees.
+        assert!(recovered.maybe_checkpoint(1).unwrap());
+        assert_eq!(recovered.store().unwrap().records_since_checkpoint(), 0);
+        let (reopened, report) =
+            Tenant::open_durable("tiny", &data_dir, ServeConfig::default()).unwrap();
+        assert_eq!(report.replayed_records, 0);
+        assert_eq!(reopened.server().snapshot().checksum(), live.checksum());
+        assert_eq!(reopened.server().snapshot().epoch(), live.epoch());
+        std::fs::remove_dir_all(&data_dir).ok();
+    }
+
+    #[test]
+    fn durable_tenant_names_are_validated() {
+        let data_dir = std::env::temp_dir().join("arcs-registry-names");
+        let ds = tiny_dataset();
+        let err = Tenant::from_dataset_durable("../evil", &ds, &tiny_config(), &data_dir, None)
+            .unwrap_err();
+        assert!(matches!(err, ArcsError::InvalidConfig(_)), "{err}");
     }
 
     #[test]

@@ -1,0 +1,1063 @@
+//! The per-tenant durable store: data-directory layout, write-ahead
+//! logging around snapshot merges, checkpointing, recovery, and the
+//! `arcs fsck` audit.
+//!
+//! # Data directory layout
+//!
+//! ```text
+//! <data-dir>/
+//!   <tenant>/
+//!     tenant.json            — schema + binning config (how to rebuild the Binner)
+//!     checkpoint.<epoch>.bin — BinArray snapshot (PR-1 format, checksummed)
+//!     checkpoint.meta        — epoch / last_seq / feeder offset sidecar
+//!     wal.log                — write-ahead append log since the checkpoint
+//! ```
+//!
+//! The array snapshot is **versioned by epoch** so writing a new
+//! checkpoint never touches the committed one: the new
+//! `checkpoint.<epoch>.bin` lands first, then the meta rename commits
+//! the pair, then superseded array files are pruned. A crash between
+//! any two of those steps leaves either the old pair or the new pair
+//! fully intact (plus, at worst, a benign orphan array that the next
+//! checkpoint or `arcs fsck --repair` removes).
+//!
+//! `tenant.json` makes a directory self-describing: a restarted daemon
+//! rebuilds the tenant's [`Binner`] and label table from it without the
+//! original CSV. The other three files implement the checkpoint ⇄ WAL
+//! epoch contract documented in [`arcs_core::wal`].
+//!
+//! # Write-ahead ordering
+//!
+//! [`TenantStore::append`] holds the tenant's single append lock across
+//! the whole sequence *WAL append (fsync) → in-memory merge*: log order
+//! is epoch order, an acknowledged batch is always durable, and a merge
+//! failure rolls the just-written record back so disk and memory never
+//! disagree about which batches exist.
+
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex, MutexGuard};
+
+use arcs_core::jsonio::{obj, Json};
+use arcs_core::wal::{
+    load_checkpoint, replay, save_checkpoint, write_atomic, CheckpointMeta, WalRecord, WalTail,
+    WalWriter,
+};
+use arcs_core::{ArcsError, BinArray, Binner};
+use arcs_data::{AttrKind, Attribute, Schema};
+
+/// File name of the tenant descriptor inside a tenant directory.
+pub const TENANT_META_FILE: &str = "tenant.json";
+/// File name of the checkpoint meta sidecar.
+pub const CHECKPOINT_META_FILE: &str = "checkpoint.meta";
+/// File name of the write-ahead log.
+pub const WAL_FILE: &str = "wal.log";
+
+/// File name of the array snapshot checkpointed at `epoch`. Versioned so
+/// a new checkpoint never overwrites the committed one mid-write.
+pub fn checkpoint_bin_file(epoch: u64) -> String {
+    format!("checkpoint.{epoch}.bin")
+}
+
+fn checkpoint_err(message: impl Into<String>) -> ArcsError {
+    ArcsError::Checkpoint { message: message.into() }
+}
+
+fn lock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// `true` when `name` is safe to use as a tenant directory name: no path
+/// separators, no traversal, a bounded character set.
+pub fn valid_tenant_name(name: &str) -> bool {
+    !name.is_empty()
+        && name.len() <= 128
+        && !name.starts_with('.')
+        && name.chars().all(|c| c.is_ascii_alphanumeric() || matches!(c, '.' | '_' | '-'))
+}
+
+// ---------------------------------------------------------------------------
+// tenant.json
+// ---------------------------------------------------------------------------
+
+/// The self-describing tenant descriptor persisted as `tenant.json`:
+/// everything needed to rebuild the binner and label table on restart.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TenantMeta {
+    /// X-axis (LHS) attribute name.
+    pub x: String,
+    /// Y-axis (LHS) attribute name.
+    pub y: String,
+    /// Criterion (RHS) attribute name.
+    pub criterion: String,
+    /// Number of x bins.
+    pub n_x_bins: usize,
+    /// Number of y bins.
+    pub n_y_bins: usize,
+    /// The schema appended rows must conform to.
+    pub schema: Schema,
+}
+
+fn schema_to_json(schema: &Schema) -> Json {
+    let attributes = schema
+        .attributes()
+        .iter()
+        .map(|attr| match &attr.kind {
+            AttrKind::Quantitative { min, max } => obj(vec![
+                ("name", Json::Str(attr.name.clone())),
+                ("kind", Json::Str("quantitative".into())),
+                ("min", Json::Num(*min)),
+                ("max", Json::Num(*max)),
+            ]),
+            AttrKind::Categorical { labels } => obj(vec![
+                ("name", Json::Str(attr.name.clone())),
+                ("kind", Json::Str("categorical".into())),
+                ("labels", Json::Arr(labels.iter().map(|l| Json::Str(l.clone())).collect())),
+            ]),
+        })
+        .collect();
+    obj(vec![("attributes", Json::Arr(attributes))])
+}
+
+fn schema_from_json(json: &Json) -> Result<Schema, ArcsError> {
+    let bad = |what: &str| checkpoint_err(format!("tenant.json schema: {what}"));
+    let items = json
+        .get("attributes")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| bad("missing attributes array"))?;
+    let mut attributes = Vec::with_capacity(items.len());
+    for item in items {
+        let name = item
+            .get("name")
+            .and_then(Json::as_str)
+            .ok_or_else(|| bad("attribute lacks a name"))?;
+        match item.get("kind").and_then(Json::as_str) {
+            Some("quantitative") => {
+                let min = item.get("min").and_then(Json::as_f64).ok_or_else(|| bad("missing min"))?;
+                let max = item.get("max").and_then(Json::as_f64).ok_or_else(|| bad("missing max"))?;
+                attributes.push(Attribute::quantitative(name, min, max));
+            }
+            Some("categorical") => {
+                let labels = item
+                    .get("labels")
+                    .and_then(Json::as_arr)
+                    .ok_or_else(|| bad("missing labels"))?
+                    .iter()
+                    .map(|l| l.as_str().map(str::to_string))
+                    .collect::<Option<Vec<_>>>()
+                    .ok_or_else(|| bad("labels must be strings"))?;
+                attributes.push(Attribute::categorical(name, labels));
+            }
+            _ => return Err(bad("attribute kind must be quantitative or categorical")),
+        }
+    }
+    Schema::new(attributes).map_err(|err| checkpoint_err(format!("tenant.json schema: {err}")))
+}
+
+impl TenantMeta {
+    /// Serialises to the `tenant.json` document.
+    pub fn to_json(&self) -> Json {
+        obj(vec![
+            ("version", Json::Num(1.0)),
+            ("x", Json::Str(self.x.clone())),
+            ("y", Json::Str(self.y.clone())),
+            ("criterion", Json::Str(self.criterion.clone())),
+            ("n_x_bins", Json::Num(self.n_x_bins as f64)),
+            ("n_y_bins", Json::Num(self.n_y_bins as f64)),
+            ("schema", schema_to_json(&self.schema)),
+        ])
+    }
+
+    /// Parses a `tenant.json` document.
+    pub fn from_json(json: &Json) -> Result<Self, ArcsError> {
+        let bad = |what: &str| checkpoint_err(format!("tenant.json: {what}"));
+        match json.get("version").and_then(Json::as_u64) {
+            Some(1) => {}
+            Some(v) => return Err(bad(&format!("unsupported version {v}"))),
+            None => return Err(bad("missing version")),
+        }
+        let text = |key: &str| {
+            json.get(key)
+                .and_then(Json::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| bad(&format!("missing {key}")))
+        };
+        let count = |key: &str| {
+            json.get(key).and_then(Json::as_usize).ok_or_else(|| bad(&format!("missing {key}")))
+        };
+        Ok(TenantMeta {
+            x: text("x")?,
+            y: text("y")?,
+            criterion: text("criterion")?,
+            n_x_bins: count("n_x_bins")?,
+            n_y_bins: count("n_y_bins")?,
+            schema: schema_from_json(
+                json.get("schema").ok_or_else(|| bad("missing schema"))?,
+            )?,
+        })
+    }
+
+    /// Rebuilds the tenant's binner from the persisted configuration.
+    pub fn build_binner(&self) -> Result<Binner, ArcsError> {
+        Binner::equi_width(
+            &self.schema,
+            &self.x,
+            &self.y,
+            &self.criterion,
+            self.n_x_bins,
+            self.n_y_bins,
+        )
+    }
+
+    fn save(&self, dir: &Path) -> Result<(), ArcsError> {
+        write_atomic(&dir.join(TENANT_META_FILE), self.to_json().to_string().as_bytes())
+    }
+
+    fn load(dir: &Path) -> Result<Self, ArcsError> {
+        let path = dir.join(TENANT_META_FILE);
+        let text = std::fs::read_to_string(&path)
+            .map_err(|e| checkpoint_err(format!("cannot read {}: {e}", path.display())))?;
+        let json = arcs_core::jsonio::parse(&text)
+            .map_err(|e| checkpoint_err(format!("{} is not JSON: {e}", path.display())))?;
+        TenantMeta::from_json(&json)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The durable store
+// ---------------------------------------------------------------------------
+
+#[derive(Debug)]
+struct StoreState {
+    wal: WalWriter,
+    /// Epoch of the last committed checkpoint.
+    checkpoint_epoch: u64,
+    /// `last_seq` of the last committed checkpoint.
+    checkpoint_seq: u64,
+    /// Latest durably recorded feeder byte offset.
+    feeder_offset: Option<u64>,
+}
+
+/// What recovery found when opening an existing tenant directory.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Records replayed from the WAL on top of the checkpoint.
+    pub replayed_records: u64,
+    /// Bytes of torn tail healed (0 after a clean shutdown).
+    pub torn_bytes: u64,
+    /// The serving epoch the tenant resumed at.
+    pub epoch: u64,
+}
+
+/// One tenant's durable half: the WAL writer, checkpoint bookkeeping,
+/// and the single append lock ordering durable writes against merges.
+#[derive(Debug)]
+pub struct TenantStore {
+    dir: PathBuf,
+    state: Mutex<StoreState>,
+}
+
+impl TenantStore {
+    /// Initialises a fresh tenant directory: `tenant.json`, an epoch-0
+    /// checkpoint of `array`, and an empty WAL starting at seq 1. The
+    /// initial checkpoint means a restart never needs the original CSV.
+    /// `feeder_offset` records where a feeder tailing this tenant's CSV
+    /// starts, so a restart before the first feeder merge still resumes
+    /// at the right byte.
+    pub fn create(
+        dir: &Path,
+        meta: &TenantMeta,
+        array: &BinArray,
+        feeder_offset: Option<u64>,
+    ) -> Result<Self, ArcsError> {
+        std::fs::create_dir_all(dir)?;
+        meta.save(dir)?;
+        let checkpoint = CheckpointMeta {
+            epoch: 0,
+            last_seq: 0,
+            feeder_offset,
+            array_checksum: array.checksum(),
+        };
+        save_checkpoint(
+            &dir.join(checkpoint_bin_file(0)),
+            &dir.join(CHECKPOINT_META_FILE),
+            array,
+            &checkpoint,
+        )?;
+        let wal = WalWriter::create(&dir.join(WAL_FILE), 1)?;
+        Ok(TenantStore {
+            dir: dir.to_path_buf(),
+            state: Mutex::new(StoreState {
+                wal,
+                checkpoint_epoch: 0,
+                checkpoint_seq: 0,
+                feeder_offset,
+            }),
+        })
+    }
+
+    /// Opens an existing tenant directory: loads `tenant.json` and the
+    /// checkpoint, recovers the WAL (healing a torn tail), and replays
+    /// records past the checkpoint into the array. Returns the store,
+    /// the descriptor, the recovered array, and a recovery report; the
+    /// caller stands the serving stack up at `report.epoch`.
+    pub fn open(dir: &Path) -> Result<(Self, TenantMeta, BinArray, RecoveryReport), ArcsError> {
+        let meta = TenantMeta::load(dir)?;
+        let binner = meta.build_binner()?;
+        let (checkpoint, mut array) = load_checkpoint_versioned(dir)?.ok_or_else(|| {
+            checkpoint_err(format!(
+                "{} has a tenant.json but no checkpoint; the directory is torn",
+                dir.display()
+            ))
+        })?;
+        let (wal, replayed) = WalWriter::recover(&dir.join(WAL_FILE))?;
+        if replayed.start_seq > checkpoint.last_seq + 1 {
+            return Err(checkpoint_err(format!(
+                "WAL starts at seq {} but the checkpoint covers only up to {}: \
+                 records were lost between them",
+                replayed.start_seq, checkpoint.last_seq
+            )));
+        }
+        let torn_bytes = match replayed.tail {
+            WalTail::Torn { dropped_bytes, .. } => dropped_bytes,
+            _ => 0,
+        };
+        let mut epoch = checkpoint.epoch;
+        let mut feeder_offset = checkpoint.feeder_offset;
+        let mut replayed_records = 0u64;
+        for record in &replayed.records {
+            if record.seq <= checkpoint.last_seq {
+                continue; // already folded into the checkpoint
+            }
+            apply_record(&meta.schema, &binner, &mut array, record)?;
+            epoch += 1;
+            replayed_records += 1;
+            if record.feeder_offset.is_some() {
+                feeder_offset = record.feeder_offset;
+            }
+        }
+        let report = RecoveryReport { replayed_records, torn_bytes, epoch };
+        let store = TenantStore {
+            dir: dir.to_path_buf(),
+            state: Mutex::new(StoreState {
+                wal,
+                checkpoint_epoch: checkpoint.epoch,
+                checkpoint_seq: checkpoint.last_seq,
+                feeder_offset,
+            }),
+        };
+        Ok((store, meta, array, report))
+    }
+
+    /// The tenant directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The latest durably recorded feeder byte offset (checkpoint or WAL,
+    /// whichever is newer). A restarted feeder resumes here.
+    pub fn feeder_offset(&self) -> Option<u64> {
+        lock(&self.state).feeder_offset
+    }
+
+    /// Records appended since the last checkpoint.
+    pub fn records_since_checkpoint(&self) -> u64 {
+        let st = lock(&self.state);
+        (st.wal.next_seq() - 1).saturating_sub(st.checkpoint_seq)
+    }
+
+    /// WAL bytes accumulated since the last checkpoint.
+    pub fn wal_bytes(&self) -> u64 {
+        lock(&self.state).wal.len()
+    }
+
+    /// Write-ahead append: durably logs `payload` (with its feeder
+    /// offset, when driven by the feeder), then runs `merge` — the
+    /// in-memory snapshot swap — under the same lock. A merge failure
+    /// rolls the record back; a log failure never reaches the merge.
+    /// Returns `merge`'s result (the new epoch).
+    pub fn append(
+        &self,
+        payload: &[u8],
+        feeder_offset: Option<u64>,
+        merge: impl FnOnce() -> Result<u64, ArcsError>,
+    ) -> Result<u64, ArcsError> {
+        let mut st = lock(&self.state);
+        let mark = st.wal.mark();
+        st.wal.append(payload, feeder_offset)?;
+        match merge() {
+            Ok(epoch) => {
+                if feeder_offset.is_some() {
+                    st.feeder_offset = feeder_offset;
+                }
+                Ok(epoch)
+            }
+            Err(err) => {
+                // The record is durable but the snapshot never applied it;
+                // drop it so replay cannot resurrect a batch memory rejected.
+                st.wal.rollback_to(mark)?;
+                Err(err)
+            }
+        }
+    }
+
+    /// Checkpoints when at least `min_records` have accumulated since
+    /// the last one. `capture` reads the serving state — it runs under
+    /// the append lock, so the (epoch, array) pair it returns is exactly
+    /// the state produced by the logged records. After the checkpoint
+    /// commits (meta rename), the WAL is reset. Returns whether a
+    /// checkpoint was written.
+    pub fn checkpoint_with(
+        &self,
+        min_records: u64,
+        capture: impl FnOnce() -> (u64, Arc<BinArray>),
+    ) -> Result<bool, ArcsError> {
+        let mut st = lock(&self.state);
+        let last_seq = st.wal.next_seq() - 1;
+        let pending = last_seq.saturating_sub(st.checkpoint_seq);
+        if pending < min_records.max(1) {
+            return Ok(false);
+        }
+        let (epoch, array) = capture();
+        let expected = st.checkpoint_epoch + pending;
+        if epoch != expected {
+            return Err(checkpoint_err(format!(
+                "epoch drift: serving epoch {epoch} but the log implies {expected} \
+                 ({pending} records past checkpoint epoch {})",
+                st.checkpoint_epoch
+            )));
+        }
+        let meta = CheckpointMeta {
+            epoch,
+            last_seq,
+            feeder_offset: st.feeder_offset,
+            array_checksum: array.checksum(),
+        };
+        save_checkpoint(
+            &self.dir.join(checkpoint_bin_file(epoch)),
+            &self.dir.join(CHECKPOINT_META_FILE),
+            &array,
+            &meta,
+        )?;
+        // The checkpoint is committed from here on: even if the reset
+        // fails, replay skips seq <= last_seq, so update the bookkeeping
+        // first and surface the reset error only for visibility.
+        st.checkpoint_epoch = epoch;
+        st.checkpoint_seq = last_seq;
+        prune_superseded_checkpoints(&self.dir, epoch);
+        st.wal.reset(last_seq + 1)?;
+        Ok(true)
+    }
+}
+
+/// Reads just the checkpoint meta sidecar (`None` when absent): the
+/// epoch inside it names the array file the committed pair refers to.
+fn read_checkpoint_meta(dir: &Path) -> Result<Option<CheckpointMeta>, ArcsError> {
+    let path = dir.join(CHECKPOINT_META_FILE);
+    let text = match std::fs::read_to_string(&path) {
+        Ok(text) => text,
+        Err(err) if err.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+        Err(err) => return Err(ArcsError::Io(err.to_string())),
+    };
+    let json = arcs_core::jsonio::parse(&text)
+        .map_err(|e| checkpoint_err(format!("{} is not JSON: {e}", path.display())))?;
+    CheckpointMeta::from_json(&json).map(Some)
+}
+
+/// Loads the committed checkpoint pair: the meta names the epoch, the
+/// epoch names the array file. An array written by a crashed checkpoint
+/// that never committed its meta is simply never looked at.
+fn load_checkpoint_versioned(dir: &Path) -> Result<Option<(CheckpointMeta, BinArray)>, ArcsError> {
+    let Some(meta) = read_checkpoint_meta(dir)? else { return Ok(None) };
+    load_checkpoint(&dir.join(checkpoint_bin_file(meta.epoch)), &dir.join(CHECKPOINT_META_FILE))
+}
+
+/// Best-effort removal of array snapshots superseded by the checkpoint
+/// at `keep_epoch`. Failures are ignored: an orphan array is benign and
+/// the next checkpoint (or `arcs fsck --repair`) retries.
+fn prune_superseded_checkpoints(dir: &Path, keep_epoch: u64) -> u64 {
+    let Ok(entries) = std::fs::read_dir(dir) else { return 0 };
+    let keep = checkpoint_bin_file(keep_epoch);
+    let mut removed = 0;
+    for entry in entries.flatten() {
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if name.starts_with("checkpoint.")
+            && name.ends_with(".bin")
+            && name != keep
+            && std::fs::remove_file(entry.path()).is_ok()
+        {
+            removed += 1;
+        }
+    }
+    removed
+}
+
+/// Parses and merges one WAL record into `array` — the replay half of
+/// [`TenantStore::append`]: same parse, same binner, deterministically
+/// bit-identical to the original merge.
+fn apply_record(
+    schema: &Schema,
+    binner: &Binner,
+    array: &mut BinArray,
+    record: &WalRecord,
+) -> Result<(), ArcsError> {
+    let rows = std::str::from_utf8(&record.payload).map_err(|_| {
+        checkpoint_err(format!("WAL record {} payload is not UTF-8", record.seq))
+    })?;
+    let delta = bin_batch(schema, binner, rows)
+        .map_err(|err| checkpoint_err(format!("WAL record {} does not apply: {err}", record.seq)))?;
+    array.merge(&delta)?;
+    Ok(())
+}
+
+/// Parses header-less CSV `rows` against `schema` and bins them — the
+/// single code path shared by live appends, WAL replay, and fsck, so all
+/// three agree on what a batch means.
+pub fn bin_batch(schema: &Schema, binner: &Binner, rows: &str) -> Result<BinArray, ArcsError> {
+    let header: Vec<&str> = schema.attributes().iter().map(|a| a.name.as_str()).collect();
+    let text = format!("{}\n{}", header.join(","), rows);
+    let delta_ds = arcs_data::csv::read_csv(schema.clone(), text.as_bytes())
+        .map_err(ArcsError::Data)?;
+    binner.bin_rows(delta_ds.iter())
+}
+
+// ---------------------------------------------------------------------------
+// fsck
+// ---------------------------------------------------------------------------
+
+/// Audit result of one tenant directory.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TenantAudit {
+    /// Directory (= tenant) name.
+    pub name: String,
+    /// Checkpoint epoch, when the checkpoint pair loaded.
+    pub checkpoint_epoch: Option<u64>,
+    /// Checkpoint `last_seq`, when the checkpoint pair loaded.
+    pub checkpoint_seq: Option<u64>,
+    /// WAL records in the valid prefix.
+    pub wal_records: u64,
+    /// Tail classification: `clean`, `torn`, or `corrupt`.
+    pub tail: String,
+    /// Reason the tail is invalid, for torn/corrupt tails.
+    pub tail_reason: Option<String>,
+    /// Bytes past the valid prefix (0 when clean).
+    pub dropped_bytes: u64,
+    /// Whether `--repair` truncated the tail / cleaned temp files.
+    pub repaired: bool,
+    /// Stale temporary files removed by repair.
+    pub stale_tmp_removed: u64,
+    /// Problems fsck cannot repair (missing/torn checkpoint, unreadable
+    /// descriptor, records that fail to apply, sequence loss).
+    pub errors: Vec<String>,
+}
+
+impl TenantAudit {
+    /// `true` when the tenant needs no repair and has no errors.
+    pub fn clean(&self) -> bool {
+        self.errors.is_empty() && self.tail == "clean"
+    }
+
+    /// Serialises the audit for `arcs fsck --json` / jq assertions.
+    pub fn to_json(&self) -> Json {
+        obj(vec![
+            ("name", Json::Str(self.name.clone())),
+            (
+                "checkpoint_epoch",
+                self.checkpoint_epoch.map_or(Json::Null, |e| Json::Num(e as f64)),
+            ),
+            (
+                "checkpoint_seq",
+                self.checkpoint_seq.map_or(Json::Null, |s| Json::Num(s as f64)),
+            ),
+            ("wal_records", Json::Num(self.wal_records as f64)),
+            ("tail", Json::Str(self.tail.clone())),
+            (
+                "tail_reason",
+                self.tail_reason.clone().map_or(Json::Null, Json::Str),
+            ),
+            ("dropped_bytes", Json::Num(self.dropped_bytes as f64)),
+            ("repaired", Json::Bool(self.repaired)),
+            ("stale_tmp_removed", Json::Num(self.stale_tmp_removed as f64)),
+            ("errors", Json::Arr(self.errors.iter().map(|e| Json::Str(e.clone())).collect())),
+        ])
+    }
+}
+
+/// The whole data directory's audit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FsckReport {
+    /// The audited data directory.
+    pub data_dir: PathBuf,
+    /// One audit per tenant directory found.
+    pub tenants: Vec<TenantAudit>,
+}
+
+impl FsckReport {
+    /// `true` when every tenant is clean (possibly after repair).
+    pub fn clean(&self) -> bool {
+        self.tenants.iter().all(|t| t.clean() || (t.repaired && t.errors.is_empty()))
+    }
+
+    /// Serialises the report for `arcs fsck` output.
+    pub fn to_json(&self) -> Json {
+        obj(vec![
+            ("data_dir", Json::Str(self.data_dir.display().to_string())),
+            ("clean", Json::Bool(self.clean())),
+            ("tenants", Json::Arr(self.tenants.iter().map(TenantAudit::to_json).collect())),
+        ])
+    }
+}
+
+/// Audits (and with `repair`, fixes) every tenant directory under
+/// `data_dir`. Repairs are the *safe* subset: truncating an invalid WAL
+/// tail to the last whole record and removing stale temporary files. A
+/// missing or torn checkpoint, an unreadable descriptor, or a record
+/// that no longer applies is reported as an error — fsck never deletes
+/// checkpoints or invents data.
+pub fn fsck(data_dir: &Path, repair: bool) -> Result<FsckReport, ArcsError> {
+    let mut tenants = Vec::new();
+    let entries = std::fs::read_dir(data_dir)
+        .map_err(|e| ArcsError::Io(format!("cannot read {}: {e}", data_dir.display())))?;
+    let mut dirs: Vec<PathBuf> = entries
+        .filter_map(|entry| entry.ok().map(|e| e.path()))
+        .filter(|path| path.is_dir() && path.join(TENANT_META_FILE).is_file())
+        .collect();
+    dirs.sort();
+    for dir in dirs {
+        let name = dir
+            .file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .unwrap_or_else(|| dir.display().to_string());
+        tenants.push(audit_tenant(&dir, name, repair));
+    }
+    Ok(FsckReport { data_dir: data_dir.to_path_buf(), tenants })
+}
+
+fn audit_tenant(dir: &Path, name: String, repair: bool) -> TenantAudit {
+    let mut audit = TenantAudit {
+        name,
+        checkpoint_epoch: None,
+        checkpoint_seq: None,
+        wal_records: 0,
+        tail: "clean".into(),
+        tail_reason: None,
+        dropped_bytes: 0,
+        repaired: false,
+        stale_tmp_removed: 0,
+        errors: Vec::new(),
+    };
+
+    if repair {
+        audit.stale_tmp_removed = remove_stale_tmp(dir);
+        if audit.stale_tmp_removed > 0 {
+            audit.repaired = true;
+        }
+    }
+
+    let meta = match TenantMeta::load(dir) {
+        Ok(meta) => Some(meta),
+        Err(err) => {
+            audit.errors.push(format!("tenant.json: {err}"));
+            None
+        }
+    };
+
+    let checkpoint = match load_checkpoint_versioned(dir) {
+        Ok(Some((meta, array))) => {
+            audit.checkpoint_epoch = Some(meta.epoch);
+            audit.checkpoint_seq = Some(meta.last_seq);
+            // Arrays superseded by (or orphaned before) this committed
+            // pair are benign leftovers; repair sweeps them with the
+            // other stale files.
+            if repair {
+                let removed = prune_superseded_checkpoints(dir, meta.epoch);
+                if removed > 0 {
+                    audit.stale_tmp_removed += removed;
+                    audit.repaired = true;
+                }
+            }
+            Some((meta, array))
+        }
+        Ok(None) => {
+            audit.errors.push("checkpoint missing (tenant.json exists)".into());
+            None
+        }
+        Err(err) => {
+            audit.errors.push(format!("checkpoint: {err}"));
+            None
+        }
+    };
+
+    let wal_path = dir.join(WAL_FILE);
+    let replayed = if wal_path.is_file() {
+        match replay(&wal_path) {
+            Ok(replayed) => Some(replayed),
+            Err(err) => {
+                // An unreadable header: repair can only recreate an empty
+                // log continuing from the checkpoint.
+                if repair {
+                    if let Some((meta, _)) = &checkpoint {
+                        match WalWriter::create(&wal_path, meta.last_seq + 1) {
+                            Ok(_) => {
+                                audit.repaired = true;
+                                audit.tail = "clean".into();
+                                audit
+                                    .tail_reason
+                                    .replace(format!("log recreated after: {err}"));
+                            }
+                            Err(err) => audit.errors.push(format!("wal recreate: {err}")),
+                        }
+                    } else {
+                        audit.errors.push(format!("wal: {err} (no checkpoint to anchor a new log)"));
+                    }
+                } else {
+                    audit.errors.push(format!("wal: {err}"));
+                }
+                None
+            }
+        }
+    } else {
+        if let Some((meta, _)) = &checkpoint {
+            if repair {
+                match WalWriter::create(&wal_path, meta.last_seq + 1) {
+                    Ok(_) => audit.repaired = true,
+                    Err(err) => audit.errors.push(format!("wal recreate: {err}")),
+                }
+            } else {
+                audit.errors.push("wal.log missing".into());
+            }
+        } else {
+            audit.errors.push("wal.log missing".into());
+        }
+        None
+    };
+
+    if let Some(replayed) = replayed {
+        audit.wal_records = replayed.records.len() as u64;
+        match &replayed.tail {
+            WalTail::Clean => {}
+            WalTail::Torn { valid_len, dropped_bytes } => {
+                audit.tail = "torn".into();
+                audit.dropped_bytes = *dropped_bytes;
+                audit.tail_reason = Some("file ends mid-record".into());
+                if repair {
+                    match truncate_file(&wal_path, *valid_len) {
+                        Ok(()) => {
+                            audit.repaired = true;
+                            audit.tail = "clean".into();
+                        }
+                        Err(err) => audit.errors.push(format!("truncate: {err}")),
+                    }
+                }
+            }
+            WalTail::Corrupt { valid_len, dropped_bytes, reason } => {
+                audit.tail = "corrupt".into();
+                audit.dropped_bytes = *dropped_bytes;
+                audit.tail_reason = Some(reason.clone());
+                if repair {
+                    match truncate_file(&wal_path, *valid_len) {
+                        Ok(()) => {
+                            audit.repaired = true;
+                            audit.tail = "clean".into();
+                        }
+                        Err(err) => audit.errors.push(format!("truncate: {err}")),
+                    }
+                }
+            }
+        }
+
+        // Deep audit: the surviving records must actually apply on top of
+        // the checkpoint, exactly as recovery would.
+        if let (Some(meta), Some((checkpoint, array))) = (&meta, &checkpoint) {
+            if replayed.start_seq > checkpoint.last_seq + 1 {
+                audit.errors.push(format!(
+                    "sequence loss: WAL starts at {} but the checkpoint covers up to {}",
+                    replayed.start_seq, checkpoint.last_seq
+                ));
+            } else {
+                match meta.build_binner() {
+                    Ok(binner) => {
+                        let mut array = array.clone();
+                        for record in &replayed.records {
+                            if record.seq <= checkpoint.last_seq {
+                                continue;
+                            }
+                            if let Err(err) = apply_record(&meta.schema, &binner, &mut array, record)
+                            {
+                                audit.errors.push(err.to_string());
+                                break;
+                            }
+                        }
+                    }
+                    Err(err) => audit.errors.push(format!("binner rebuild: {err}")),
+                }
+            }
+        }
+    }
+
+    audit
+}
+
+fn truncate_file(path: &Path, len: u64) -> std::io::Result<()> {
+    let file = std::fs::OpenOptions::new().write(true).open(path)?;
+    file.set_len(len)?;
+    file.sync_data()?;
+    Ok(())
+}
+
+fn remove_stale_tmp(dir: &Path) -> u64 {
+    let Ok(entries) = std::fs::read_dir(dir) else { return 0 };
+    let mut removed = 0;
+    for entry in entries.flatten() {
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if (name.ends_with(".tmp") || name.ends_with(".reset"))
+            && std::fs::remove_file(&path).is_ok()
+        {
+            removed += 1;
+        }
+    }
+    removed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use arcs_data::{Dataset, Value};
+
+    fn tiny_schema() -> Schema {
+        Schema::new(vec![
+            Attribute::quantitative("x", 0.0, 10.0),
+            Attribute::quantitative("y", 0.0, 10.0),
+            Attribute::categorical("g", ["A", "other"]),
+        ])
+        .unwrap()
+    }
+
+    fn tiny_meta() -> TenantMeta {
+        TenantMeta {
+            x: "x".into(),
+            y: "y".into(),
+            criterion: "g".into(),
+            n_x_bins: 10,
+            n_y_bins: 10,
+            schema: tiny_schema(),
+        }
+    }
+
+    fn tiny_array(meta: &TenantMeta) -> BinArray {
+        let mut ds = Dataset::new(meta.schema.clone());
+        for i in 0..40 {
+            let (x, y) = ((i % 10) as f64 + 0.5, ((i / 10) % 10) as f64 + 0.5);
+            ds.push(vec![Value::Quant(x), Value::Quant(y), Value::Cat((i % 2) as u32)]).unwrap();
+        }
+        meta.build_binner().unwrap().bin_rows(ds.iter()).unwrap()
+    }
+
+    fn temp_dir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("arcs-store-{name}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn tenant_meta_round_trips() {
+        let meta = tiny_meta();
+        let text = meta.to_json().to_string();
+        let back = TenantMeta::from_json(&arcs_core::jsonio::parse(&text).unwrap()).unwrap();
+        assert_eq!(back, meta);
+        assert!(TenantMeta::from_json(&arcs_core::jsonio::parse("{}").unwrap()).is_err());
+    }
+
+    #[test]
+    fn tenant_names_are_validated() {
+        for good in ["trades", "a", "x-1_2.v3", "UPPER"] {
+            assert!(valid_tenant_name(good), "{good}");
+        }
+        for bad in ["", ".", "..", ".hidden", "a/b", "a\\b", "a b", "é", &"x".repeat(200)] {
+            assert!(!valid_tenant_name(bad), "{bad}");
+        }
+    }
+
+    #[test]
+    fn create_open_round_trips_with_wal_replay() {
+        let dir = temp_dir("roundtrip");
+        let meta = tiny_meta();
+        let array = tiny_array(&meta);
+        let store = TenantStore::create(&dir, &meta, &array, Some(100)).unwrap();
+
+        // Two durable appends, as the serving path would issue them.
+        let mut live = array.clone();
+        let binner = meta.build_binner().unwrap();
+        let mut epoch = 0u64;
+        for (rows, offset) in [("2.5,2.5,A\n", None), ("3.5,3.5,other\n", Some(250u64))] {
+            let delta = bin_batch(&meta.schema, &binner, rows).unwrap();
+            epoch = store
+                .append(rows.as_bytes(), offset, || {
+                    live.merge(&delta)?;
+                    epoch += 1;
+                    Ok(epoch)
+                })
+                .unwrap();
+        }
+        assert_eq!(store.records_since_checkpoint(), 2);
+        assert_eq!(store.feeder_offset(), Some(250));
+        drop(store);
+
+        let (reopened, back_meta, recovered, report) = TenantStore::open(&dir).unwrap();
+        assert_eq!(back_meta, meta);
+        assert_eq!(report, RecoveryReport { replayed_records: 2, torn_bytes: 0, epoch: 2 });
+        assert_eq!(recovered.checksum(), live.checksum());
+        assert_eq!(reopened.feeder_offset(), Some(250));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn failed_merges_roll_the_wal_back() {
+        let dir = temp_dir("rollback");
+        let meta = tiny_meta();
+        let array = tiny_array(&meta);
+        let store = TenantStore::create(&dir, &meta, &array, None).unwrap();
+
+        let err = store
+            .append(b"9.5,9.5,A\n", None, || Err(ArcsError::InvalidConfig("merge failed".into())))
+            .unwrap_err();
+        assert!(matches!(err, ArcsError::InvalidConfig(_)));
+        assert_eq!(store.records_since_checkpoint(), 0);
+        drop(store);
+
+        // Recovery sees no record of the failed batch.
+        let (_, _, recovered, report) = TenantStore::open(&dir).unwrap();
+        assert_eq!(report.replayed_records, 0);
+        assert_eq!(recovered.checksum(), array.checksum());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn checkpoint_truncates_the_wal_and_recovery_resumes() {
+        let dir = temp_dir("checkpoint");
+        let meta = tiny_meta();
+        let array = tiny_array(&meta);
+        let store = TenantStore::create(&dir, &meta, &array, None).unwrap();
+        let binner = meta.build_binner().unwrap();
+
+        let mut live = array.clone();
+        let mut epoch = 0u64;
+        let push = |store: &TenantStore, live: &mut BinArray, epoch: &mut u64, rows: &str| {
+            let delta = bin_batch(&meta.schema, &binner, rows).unwrap();
+            store
+                .append(rows.as_bytes(), None, || {
+                    live.merge(&delta)?;
+                    *epoch += 1;
+                    Ok(*epoch)
+                })
+                .unwrap();
+        };
+        push(&store, &mut live, &mut epoch, "1.5,1.5,A\n");
+        push(&store, &mut live, &mut epoch, "2.5,2.5,other\n");
+
+        // Below the threshold: no checkpoint.
+        assert!(!store.checkpoint_with(3, || unreachable!()).unwrap());
+        let live_snapshot = Arc::new(live.clone());
+        assert!(store.checkpoint_with(2, || (epoch, Arc::clone(&live_snapshot))).unwrap());
+        assert_eq!(store.records_since_checkpoint(), 0);
+
+        push(&store, &mut live, &mut epoch, "3.5,3.5,A\n");
+        drop(store);
+
+        let (_, _, recovered, report) = TenantStore::open(&dir).unwrap();
+        assert_eq!(report.replayed_records, 1, "only the post-checkpoint record replays");
+        assert_eq!(report.epoch, 3);
+        assert_eq!(recovered.checksum(), live.checksum());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn epoch_drift_is_refused_at_checkpoint() {
+        let dir = temp_dir("drift");
+        let meta = tiny_meta();
+        let array = tiny_array(&meta);
+        let store = TenantStore::create(&dir, &meta, &array, None).unwrap();
+        store.append(b"1.5,1.5,A\n", None, || Ok(1)).unwrap();
+        let snapshot = Arc::new(array.clone());
+        let err = store.checkpoint_with(1, || (7, Arc::clone(&snapshot))).unwrap_err();
+        assert!(err.to_string().contains("epoch drift"), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn fsck_detects_and_repairs_torn_and_corrupt_tails() {
+        let data_dir = temp_dir("fsck");
+        let dir = data_dir.join("trades");
+        let meta = tiny_meta();
+        let array = tiny_array(&meta);
+        let store = TenantStore::create(&dir, &meta, &array, None).unwrap();
+        let binner = meta.build_binner().unwrap();
+        let mut live = array.clone();
+        let mut epoch = 0;
+        for rows in ["1.5,1.5,A\n", "2.5,2.5,other\n"] {
+            let delta = bin_batch(&meta.schema, &binner, rows).unwrap();
+            store
+                .append(rows.as_bytes(), None, || {
+                    live.merge(&delta)?;
+                    epoch += 1;
+                    Ok(epoch)
+                })
+                .unwrap();
+        }
+        drop(store);
+
+        // Clean directory audits clean.
+        let report = fsck(&data_dir, false).unwrap();
+        assert!(report.clean(), "{report:?}");
+        assert_eq!(report.tenants[0].wal_records, 2);
+
+        // Tear the tail: detected without repair, fixed with it.
+        let wal_path = dir.join(WAL_FILE);
+        let full = std::fs::read(&wal_path).unwrap();
+        std::fs::write(&wal_path, &full[..full.len() - 5]).unwrap();
+        let report = fsck(&data_dir, false).unwrap();
+        assert!(!report.clean());
+        assert_eq!(report.tenants[0].tail, "torn");
+        let report = fsck(&data_dir, true).unwrap();
+        assert!(report.clean(), "{report:?}");
+        assert!(report.tenants[0].repaired);
+        assert!(TenantStore::open(&dir).is_ok(), "repaired directory must open");
+
+        // Corrupt a byte mid-log: classified corrupt, repair truncates.
+        let full = std::fs::read(&wal_path).unwrap();
+        let mut flipped = full.clone();
+        let target = flipped.len() - 10;
+        flipped[target] ^= 0x20;
+        std::fs::write(&wal_path, &flipped).unwrap();
+        let report = fsck(&data_dir, false).unwrap();
+        assert!(!report.clean());
+        assert_eq!(report.tenants[0].tail, "corrupt");
+        let report = fsck(&data_dir, true).unwrap();
+        assert!(report.clean(), "{report:?}");
+        let (_, _, _, recovery) = TenantStore::open(&dir).unwrap();
+        assert_eq!(recovery.torn_bytes, 0);
+        std::fs::remove_dir_all(&data_dir).ok();
+    }
+
+    #[test]
+    fn fsck_reports_unrepairable_problems() {
+        let data_dir = temp_dir("fsck-bad");
+        let dir = data_dir.join("broken");
+        let meta = tiny_meta();
+        let array = tiny_array(&meta);
+        TenantStore::create(&dir, &meta, &array, None).unwrap();
+
+        // A missing checkpoint array is torn beyond fsck's remit.
+        std::fs::remove_file(dir.join(checkpoint_bin_file(0))).unwrap();
+        let report = fsck(&data_dir, true).unwrap();
+        assert!(!report.clean());
+        assert!(
+            report.tenants[0].errors.iter().any(|e| e.contains("checkpoint")),
+            "{report:?}"
+        );
+        std::fs::remove_dir_all(&data_dir).ok();
+    }
+}

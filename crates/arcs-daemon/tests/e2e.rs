@@ -94,7 +94,7 @@ fn start() -> (arcs_daemon::DaemonHandle, Arc<Registry>) {
     let daemon = Daemon::bind(
         "127.0.0.1:0",
         Arc::clone(&registry),
-        DaemonConfig { workers: 6, max_pending: 64 },
+        DaemonConfig { workers: 6, max_pending: 64, ..DaemonConfig::default() },
     )
     .unwrap();
     (daemon.spawn().unwrap(), registry)
