@@ -111,6 +111,7 @@ COMMANDS:
     serve       Stress-drive the concurrent serving core over a CSV
     daemon      Serve datasets over TCP (the arcsd wire protocol)
     client      Run one operation against a running arcsd daemon
+    repl-status Print a daemon's replication role and counters
     fsck        Audit/repair an arcsd --data-dir (WAL + checkpoints)
     help        Show this message
 
@@ -216,6 +217,7 @@ pub fn dispatch_with_status(argv: &[String]) -> Result<(String, u8), CliError> {
         "serve" => serve(rest).map(|out| (out, 0)),
         "daemon" => crate::daemon_cmd::daemon(rest).map(|out| (out, 0)),
         "client" => crate::daemon_cmd::client(rest).map(|out| (out, 0)),
+        "repl-status" => crate::daemon_cmd::repl_status(rest).map(|out| (out, 0)),
         "fsck" => crate::daemon_cmd::fsck(rest),
         "help" | "--help" | "-h" => Ok((USAGE.to_string(), 0)),
         other => Err(CliError::Usage(format!(

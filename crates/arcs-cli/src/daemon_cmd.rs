@@ -18,6 +18,7 @@ use arcs_core::serve::{ClusterSpec, ServeConfig};
 use arcs_daemon::client::RetryPolicy;
 use arcs_daemon::daemon::{Daemon, DaemonConfig};
 use arcs_daemon::registry::{Registry, Tenant, TenantConfig};
+use arcs_daemon::repl::ReplicationConfig;
 use arcs_daemon::{Client, ClientError, Feeder};
 
 use crate::args::Args;
@@ -34,6 +35,7 @@ arcs daemon --listen <ADDR> [--datasets <NAME=FILE[,NAME=FILE...]>]
             [--idle-timeout-ms 30000] [--read-timeout-ms 10000]
             [--checkpoint-every 256] [--checkpoint-interval-ms 500]
             [--feed <NAME=FILE>] [--feed-interval-ms 200]
+            [--replicate-from <HOST:PORT>] [--repl-poll-ms 50]
             [--port-file <FILE>] [--max-seconds <N>]
 
 Serves the named CSV datasets over TCP (`--listen 127.0.0.1:0` picks an
@@ -57,6 +59,18 @@ Connection hygiene:
   --idle-timeout-ms N   close a connection idle between frames for N ms
   --read-timeout-ms N   close a connection whose frame stalls mid-read
                         for N ms (slow-loris guard); 0 disables either
+
+Replication (--replicate-from HOST:PORT, requires --data-dir):
+  Start as a read-only *standby* of the primary arcsd at HOST:PORT: its
+  durable tenants are bootstrapped from checkpoint transfers, then their
+  WAL records are streamed and applied through the same durable append
+  path, so the standby serves reads at the primary's acked epochs.
+  Writes are refused with the typed NOT_PRIMARY code until promotion
+  (`arcs client promote` or SIGHUP to the standby). A standby that falls
+  behind the primary's log refuses the gap and re-syncs from a fresh
+  checkpoint transfer; it never applies past a missing record.
+  --datasets and --feed are writer-side flags and cannot be combined
+  with --replicate-from.
 
 Readiness and scripting:
   --port-file FILE    write the bound address to FILE once the daemon is
@@ -96,7 +110,11 @@ OPS:
   append  --dataset <NAME> (--rows <CSV> | --rows-file <FILE>)
           Merge header-less CSV rows as one atomic delta batch.
   stats   --dataset <NAME>
-          Print the tenant's serving counters as JSON.
+          Print the tenant's serving counters as JSON (durable tenants
+          include a `durability` object: WAL seq, checkpoint epoch/seq,
+          WAL bytes).
+  promote Promote a standby daemon to primary (idempotent; a primary
+          answers was_standby=false). Takes no --dataset.
 
 OPTIONS:
   --retry N   retry transient connect failures and OVERLOADED responses
@@ -104,8 +122,18 @@ OPTIONS:
               bounded exponential backoff; append is never retried
 
 Wire error codes map onto the CLI exit classes: data-shaped failures
-(unknown dataset/group, malformed rows) exit 3, expired deadlines and
-overload shedding exit 6, protocol or internal failures exit 4.";
+(unknown dataset/group, malformed rows, writes to a standby) exit 3,
+expired deadlines and overload shedding exit 6, protocol or internal
+failures exit 4.";
+
+pub const REPL_STATUS_USAGE: &str = "\
+arcs repl-status --addr <HOST:PORT> [--dataset <NAME>] [--retry N]
+
+Prints a daemon's replication status as JSON: its role (primary or
+standby), the primary it tails (standbys only), the datasets it serves,
+and the replication counters (records shipped/applied, gaps refused,
+re-syncs, heartbeats). With --dataset, also that tenant's durability
+positions (last WAL seq, checkpoint epoch/seq, WAL bytes).";
 
 /// Classifies a client-side failure into the CLI's exit-code classes.
 /// Mirrors `pipeline_err` for codes that have in-process equivalents.
@@ -115,7 +143,7 @@ fn client_err(err: ClientError) -> CliError {
         Some("DEADLINE_EXCEEDED" | "OVERLOADED") => CliError::Timeout(err.to_string()),
         Some(
             "DATA" | "UNKNOWN_GROUP" | "NO_SEGMENTATION" | "INVALID_TUPLE" | "ATTRIBUTE_KIND"
-            | "UNKNOWN_DATASET" | "NO_DATASET",
+            | "UNKNOWN_DATASET" | "NO_DATASET" | "NOT_PRIMARY",
         ) => CliError::Data(err.to_string()),
         _ => CliError::Run(err.to_string()),
     }
@@ -165,6 +193,8 @@ pub fn daemon(argv: &[String]) -> Result<String, CliError> {
             "checkpoint-interval-ms",
             "feed",
             "feed-interval-ms",
+            "replicate-from",
+            "repl-poll-ms",
             "port-file",
             "max-seconds",
         ],
@@ -173,7 +203,25 @@ pub fn daemon(argv: &[String]) -> Result<String, CliError> {
     let listen = args.require("listen")?;
     let data_dir = args.get("data-dir").map(PathBuf::from);
     let datasets = args.get("datasets");
-    if datasets.is_none() && data_dir.is_none() {
+    let replicate_from = args.get("replicate-from");
+    if let Some(primary) = replicate_from {
+        if data_dir.is_none() {
+            return Err(CliError::Usage(
+                "--replicate-from requires --data-dir (checkpoint transfers install there)"
+                    .into(),
+            ));
+        }
+        if datasets.is_some() || args.get("feed").is_some() {
+            return Err(CliError::Usage(
+                "--datasets and --feed are writer-side flags; a standby only applies \
+                 what the primary ships"
+                    .into(),
+            ));
+        }
+        if primary.is_empty() {
+            return Err(CliError::Usage("--replicate-from needs HOST:PORT".into()));
+        }
+    } else if datasets.is_none() && data_dir.is_none() {
         return Err(CliError::Usage(
             "need --datasets, --data-dir, or both\n\n".to_string() + DAEMON_USAGE,
         ));
@@ -223,6 +271,19 @@ pub fn daemon(argv: &[String]) -> Result<String, CliError> {
             recovered_names.push(name);
         }
     }
+
+    // A standby bootstraps/tails everything else from the primary; the
+    // recovery above only warms it from its own local checkpoints.
+    let replication = match replicate_from {
+        None => None,
+        Some(primary) => {
+            let dir = data_dir.as_ref().expect("--replicate-from requires --data-dir");
+            let mut repl = ReplicationConfig::new(primary, dir);
+            repl.serve = serve.clone();
+            repl.poll_interval = Duration::from_millis(args.get_or("repl-poll-ms", 50u64)?);
+            Some(repl)
+        }
+    };
 
     if let Some(datasets) = datasets {
         let x = args.require("x")?;
@@ -291,12 +352,20 @@ pub fn daemon(argv: &[String]) -> Result<String, CliError> {
             "checkpoint-interval-ms",
             defaults.checkpoint_interval.as_millis() as u64,
         )?),
+        replication,
     };
     let handle = Daemon::bind(listen, Arc::clone(&registry), config)
         .and_then(Daemon::spawn)
         .map_err(run_err)?;
     let addr = handle.addr();
     let _ = writeln!(out, "arcsd listening on {addr}");
+    if let Some(primary) = replicate_from {
+        let _ = writeln!(
+            out,
+            "arcsd standby: read-only, replicating from {primary} \
+             (promote with `arcs client promote` or SIGHUP)",
+        );
+    }
 
     let _feeder = match feed_spec {
         None => None,
@@ -385,7 +454,17 @@ pub fn client(argv: &[String]) -> Result<String, CliError> {
         )));
     };
     let addr = args.require("addr")?;
-    let dataset = args.require("dataset")?;
+    // `promote` addresses the daemon, not a dataset; everything else
+    // needs --dataset.
+    let dataset = match args.get("dataset") {
+        Some(dataset) => dataset,
+        None if op == "promote" => "",
+        None => {
+            return Err(CliError::Usage(format!(
+                "{op} needs --dataset\n\n{CLIENT_USAGE}"
+            )))
+        }
+    };
     // --retry N: bounded exponential backoff for transient connect
     // failures, and for OVERLOADED responses to idempotent ops (append
     // is never retried — an ambiguous outcome must surface).
@@ -450,8 +529,27 @@ pub fn client(argv: &[String]) -> Result<String, CliError> {
             .to_string())
         }
         "stats" => Ok(client.stats(Some(dataset)).map_err(client_err)?.to_string()),
+        "promote" => Ok(client.promote().map_err(client_err)?.to_string()),
         other => Err(CliError::Usage(format!(
             "unknown client operation `{other}`\n\n{CLIENT_USAGE}"
         ))),
     }
+}
+
+/// `arcs repl-status`: one replication-status probe against a daemon.
+pub fn repl_status(argv: &[String]) -> Result<String, CliError> {
+    if argv.iter().any(|a| a == "--help" || a == "-h") {
+        return Ok(REPL_STATUS_USAGE.to_string());
+    }
+    let args = Args::parse(argv.iter().cloned(), &["addr", "dataset", "retry"], &[])?;
+    let addr = args.require("addr")?;
+    let mut client = match args.get("retry") {
+        None => Client::connect(addr).map_err(client_err)?,
+        Some(_) => {
+            let retries: u32 = args.get_or("retry", 0)?;
+            Client::connect_with_retry(addr, RetryPolicy::new(retries)).map_err(client_err)?
+        }
+    };
+    let body = client.repl_heartbeat(args.get("dataset")).map_err(client_err)?;
+    Ok(body.to_string())
 }

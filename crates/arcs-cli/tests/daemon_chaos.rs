@@ -425,6 +425,43 @@ fn fsck_detects_and_repairs_every_generated_corruption() {
     }
 }
 
+/// `fsck --repair` is idempotent: repairing a damaged directory exits 0,
+/// and repairing the already-repaired directory exits 0 again without
+/// changing anything (a repair must never manufacture new problems for
+/// the next repair to find).
+#[test]
+fn fsck_repair_twice_both_exit_zero() {
+    let data = TempDir::new("fsck-idem");
+    let base_csv = data.path().join("base.csv");
+    write_base_csv(&base_csv);
+
+    {
+        let (child, addr) = spawn_daemon(data.path(), Some(&base_csv), None);
+        let mut client = connect(&addr);
+        client.open("t").unwrap();
+        for k in 0..6u64 {
+            client.append(None, &batch(k)).unwrap();
+        }
+        drop(client);
+        drop(child); // SIGKILL: the WAL stays hot.
+    }
+    // Tear the WAL tail so the first repair has real work to do.
+    let wal = data.path().join("t").join("wal.log");
+    let bytes = std::fs::read(&wal).unwrap();
+    std::fs::write(&wal, &bytes[..bytes.len() - 3]).unwrap();
+
+    let (code, report) = run_fsck(data.path(), true);
+    assert_eq!(code, 0, "first repair failed: {report}");
+    let healed = std::fs::read(&wal).unwrap();
+
+    let (code, report) = run_fsck(data.path(), true);
+    assert_eq!(code, 0, "second repair failed: {report}");
+    assert_eq!(std::fs::read(&wal).unwrap(), healed, "second repair modified the WAL");
+
+    let (code, report) = run_fsck(data.path(), false);
+    assert_eq!(code, 0, "directory dirty after repeated repair: {report}");
+}
+
 /// Injected-fault schedules: WAL writes, fsyncs, checkpoints, and
 /// truncations fail mid-run, the process is SIGKILLed, and recovery
 /// still serves exactly the acknowledged prefix. Failed appends roll

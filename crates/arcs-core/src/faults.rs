@@ -38,6 +38,11 @@
 //! | `wal.checkpoint` | at [`save_checkpoint`] entry, before the array snapshot is written |
 //! | `wal.replay` | at [`replay`] entry, before the log is scanned |
 //! | `wal.truncate` | at [`WalWriter::reset`] entry, before the post-checkpoint truncation |
+//! | `repl.subscribe` | at the primary's `repl.subscribe` handler entry (fault drops that subscribe; the standby retries) |
+//! | `repl.records` | at the primary's `repl.records` handler entry (fault fails that batch — a mid-stream disconnect) |
+//! | `repl.record` | per record while a primary encodes a shipped batch (fault cuts the batch short — a torn ship; the rest follows next poll) |
+//! | `repl.apply` | per shipped record at the standby's apply site (fault refuses that record; the batch is re-fetched) |
+//! | `repl.heartbeat` | at the primary's `repl.heartbeat` handler entry (fault starves the standby's staleness clock) |
 //!
 //! [`BinArray::save`]: crate::binarray::BinArray::save
 //! [`BinArray::load`]: crate::binarray::BinArray::load

@@ -33,6 +33,7 @@ pub mod multidim;
 pub mod optimizer;
 pub mod pipeline;
 pub mod render;
+pub mod repl;
 pub mod request;
 pub mod select;
 pub mod serve;
@@ -59,6 +60,7 @@ pub use metrics::{
 };
 pub use optimizer::{optimize, OptimizerConfig, SearchStats, ThresholdLattice};
 pub use pipeline::{Arcs, ArcsConfig, Segmentation};
+pub use repl::{ReplCursor, ReplMetrics, ShippedRecord};
 pub use request::{AttrBinding, GroupRef, Request};
 pub use serve::{
     AdmissionGate, ClusterSpec, QueryRequest, QueryResponse, QueryResult, ServeConfig, Server,

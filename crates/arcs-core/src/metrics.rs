@@ -141,6 +141,17 @@ pub struct PipelineCounters {
     /// Copy-on-write snapshot swaps the serving core published (streaming
     /// appends merged into a new epoch).
     pub snapshot_swaps: u64,
+    /// WAL records a replication primary shipped to standbys.
+    pub repl_records_shipped: u64,
+    /// Shipped WAL records a standby verified and applied.
+    pub repl_records_applied: u64,
+    /// Shipped batches a standby refused over a sequence gap or a failed
+    /// checksum (each triggers a re-sync, never a partial apply).
+    pub repl_gaps_refused: u64,
+    /// Full checkpoint transfers a standby installed (bootstrap included).
+    pub repl_resyncs: u64,
+    /// Replication heartbeat rounds served or completed.
+    pub repl_heartbeats: u64,
 }
 
 impl PipelineCounters {
@@ -168,6 +179,11 @@ impl PipelineCounters {
         self.cache_hits += other.cache_hits;
         self.cache_misses += other.cache_misses;
         self.snapshot_swaps += other.snapshot_swaps;
+        self.repl_records_shipped += other.repl_records_shipped;
+        self.repl_records_applied += other.repl_records_applied;
+        self.repl_gaps_refused += other.repl_gaps_refused;
+        self.repl_resyncs += other.repl_resyncs;
+        self.repl_heartbeats += other.repl_heartbeats;
     }
 
     /// Folds panic-isolation tallies from one parallel call into the
@@ -307,7 +323,18 @@ impl PipelineReport {
         out.push_str(&format!("\"request_retries\":{},", c.request_retries));
         out.push_str(&format!("\"cache_hits\":{},", c.cache_hits));
         out.push_str(&format!("\"cache_misses\":{},", c.cache_misses));
-        out.push_str(&format!("\"snapshot_swaps\":{}", c.snapshot_swaps));
+        out.push_str(&format!("\"snapshot_swaps\":{},", c.snapshot_swaps));
+        out.push_str(&format!(
+            "\"repl_records_shipped\":{},",
+            c.repl_records_shipped
+        ));
+        out.push_str(&format!(
+            "\"repl_records_applied\":{},",
+            c.repl_records_applied
+        ));
+        out.push_str(&format!("\"repl_gaps_refused\":{},", c.repl_gaps_refused));
+        out.push_str(&format!("\"repl_resyncs\":{},", c.repl_resyncs));
+        out.push_str(&format!("\"repl_heartbeats\":{}", c.repl_heartbeats));
         out.push_str("}}");
         out
     }
@@ -404,6 +431,11 @@ mod tests {
             "\"cache_hits\"",
             "\"cache_misses\"",
             "\"snapshot_swaps\"",
+            "\"repl_records_shipped\"",
+            "\"repl_records_applied\"",
+            "\"repl_gaps_refused\"",
+            "\"repl_resyncs\"",
+            "\"repl_heartbeats\"",
         ] {
             assert!(json.contains(key), "missing {key} in {json}");
         }

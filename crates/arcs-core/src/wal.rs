@@ -193,7 +193,12 @@ fn read_exact_or_eof<R: Read>(reader: &mut R, buf: &mut [u8]) -> io::Result<(boo
     Ok((true, false))
 }
 
-fn encode_record(seq: u64, feeder_offset: Option<u64>, payload: &[u8]) -> Vec<u8> {
+/// Encodes one record exactly as [`WalWriter::append`] writes it: the
+/// `u32` length prefix, the body (kind, seq, feeder offset, payload),
+/// and the trailing FNV-1a-64 checksum. Replication ships these encoded
+/// bytes verbatim so a standby re-verifies the same checksum the
+/// primary's recovery path would.
+pub fn encode_record(seq: u64, feeder_offset: Option<u64>, payload: &[u8]) -> Vec<u8> {
     let body_len = BODY_PREFIX_LEN + payload.len();
     let mut bytes = Vec::with_capacity(4 + body_len + 8);
     bytes.extend_from_slice(&(body_len as u32).to_le_bytes());
@@ -206,6 +211,47 @@ fn encode_record(seq: u64, feeder_offset: Option<u64>, payload: &[u8]) -> Vec<u8
     bytes
 }
 
+/// Decodes one encoded record ([`encode_record`]'s output), verifying
+/// the length prefix, the checksum, and the record kind — the same
+/// validation [`replay`] applies on disk. `bytes` must hold exactly one
+/// record; a short, long, or mangled buffer is a typed error, never a
+/// panic. Sequence continuity is the caller's cursor to enforce.
+pub fn decode_record(bytes: &[u8]) -> Result<WalRecord, ArcsError> {
+    let bad = |what: String| checkpoint_err(format!("shipped WAL record: {what}"));
+    if bytes.len() < 4 + BODY_PREFIX_LEN + 8 {
+        return Err(bad(format!("torn: {} bytes is shorter than any record", bytes.len())));
+    }
+    let len_bytes: [u8; 4] = bytes[..4].try_into().expect("4-byte slice");
+    let body_len = u32::from_le_bytes(len_bytes) as usize;
+    if !(BODY_PREFIX_LEN..=MAX_RECORD_BODY).contains(&body_len) {
+        return Err(bad(format!("record length {body_len} out of range")));
+    }
+    if bytes.len() != 4 + body_len + 8 {
+        return Err(bad(format!(
+            "torn: length prefix names {body_len} body bytes but {} were shipped",
+            bytes.len().saturating_sub(4 + 8)
+        )));
+    }
+    let body = &bytes[4..4 + body_len];
+    let stored = u64::from_le_bytes(bytes[4 + body_len..].try_into().expect("8-byte slice"));
+    let computed = fnv1a64(&[&len_bytes, body]);
+    if stored != computed {
+        return Err(bad(format!(
+            "checksum mismatch: stored {stored:#018x}, computed {computed:#018x}"
+        )));
+    }
+    if body[0] != KIND_APPEND {
+        return Err(bad(format!("unknown record kind {}", body[0])));
+    }
+    let seq = u64::from_le_bytes(body[1..9].try_into().expect("8-byte slice"));
+    let offset = u64::from_le_bytes(body[9..17].try_into().expect("8-byte slice"));
+    Ok(WalRecord {
+        seq,
+        feeder_offset: (offset != NO_OFFSET).then_some(offset),
+        payload: body[BODY_PREFIX_LEN..].to_vec(),
+    })
+}
+
 /// Scans the log at `path`, returning the longest valid record prefix
 /// and a classification of whatever follows it. Never panics on
 /// arbitrary bytes; the only errors are genuine I/O failures and an
@@ -216,6 +262,20 @@ pub fn replay(path: &Path) -> Result<WalReplay, ArcsError> {
     let file_len = std::fs::metadata(path)
         .map_err(|e| checkpoint_err(format!("cannot stat WAL {}: {e}", path.display())))?
         .len();
+    // A zero-byte file is the artifact of a crash between file creation
+    // and the header write: classify it Clean with no records rather
+    // than erroring, so recovery and the shipper can handle it. (A file
+    // that is short but *non-empty* still fails below — a few stray
+    // bytes cannot be attributed to any sequence range.)
+    if file_len == 0 {
+        return Ok(WalReplay {
+            start_seq: 0,
+            records: Vec::new(),
+            valid_len: 0,
+            next_seq: 0,
+            tail: WalTail::Clean,
+        });
+    }
     let mut reader = BufReader::new(
         File::open(path)
             .map_err(|e| checkpoint_err(format!("cannot open WAL {}: {e}", path.display())))?,
@@ -354,6 +414,17 @@ impl WalWriter {
     /// `arcs fsck --repair` decision, not a silent discard.
     pub fn recover(path: &Path) -> Result<(Self, WalReplay), ArcsError> {
         let mut replayed = replay(path)?;
+        // An empty file (crash between creation and the header write)
+        // holds nothing to preserve: rewrite it as a fresh log at seq 1.
+        // Callers pairing the log with a checkpoint reset it to
+        // `last_seq + 1` before appending.
+        if replayed.valid_len < WAL_HEADER_LEN {
+            let writer = WalWriter::create(path, 1)?;
+            replayed.start_seq = 1;
+            replayed.next_seq = 1;
+            replayed.valid_len = WAL_HEADER_LEN;
+            return Ok((writer, replayed));
+        }
         match &replayed.tail {
             WalTail::Clean | WalTail::Torn { .. } => {}
             WalTail::Corrupt { reason, dropped_bytes, .. } => {
@@ -848,6 +919,89 @@ mod tests {
         let err = replay(&future).unwrap_err();
         assert!(err.to_string().contains("version"), "{err}");
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn header_only_and_empty_logs_classify_clean() {
+        let dir = temp_dir("edge-clean");
+
+        // Header-only (zero-record) log: the shape right after create()
+        // or reset() — Clean, no records, next_seq = start_seq.
+        let header_only = dir.join("header-only.log");
+        WalWriter::create(&header_only, 7).unwrap();
+        let replayed = replay(&header_only).unwrap();
+        assert!(replayed.tail.is_clean());
+        assert!(replayed.records.is_empty());
+        assert_eq!((replayed.start_seq, replayed.next_seq), (7, 7));
+        assert_eq!(replayed.valid_len, WAL_HEADER_LEN);
+
+        // A zero-byte file (crash between creation and the header
+        // write): Clean with no records, never a panic or an error.
+        let empty = dir.join("empty.log");
+        std::fs::write(&empty, b"").unwrap();
+        let replayed = replay(&empty).unwrap();
+        assert!(replayed.tail.is_clean());
+        assert!(replayed.records.is_empty());
+        assert_eq!(replayed.valid_len, 0);
+
+        // recover() rewrites the missing header; appends then work.
+        let (mut writer, _) = WalWriter::recover(&empty).unwrap();
+        assert_eq!(writer.next_seq(), 1);
+        append_some(&mut writer, &[("a,1\n", None)]);
+        let replayed = replay(&empty).unwrap();
+        assert!(replayed.tail.is_clean());
+        assert_eq!(replayed.records.len(), 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn first_record_at_a_prior_truncate_point_is_clean() {
+        let dir = temp_dir("edge-truncate");
+        let path = dir.join("wal.log");
+
+        // Fill a log, checkpoint-style reset (the truncate point), then
+        // append: the first surviving record starts exactly where the
+        // reset left the log.
+        let mut writer = WalWriter::create(&path, 1).unwrap();
+        append_some(&mut writer, &[("a,1\n", None), ("b,2\n", None), ("c,3\n", None)]);
+        writer.reset(4).unwrap();
+        append_some(&mut writer, &[("d,4\n", None)]);
+        drop(writer);
+
+        let replayed = replay(&path).unwrap();
+        assert!(replayed.tail.is_clean());
+        assert_eq!(replayed.start_seq, 4);
+        assert_eq!(replayed.records.len(), 1);
+        assert_eq!(replayed.records[0].seq, 4);
+        assert_eq!(replayed.records[0].payload, b"d,4\n");
+
+        // The same shape through recover(): no healing needed.
+        let (writer, replayed) = WalWriter::recover(&path).unwrap();
+        assert!(replayed.tail.is_clean());
+        assert_eq!(writer.next_seq(), 5);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn shipped_records_round_trip_and_mangling_is_detected() {
+        let bytes = encode_record(42, Some(17), b"x,y,A\n");
+        let record = decode_record(&bytes).unwrap();
+        assert_eq!(record.seq, 42);
+        assert_eq!(record.feeder_offset, Some(17));
+        assert_eq!(record.payload, b"x,y,A\n");
+
+        // Torn short, torn long, and bit-flipped ships are all typed
+        // errors — a standby never applies a damaged record.
+        assert!(decode_record(&bytes[..bytes.len() - 1]).is_err());
+        let mut long = bytes.clone();
+        long.push(0);
+        assert!(decode_record(&long).is_err());
+        for i in 0..bytes.len() {
+            let mut flipped = bytes.clone();
+            flipped[i] ^= 0x10;
+            assert!(decode_record(&flipped).is_err(), "flip at byte {i} went undetected");
+        }
+        assert!(decode_record(b"").is_err());
     }
 
     #[test]

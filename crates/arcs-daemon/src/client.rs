@@ -315,6 +315,53 @@ impl Client {
             .ok_or_else(|| ClientError::Protocol("stats response lacks `stats`".into()))
     }
 
+    /// Replication handshake: asks the daemon whether `start_seq` is
+    /// still covered by its live log (`start_seq == 0` explicitly
+    /// requests a checkpoint transfer). Returns the raw response body;
+    /// decode it with [`crate::repl::parse_subscribe`].
+    pub fn repl_subscribe(
+        &mut self,
+        dataset: &str,
+        start_seq: u64,
+    ) -> Result<Json, ClientError> {
+        self.call_idempotent(&WireRequest::ReplSubscribe {
+            dataset: dataset.to_string(),
+            start_seq,
+        })
+    }
+
+    /// Fetches up to `max` shipped WAL records from `start_seq`. Returns
+    /// the raw response body; decode it with
+    /// [`crate::repl::parse_records`]. Idempotent by construction — the
+    /// primary only reads its log.
+    pub fn repl_records(
+        &mut self,
+        dataset: &str,
+        start_seq: u64,
+        max: u64,
+    ) -> Result<Json, ClientError> {
+        self.call_idempotent(&WireRequest::ReplRecords {
+            dataset: dataset.to_string(),
+            start_seq,
+            max,
+        })
+    }
+
+    /// Fetches the daemon's replication status: role, primary address,
+    /// served datasets, counters, and (with a dataset named) that
+    /// tenant's durability positions.
+    pub fn repl_heartbeat(&mut self, dataset: Option<&str>) -> Result<Json, ClientError> {
+        self.call_idempotent(&WireRequest::ReplHeartbeat {
+            dataset: dataset.map(str::to_string),
+        })
+    }
+
+    /// Promotes a standby daemon to primary. Idempotent: promoting a
+    /// primary is a no-op answering `was_standby: false`.
+    pub fn promote(&mut self) -> Result<Json, ClientError> {
+        self.call_idempotent(&WireRequest::Promote)
+    }
+
     /// Says goodbye; the daemon closes the connection after responding.
     pub fn close(mut self) -> Result<(), ClientError> {
         self.call(&WireRequest::Close).map(|_| ())

@@ -28,6 +28,13 @@
 //! finish in-flight frames, then checkpoint every tenant so the next
 //! start replays nothing.
 //!
+//! Replication: with [`DaemonConfig::replication`] set, the daemon comes
+//! up as a read-only **standby** — a tailer thread streams the primary's
+//! WAL records and applies them through the ordinary durable append
+//! path, and the `append` op answers the typed `NOT_PRIMARY` code until
+//! the daemon is promoted (the `promote` op or `SIGHUP`). Every daemon,
+//! primary or standby, serves the `repl.*` ops, so standbys can chain.
+//!
 //! [`AdmissionGate`]: arcs_core::serve::AdmissionGate
 
 use std::collections::VecDeque;
@@ -43,9 +50,11 @@ use arcs_core::jsonio::Json;
 
 use crate::protocol::{
     ok_response, parse_frame_header, query_response_to_json, stats_to_json, write_frame,
-    FrameError, WireError, WireRequest, CODE_NO_DATASET, CODE_UNKNOWN_DATASET, HEADER_LEN,
+    FrameError, WireError, WireRequest, CODE_NOT_PRIMARY, CODE_NO_DATASET,
+    CODE_UNKNOWN_DATASET, HEADER_LEN,
 };
 use crate::registry::{Registry, Tenant};
+use crate::repl::{self, ReplContext, ReplicationConfig};
 
 /// Poll granularity for timed socket reads and the checkpointer: bounds
 /// how late a timeout or a shutdown request can be noticed.
@@ -72,6 +81,9 @@ pub struct DaemonConfig {
     pub checkpoint_every: u64,
     /// How often the background checkpointer scans the tenants.
     pub checkpoint_interval: Duration,
+    /// When set, the daemon starts as a read-only standby tailing the
+    /// configured primary; `None` is an ordinary writable primary.
+    pub replication: Option<ReplicationConfig>,
 }
 
 impl Default for DaemonConfig {
@@ -83,6 +95,7 @@ impl Default for DaemonConfig {
             read_timeout: Some(Duration::from_secs(10)),
             checkpoint_every: 256,
             checkpoint_interval: Duration::from_millis(500),
+            replication: None,
         }
     }
 }
@@ -161,6 +174,10 @@ impl Daemon {
         let addr = self.local_addr()?;
         let running = Arc::new(AtomicBool::new(true));
         let conns = Arc::new(ConnQueue::default());
+        let repl_ctx = Arc::new(match &self.config.replication {
+            Some(replication) => ReplContext::standby(&replication.primary),
+            None => ReplContext::primary(),
+        });
 
         let mut handlers = Vec::with_capacity(self.config.workers.max(1));
         for i in 0..self.config.workers.max(1) {
@@ -168,6 +185,7 @@ impl Daemon {
             let running = Arc::clone(&running);
             let registry = Arc::clone(&self.registry);
             let config = self.config.clone();
+            let repl_ctx = Arc::clone(&repl_ctx);
             handlers.push(
                 std::thread::Builder::new()
                     .name(format!("arcsd-handler-{i}"))
@@ -177,7 +195,9 @@ impl Daemon {
                             // thread down with it.
                             let _ = std::panic::catch_unwind(
                                 std::panic::AssertUnwindSafe(|| {
-                                    handle_connection(stream, &registry, &running, &config);
+                                    handle_connection(
+                                        stream, &registry, &running, &config, &repl_ctx,
+                                    );
                                 }),
                             );
                         }
@@ -232,6 +252,16 @@ impl Daemon {
             None
         };
 
+        let tailer = match self.config.replication.clone() {
+            Some(replication) => Some(repl::spawn_tailer(
+                replication,
+                Arc::clone(&self.registry),
+                Arc::clone(&repl_ctx),
+                Arc::clone(&running),
+            )?),
+            None => None,
+        };
+
         Ok(DaemonHandle {
             addr,
             running,
@@ -239,6 +269,8 @@ impl Daemon {
             accept,
             handlers,
             checkpointer,
+            tailer,
+            repl_ctx,
             registry: self.registry,
         })
     }
@@ -254,6 +286,8 @@ pub struct DaemonHandle {
     accept: JoinHandle<()>,
     handlers: Vec<JoinHandle<()>>,
     checkpointer: Option<JoinHandle<()>>,
+    tailer: Option<JoinHandle<()>>,
+    repl_ctx: Arc<ReplContext>,
     registry: Arc<Registry>,
 }
 
@@ -261,6 +295,11 @@ impl DaemonHandle {
     /// The address the daemon serves on.
     pub fn addr(&self) -> SocketAddr {
         self.addr
+    }
+
+    /// The daemon's replication state: role and counters.
+    pub fn repl(&self) -> &ReplContext {
+        &self.repl_ctx
     }
 
     /// Graceful drain: stop accepting, let every handler finish its
@@ -283,6 +322,9 @@ impl DaemonHandle {
         }
         if let Some(checkpointer) = self.checkpointer {
             let _ = checkpointer.join();
+        }
+        if let Some(tailer) = self.tailer {
+            let _ = tailer.join();
         }
         // Final flush: one checkpoint per durable tenant with anything
         // outstanding in its WAL.
@@ -404,6 +446,7 @@ fn handle_connection(
     registry: &Registry,
     running: &AtomicBool,
     config: &DaemonConfig,
+    repl_ctx: &ReplContext,
 ) {
     let _ = stream.set_nodelay(true);
     // Short poll ticks make both connection clocks and the shutdown
@@ -443,7 +486,7 @@ fn handle_connection(
                 }
             };
 
-        let reply = serve_frame(&payload, registry, &mut current);
+        let reply = serve_frame(&payload, registry, &mut current, repl_ctx);
         let closing = matches!(reply.get("bye"), Some(&Json::Bool(true)));
         if send(&mut writer, &reply).is_err() || closing {
             return;
@@ -452,7 +495,12 @@ fn handle_connection(
 }
 
 /// Decodes and executes one frame, always producing a response document.
-fn serve_frame(payload: &[u8], registry: &Registry, current: &mut Option<Arc<Tenant>>) -> Json {
+fn serve_frame(
+    payload: &[u8],
+    registry: &Registry,
+    current: &mut Option<Arc<Tenant>>,
+    repl_ctx: &ReplContext,
+) -> Json {
     if let Err(err) = faults::check("daemon.frame-decode") {
         return WireError::from_arcs(&err).to_json();
     }
@@ -460,7 +508,7 @@ fn serve_frame(payload: &[u8], registry: &Registry, current: &mut Option<Arc<Ten
         Ok(request) => request,
         Err(err) => return err.to_json(),
     };
-    match execute(request, registry, current) {
+    match execute(request, registry, current, repl_ctx) {
         Ok(body) => body,
         Err(err) => err.to_json(),
     }
@@ -507,6 +555,7 @@ fn execute(
     request: WireRequest,
     registry: &Registry,
     current: &mut Option<Arc<Tenant>>,
+    repl_ctx: &ReplContext,
 ) -> Result<Json, WireError> {
     match request {
         WireRequest::Open { dataset } => {
@@ -532,6 +581,16 @@ fn execute(
             Ok(query_response_to_json(&response))
         }
         WireRequest::Append { dataset, rows } => {
+            if repl_ctx.role.is_standby() {
+                let primary = repl_ctx.role.primary_addr().unwrap_or_default();
+                return Err(WireError::new(
+                    CODE_NOT_PRIMARY,
+                    format!(
+                        "this daemon is a read-only standby; send writes to the primary \
+                         at {primary}"
+                    ),
+                ));
+            }
             let tenant = resolve(&dataset, registry, current)?;
             let (epoch, merged) =
                 tenant.append_csv(&rows).map_err(|err| WireError::from_arcs(&err))?;
@@ -542,7 +601,36 @@ fn execute(
         }
         WireRequest::Stats { dataset } => {
             let tenant = resolve(&dataset, registry, current)?;
-            Ok(ok_response(vec![("stats", stats_to_json(&tenant.server().stats()))]))
+            let mut stats = stats_to_json(&tenant.server().stats());
+            if let (Json::Obj(pairs), Some(store)) = (&mut stats, tenant.store()) {
+                pairs.push(("durability".to_string(), repl::durability(store).to_json()));
+            }
+            Ok(ok_response(vec![("stats", stats)]))
+        }
+        WireRequest::ReplSubscribe { dataset, start_seq } => {
+            let tenant = lookup(registry, &dataset)?;
+            repl::handle_subscribe(&tenant, start_seq)
+        }
+        WireRequest::ReplRecords { dataset, start_seq, max } => {
+            let tenant = lookup(registry, &dataset)?;
+            repl::handle_records(&tenant, start_seq, max, &repl_ctx.metrics)
+        }
+        WireRequest::ReplHeartbeat { dataset } => {
+            let tenant = match &dataset {
+                Some(name) => Some(lookup(registry, name)?),
+                None => None,
+            };
+            repl::handle_heartbeat(registry, repl_ctx, tenant)
+        }
+        WireRequest::Promote => {
+            let was_standby = repl_ctx.role.promote();
+            if was_standby {
+                eprintln!("arcsd repl: promoted to primary by request; writes now accepted");
+            }
+            Ok(ok_response(vec![
+                ("role", Json::Str("primary".to_string())),
+                ("was_standby", Json::Bool(was_standby)),
+            ]))
         }
         WireRequest::Close => Ok(ok_response(vec![("bye", Json::Bool(true))])),
     }

@@ -23,10 +23,16 @@
 //! e2e tests assert `==` against an oracle [`Server`] rather than
 //! comparing within a tolerance.
 //!
-//! Under the `failpoints` feature the daemon threads four failpoints
-//! through its paths (`daemon.accept`, `daemon.frame-decode`,
-//! `daemon.tenant-lookup`, `daemon.feeder-merge`); see
-//! [`arcs_core::faults`] for the schedule grammar.
+//! * **[`repl`]** — WAL-shipping replication: a standby daemon tails a
+//!   primary's per-tenant logs over the same wire protocol, refuses
+//!   sequence gaps, re-syncs from checkpoint transfers, and serves
+//!   read-only until promoted.
+//!
+//! Under the `failpoints` feature the daemon threads failpoints through
+//! its paths (`daemon.accept`, `daemon.frame-decode`,
+//! `daemon.tenant-lookup`, `daemon.feeder-merge`, plus the `repl.*`
+//! family on the replication paths); see [`arcs_core::faults`] for the
+//! schedule grammar.
 //!
 //! [`ArcsError`]: arcs_core::ArcsError
 //! [`Server`]: arcs_core::serve::Server
@@ -39,11 +45,13 @@ pub mod daemon;
 pub mod feeder;
 pub mod protocol;
 pub mod registry;
+pub mod repl;
 pub mod store;
 
 pub use client::{Client, ClientError, OpenInfo, RetryPolicy};
 pub use daemon::{Daemon, DaemonConfig, DaemonHandle};
 pub use feeder::{Feeder, FeederStats};
-pub use protocol::{FrameError, QueryOutcome, WireError, WireRequest};
+pub use protocol::{DurabilityStats, FrameError, QueryOutcome, WireError, WireRequest};
 pub use registry::{Registry, Tenant, TenantConfig};
+pub use repl::{ReplContext, ReplicationConfig, RoleState};
 pub use store::{fsck, FsckReport, RecoveryReport, TenantMeta, TenantStore};

@@ -31,8 +31,12 @@
 //! | `open`   | `dataset` | dataset metadata; binds the connection's default dataset |
 //! | `query`  | `request`, optional `dataset` | the [`QueryResult`] + cache/retry bookkeeping |
 //! | `append` | `rows` (header-less CSV), optional `dataset` | new epoch + rows merged |
-//! | `stats`  | optional `dataset` | the server's [`ServerStats`] |
+//! | `stats`  | optional `dataset` | the server's [`ServerStats`] plus per-tenant durability figures |
 //! | `close`  | — | goodbye frame, then the server closes the connection |
+//! | `repl.subscribe` | `dataset`, `start_seq` | replication handshake: tail position, or a full checkpoint transfer when `start_seq` predates the primary's log |
+//! | `repl.records`   | `dataset`, `start_seq`, optional `max` | a batch of hex-armored WAL records from `start_seq`, or a re-sync signal |
+//! | `repl.heartbeat` | optional `dataset` | role, primary address, and durability positions |
+//! | `promote`        | — | flips a standby into a writable primary (idempotent on a primary) |
 //!
 //! # Responses
 //!
@@ -69,6 +73,14 @@ pub const CODE_UNKNOWN_DATASET: &str = "UNKNOWN_DATASET";
 /// Error code for a request that names no dataset on a connection that
 /// never sent `open`.
 pub const CODE_NO_DATASET: &str = "NO_DATASET";
+/// Error code for a write sent to a standby. The message names the
+/// primary's address; the client must redirect, **never** retry here —
+/// retrying against the standby can't succeed, and blind failover of a
+/// non-idempotent append risks applying it twice.
+pub const CODE_NOT_PRIMARY: &str = "NOT_PRIMARY";
+
+/// Records per `repl.records` batch when the subscriber names no `max`.
+pub const DEFAULT_REPL_BATCH: u64 = 256;
 
 /// Codes a client may safely retry (with backoff) for *idempotent*
 /// requests: the daemon answered but shed the work, so nothing was
@@ -229,6 +241,29 @@ pub enum WireRequest {
         /// Explicit dataset, overriding the connection default.
         dataset: Option<String>,
     },
+    /// Replication handshake from a standby: where it wants to tail from.
+    ReplSubscribe {
+        /// Dataset (tenant) to replicate.
+        dataset: String,
+        /// First WAL sequence number the standby still needs.
+        start_seq: u64,
+    },
+    /// Fetch a batch of WAL records for shipping to a standby.
+    ReplRecords {
+        /// Dataset (tenant) to replicate.
+        dataset: String,
+        /// First WAL sequence number wanted.
+        start_seq: u64,
+        /// Maximum records per batch.
+        max: u64,
+    },
+    /// Replication liveness probe; also backs `arcs repl-status`.
+    ReplHeartbeat {
+        /// Explicit dataset for per-tenant positions (optional).
+        dataset: Option<String>,
+    },
+    /// Promote a standby into a writable primary.
+    Promote,
     /// Say goodbye; the server responds and closes the connection.
     Close,
 }
@@ -264,6 +299,25 @@ impl WireRequest {
                 }
                 obj(pairs)
             }
+            WireRequest::ReplSubscribe { dataset, start_seq } => obj(vec![
+                ("op", Json::Str("repl.subscribe".into())),
+                ("dataset", Json::Str(dataset.clone())),
+                ("start_seq", Json::Num(*start_seq as f64)),
+            ]),
+            WireRequest::ReplRecords { dataset, start_seq, max } => obj(vec![
+                ("op", Json::Str("repl.records".into())),
+                ("dataset", Json::Str(dataset.clone())),
+                ("start_seq", Json::Num(*start_seq as f64)),
+                ("max", Json::Num(*max as f64)),
+            ]),
+            WireRequest::ReplHeartbeat { dataset } => {
+                let mut pairs = vec![("op", Json::Str("repl.heartbeat".into()))];
+                if let Some(name) = dataset {
+                    pairs.push(("dataset", Json::Str(name.clone())));
+                }
+                obj(pairs)
+            }
+            WireRequest::Promote => obj(vec![("op", Json::Str("promote".into()))]),
             WireRequest::Close => obj(vec![("op", Json::Str("close".into()))]),
         }
     }
@@ -299,6 +353,23 @@ impl WireRequest {
                 Ok(WireRequest::Append { dataset, rows: rows.to_string() })
             }
             "stats" => Ok(WireRequest::Stats { dataset }),
+            "repl.subscribe" => Ok(WireRequest::ReplSubscribe {
+                dataset: dataset.ok_or_else(|| bad("`repl.subscribe` needs a `dataset`"))?,
+                start_seq: json
+                    .get("start_seq")
+                    .and_then(Json::as_u64)
+                    .ok_or_else(|| bad("`repl.subscribe` needs a numeric `start_seq`"))?,
+            }),
+            "repl.records" => Ok(WireRequest::ReplRecords {
+                dataset: dataset.ok_or_else(|| bad("`repl.records` needs a `dataset`"))?,
+                start_seq: json
+                    .get("start_seq")
+                    .and_then(Json::as_u64)
+                    .ok_or_else(|| bad("`repl.records` needs a numeric `start_seq`"))?,
+                max: json.get("max").and_then(Json::as_u64).unwrap_or(DEFAULT_REPL_BATCH),
+            }),
+            "repl.heartbeat" => Ok(WireRequest::ReplHeartbeat { dataset }),
+            "promote" => Ok(WireRequest::Promote),
             "close" => Ok(WireRequest::Close),
             other => Err(bad(&format!("unknown op `{other}`"))),
         }
@@ -392,6 +463,47 @@ pub fn stats_to_json(stats: &ServerStats) -> Json {
         ("cache_len", Json::Num(stats.cache_len as f64)),
         ("snapshot_swaps", Json::Num(stats.snapshot_swaps as f64)),
     ])
+}
+
+/// Per-tenant durability figures reported under the `durability` key of
+/// a `stats` response (absent for non-durable tenants).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DurabilityStats {
+    /// Sequence number of the last durably appended WAL record.
+    pub last_wal_seq: u64,
+    /// Epoch of the last committed checkpoint.
+    pub checkpoint_epoch: u64,
+    /// `last_seq` of the last committed checkpoint.
+    pub checkpoint_seq: u64,
+    /// WAL bytes on disk since that checkpoint (header included).
+    pub wal_bytes: u64,
+}
+
+impl DurabilityStats {
+    /// Serialises under stable key names.
+    pub fn to_json(&self) -> Json {
+        obj(vec![
+            ("last_wal_seq", Json::Num(self.last_wal_seq as f64)),
+            ("checkpoint_epoch", Json::Num(self.checkpoint_epoch as f64)),
+            ("checkpoint_seq", Json::Num(self.checkpoint_seq as f64)),
+            ("wal_bytes", Json::Num(self.wal_bytes as f64)),
+        ])
+    }
+
+    /// Decodes the `durability` object of a stats response.
+    pub fn from_json(json: &Json) -> Result<Self, WireError> {
+        let field = |key: &str| {
+            json.get(key)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| WireError::protocol(format!("durability lacks numeric `{key}`")))
+        };
+        Ok(DurabilityStats {
+            last_wal_seq: field("last_wal_seq")?,
+            checkpoint_epoch: field("checkpoint_epoch")?,
+            checkpoint_seq: field("checkpoint_seq")?,
+            wal_bytes: field("wal_bytes")?,
+        })
+    }
 }
 
 /// Splits a response document into `Ok(success body)` or the typed
@@ -500,6 +612,11 @@ mod tests {
             },
             WireRequest::Append { dataset: None, rows: "1.5,2.5,A\n".into() },
             WireRequest::Stats { dataset: Some("users".into()) },
+            WireRequest::ReplSubscribe { dataset: "trades".into(), start_seq: 7 },
+            WireRequest::ReplRecords { dataset: "trades".into(), start_seq: 7, max: 64 },
+            WireRequest::ReplHeartbeat { dataset: None },
+            WireRequest::ReplHeartbeat { dataset: Some("trades".into()) },
+            WireRequest::Promote,
             WireRequest::Close,
         ];
         for request in requests {
@@ -521,6 +638,10 @@ mod tests {
             "{\"op\": \"query\", \"request\": {\"thresholds\": \"high\"}}",
             "{\"op\": \"append\"}",
             "{\"op\": \"append\", \"rows\": []}",
+            "{\"op\": \"repl.subscribe\"}",
+            "{\"op\": \"repl.subscribe\", \"dataset\": \"t\"}",
+            "{\"op\": \"repl.records\", \"start_seq\": 1}",
+            "{\"op\": \"repl.records\", \"dataset\": \"t\"}",
         ];
         for text in bad {
             let err = WireRequest::from_json(&arcs_core::jsonio::parse(text).unwrap()).unwrap_err();
@@ -542,5 +663,30 @@ mod tests {
             split_response(arcs_core::jsonio::parse("{\"weird\": true}").unwrap()).unwrap_err().code,
             CODE_PROTOCOL
         );
+    }
+
+    #[test]
+    fn not_primary_is_never_retryable() {
+        // Retrying a write against the same standby cannot succeed;
+        // pinning the contract here so RETRYABLE_CODES can't grow it by
+        // accident.
+        let err = WireError::new(CODE_NOT_PRIMARY, "standby; primary is 127.0.0.1:4000");
+        assert!(!err.retryable());
+        assert_eq!(RETRYABLE_CODES, &["OVERLOADED"]);
+    }
+
+    #[test]
+    fn durability_stats_round_trip() {
+        let stats = DurabilityStats {
+            last_wal_seq: 12,
+            checkpoint_epoch: 9,
+            checkpoint_seq: 9,
+            wal_bytes: 301,
+        };
+        let text = stats.to_json().to_string();
+        let back = DurabilityStats::from_json(&arcs_core::jsonio::parse(&text).unwrap()).unwrap();
+        assert_eq!(back, stats);
+        let err = DurabilityStats::from_json(&arcs_core::jsonio::parse("{}").unwrap()).unwrap_err();
+        assert_eq!(err.code, CODE_PROTOCOL);
     }
 }

@@ -38,11 +38,12 @@ use std::path::{Path, PathBuf};
 use std::sync::{Arc, Mutex, MutexGuard};
 
 use arcs_core::jsonio::{obj, Json};
+use arcs_core::repl::ShippedRecord;
 use arcs_core::wal::{
     load_checkpoint, replay, save_checkpoint, write_atomic, CheckpointMeta, WalRecord, WalTail,
     WalWriter,
 };
-use arcs_core::{ArcsError, BinArray, Binner};
+use arcs_core::{faults, ArcsError, BinArray, Binner};
 use arcs_data::{AttrKind, Attribute, Schema};
 
 /// File name of the tenant descriptor inside a tenant directory.
@@ -309,13 +310,21 @@ impl TenantStore {
                 dir.display()
             ))
         })?;
-        let (wal, replayed) = WalWriter::recover(&dir.join(WAL_FILE))?;
+        let (mut wal, replayed) = WalWriter::recover(&dir.join(WAL_FILE))?;
         if replayed.start_seq > checkpoint.last_seq + 1 {
             return Err(checkpoint_err(format!(
                 "WAL starts at seq {} but the checkpoint covers only up to {}: \
                  records were lost between them",
                 replayed.start_seq, checkpoint.last_seq
             )));
+        }
+        // An empty log (including a zero-byte file recover just rebuilt a
+        // header for) carries no sequence information of its own: anchor
+        // it to the checkpoint, or fresh appends would receive sequence
+        // numbers at or below `last_seq` and be skipped by the next
+        // replay.
+        if wal.is_empty() && wal.next_seq() != checkpoint.last_seq + 1 {
+            wal.reset(checkpoint.last_seq + 1)?;
         }
         let torn_bytes = match replayed.tail {
             WalTail::Torn { dropped_bytes, .. } => dropped_bytes,
@@ -447,6 +456,135 @@ impl TenantStore {
         st.wal.reset(last_seq + 1)?;
         Ok(true)
     }
+
+    // -- replication (primary side) -----------------------------------
+
+    /// Sequence number of the last durably appended record (0 when the
+    /// log has never held one).
+    pub fn last_wal_seq(&self) -> u64 {
+        lock(&self.state).wal.next_seq().saturating_sub(1)
+    }
+
+    /// Epoch of the last committed checkpoint.
+    pub fn checkpoint_epoch(&self) -> u64 {
+        lock(&self.state).checkpoint_epoch
+    }
+
+    /// `last_seq` of the last committed checkpoint.
+    pub fn checkpoint_seq(&self) -> u64 {
+        lock(&self.state).checkpoint_seq
+    }
+
+    /// Reads up to `max` WAL records starting at `from_seq`, re-encoded
+    /// for shipping to a standby. Runs under the append lock, so the
+    /// batch is a consistent prefix of the log: no append or checkpoint
+    /// reset can interleave with the read.
+    ///
+    /// When `from_seq` predates the live log (those records were folded
+    /// into a checkpoint and truncated away), the standby is too far
+    /// behind to tail — the plan says so and it must install a
+    /// [`CheckpointTransfer`] instead.
+    ///
+    /// The `repl.record` failpoint fires once per shipped record; a
+    /// fault cuts the batch short at a record boundary (a torn ship),
+    /// which the standby tolerates by re-requesting from its cursor.
+    pub fn ship_records(&self, from_seq: u64, max: usize) -> Result<ShipPlan, ArcsError> {
+        let st = lock(&self.state);
+        let replayed = replay(st.wal.path())?;
+        if from_seq < replayed.start_seq {
+            return Ok(ShipPlan::Resync);
+        }
+        let mut records = Vec::new();
+        for record in replayed.records.iter().filter(|r| r.seq >= from_seq).take(max.max(1)) {
+            if faults::check("repl.record").is_err() {
+                break;
+            }
+            records.push(ShippedRecord::encode(record));
+        }
+        Ok(ShipPlan::Records(records))
+    }
+
+    /// Snapshots the committed checkpoint pair (plus the tenant
+    /// descriptor) for transfer to a bootstrapping or lagging standby.
+    /// Runs under the append lock so a concurrent checkpoint cannot
+    /// prune the array file mid-read.
+    pub fn checkpoint_transfer(&self) -> Result<CheckpointTransfer, ArcsError> {
+        let st = lock(&self.state);
+        let read_text = |name: &str| {
+            let path = self.dir.join(name);
+            std::fs::read_to_string(&path)
+                .map_err(|e| checkpoint_err(format!("cannot read {}: {e}", path.display())))
+        };
+        let tenant_json = read_text(TENANT_META_FILE)?;
+        let meta_json = read_text(CHECKPOINT_META_FILE)?;
+        let bin = self.dir.join(checkpoint_bin_file(st.checkpoint_epoch));
+        let array_bytes = std::fs::read(&bin)
+            .map_err(|e| checkpoint_err(format!("cannot read {}: {e}", bin.display())))?;
+        Ok(CheckpointTransfer {
+            tenant_json,
+            meta_json,
+            array_bytes,
+            epoch: st.checkpoint_epoch,
+            last_seq: st.checkpoint_seq,
+        })
+    }
+}
+
+/// What [`TenantStore::ship_records`] decided a tailing standby needs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ShipPlan {
+    /// Records from the live log, starting exactly at the requested
+    /// sequence (empty when the standby is caught up).
+    Records(Vec<ShippedRecord>),
+    /// The requested sequence predates the live log: the standby must
+    /// install a full checkpoint transfer and tail from there.
+    Resync,
+}
+
+/// A committed checkpoint pair packaged for shipping: the tenant
+/// descriptor, the meta sidecar, and the raw array snapshot bytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CheckpointTransfer {
+    /// `tenant.json` text.
+    pub tenant_json: String,
+    /// `checkpoint.meta` text.
+    pub meta_json: String,
+    /// Raw bytes of `checkpoint.<epoch>.bin`.
+    pub array_bytes: Vec<u8>,
+    /// Epoch the pair was committed at.
+    pub epoch: u64,
+    /// Last WAL sequence folded into the pair.
+    pub last_seq: u64,
+}
+
+/// Installs a shipped checkpoint transfer as a standby tenant directory,
+/// overwriting whatever stale state is there: descriptor first, then the
+/// array, then the meta rename that commits the pair, then a fresh WAL
+/// anchored at `last_seq + 1` — the same commit order the primary's own
+/// checkpoints use, so a crash mid-install leaves a directory that is
+/// either old, new, or visibly torn (never silently mixed). The
+/// installed pair is loaded back before returning, so a transfer mangled
+/// in flight is a typed error, not a serving standby.
+pub fn install_transfer(dir: &Path, transfer: &CheckpointTransfer) -> Result<(), ArcsError> {
+    let meta_doc = arcs_core::jsonio::parse(&transfer.meta_json)
+        .map_err(|e| checkpoint_err(format!("transfer checkpoint.meta is not JSON: {e}")))?;
+    let meta = CheckpointMeta::from_json(&meta_doc)?;
+    if meta.epoch != transfer.epoch || meta.last_seq != transfer.last_seq {
+        return Err(checkpoint_err(format!(
+            "transfer envelope says epoch {} / last_seq {} but the meta inside says {} / {}",
+            transfer.epoch, transfer.last_seq, meta.epoch, meta.last_seq
+        )));
+    }
+    std::fs::create_dir_all(dir)?;
+    write_atomic(&dir.join(TENANT_META_FILE), transfer.tenant_json.as_bytes())?;
+    write_atomic(&dir.join(checkpoint_bin_file(meta.epoch)), &transfer.array_bytes)?;
+    write_atomic(&dir.join(CHECKPOINT_META_FILE), transfer.meta_json.as_bytes())?;
+    if load_checkpoint_versioned(dir)?.is_none() {
+        return Err(checkpoint_err("installed transfer did not load back"));
+    }
+    WalWriter::create(&dir.join(WAL_FILE), meta.last_seq + 1)?;
+    prune_superseded_checkpoints(dir, meta.epoch);
+    Ok(())
 }
 
 /// Reads just the checkpoint meta sidecar (`None` when absent): the
@@ -1059,5 +1197,136 @@ mod tests {
             "{report:?}"
         );
         std::fs::remove_dir_all(&data_dir).ok();
+    }
+
+    /// Appends `rows` batches through the store the way the serving path
+    /// would, returning the live array and final epoch.
+    fn append_all(
+        store: &TenantStore,
+        meta: &TenantMeta,
+        array: &BinArray,
+        rows: &[&str],
+    ) -> (BinArray, u64) {
+        let binner = meta.build_binner().unwrap();
+        let mut live = array.clone();
+        let mut epoch = 0u64;
+        for batch in rows {
+            let delta = bin_batch(&meta.schema, &binner, batch).unwrap();
+            epoch = store
+                .append(batch.as_bytes(), None, || {
+                    live.merge(&delta)?;
+                    epoch += 1;
+                    Ok(epoch)
+                })
+                .unwrap();
+        }
+        (live, epoch)
+    }
+
+    #[test]
+    fn ship_records_streams_the_live_log_and_signals_resync() {
+        let dir = temp_dir("ship");
+        let meta = tiny_meta();
+        let array = tiny_array(&meta);
+        let store = TenantStore::create(&dir, &meta, &array, None).unwrap();
+        let batches = ["1.5,1.5,A\n", "2.5,2.5,other\n", "3.5,3.5,A\n"];
+        let (live, epoch) = append_all(&store, &meta, &array, &batches);
+
+        // The full log ships in order and decodes back to the payloads.
+        let ShipPlan::Records(all) = store.ship_records(1, 100).unwrap() else {
+            panic!("expected records");
+        };
+        assert_eq!(all.len(), 3);
+        for (i, shipped) in all.iter().enumerate() {
+            assert_eq!(shipped.seq, i as u64 + 1);
+            assert_eq!(shipped.decode().unwrap().payload, batches[i].as_bytes());
+        }
+
+        // A mid-log cursor gets the suffix; `max` bounds the batch; a
+        // caught-up cursor gets an empty batch, not an error.
+        assert!(matches!(store.ship_records(3, 100).unwrap(), ShipPlan::Records(r) if r.len() == 1));
+        assert!(matches!(store.ship_records(1, 2).unwrap(), ShipPlan::Records(r) if r.len() == 2));
+        assert!(matches!(store.ship_records(4, 100).unwrap(), ShipPlan::Records(r) if r.is_empty()));
+
+        // After a checkpoint truncates the log, pre-checkpoint cursors
+        // must re-sync; the caught-up cursor still tails normally.
+        let snapshot = Arc::new(live);
+        assert!(store.checkpoint_with(1, || (epoch, Arc::clone(&snapshot))).unwrap());
+        assert_eq!(store.ship_records(2, 100).unwrap(), ShipPlan::Resync);
+        assert!(matches!(store.ship_records(4, 100).unwrap(), ShipPlan::Records(r) if r.is_empty()));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn checkpoint_transfer_installs_as_an_identical_standby() {
+        let data_dir = temp_dir("transfer");
+        let primary_dir = data_dir.join("primary");
+        let standby_dir = data_dir.join("standby");
+        let meta = tiny_meta();
+        let array = tiny_array(&meta);
+        let store = TenantStore::create(&primary_dir, &meta, &array, Some(64)).unwrap();
+        let (live, epoch) = append_all(&store, &meta, &array, &["1.5,1.5,A\n", "2.5,2.5,other\n"]);
+        let snapshot = Arc::new(live.clone());
+        assert!(store.checkpoint_with(1, || (epoch, Arc::clone(&snapshot))).unwrap());
+
+        let transfer = store.checkpoint_transfer().unwrap();
+        assert_eq!(transfer.epoch, 2);
+        assert_eq!(transfer.last_seq, 2);
+
+        // A mangled array or a lying envelope is refused outright.
+        let mut torn = transfer.clone();
+        torn.array_bytes[10] ^= 0x40;
+        assert!(install_transfer(&standby_dir, &torn).is_err());
+        let mut lying = transfer.clone();
+        lying.epoch += 1;
+        assert!(install_transfer(&standby_dir, &lying).is_err());
+
+        // The intact transfer installs (over the torn leftovers) and
+        // opens bit-identically at the primary's checkpoint state.
+        install_transfer(&standby_dir, &transfer).unwrap();
+        let (standby, standby_meta, recovered, report) = TenantStore::open(&standby_dir).unwrap();
+        assert_eq!(standby_meta, meta);
+        assert_eq!(report.epoch, 2);
+        assert_eq!(recovered.checksum(), live.checksum());
+        assert_eq!(standby.last_wal_seq(), 2);
+        assert_eq!(standby.checkpoint_epoch(), 2);
+        assert_eq!(standby.checkpoint_seq(), 2);
+
+        // The standby's log continues the primary's numbering.
+        append_all(&standby, &meta, &recovered, &["4.5,4.5,A\n"]);
+        let ShipPlan::Records(records) = standby.ship_records(3, 10).unwrap() else {
+            panic!("expected records");
+        };
+        assert_eq!(records[0].seq, 3);
+        std::fs::remove_dir_all(&data_dir).ok();
+    }
+
+    #[test]
+    fn empty_wal_file_reanchors_to_the_checkpoint_on_open() {
+        let dir = temp_dir("reanchor");
+        let meta = tiny_meta();
+        let array = tiny_array(&meta);
+        let store = TenantStore::create(&dir, &meta, &array, None).unwrap();
+        let (live, epoch) = append_all(&store, &meta, &array, &["1.5,1.5,A\n", "2.5,2.5,other\n"]);
+        let snapshot = Arc::new(live.clone());
+        assert!(store.checkpoint_with(1, || (epoch, Arc::clone(&snapshot))).unwrap());
+        drop(store);
+
+        // Lose the log entirely (a zero-byte file, e.g. created but never
+        // written). Recovery must anchor the fresh log at checkpoint
+        // last_seq + 1 so new appends are not replay-skipped.
+        std::fs::write(dir.join(WAL_FILE), b"").unwrap();
+        let (reopened, _, recovered, report) = TenantStore::open(&dir).unwrap();
+        assert_eq!(report, RecoveryReport { replayed_records: 0, torn_bytes: 0, epoch: 2 });
+        assert_eq!(recovered.checksum(), live.checksum());
+        assert_eq!(reopened.last_wal_seq(), 2);
+        let (live2, _) = append_all(&reopened, &meta, &recovered, &["3.5,3.5,A\n"]);
+        drop(reopened);
+
+        let (_, _, recovered2, report2) = TenantStore::open(&dir).unwrap();
+        assert_eq!(report2.replayed_records, 1, "the new append must replay, not be skipped");
+        assert_eq!(report2.epoch, 3);
+        assert_eq!(recovered2.checksum(), live2.checksum());
+        std::fs::remove_dir_all(&dir).ok();
     }
 }
