@@ -17,9 +17,9 @@ use crate::error::ArcsError;
 use crate::metrics::RecoveryStats;
 
 /// Maximum times a panicked shard (or a panicking chunk-entry failpoint)
-/// is retried before the sequential fallback takes over. Two retries
-/// absorb transient faults; persistent ones reach the fallback quickly.
-pub const MAX_SHARD_RETRIES: usize = 2;
+/// is retried before the sequential fallback takes over. Re-exported
+/// from the execution engine, which owns the shared recovery contract.
+pub use crate::exec::MAX_SHARD_RETRIES;
 
 /// How a resilient streaming run treats tuples that fail validation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -310,7 +310,8 @@ impl Binner {
         Ok(array)
     }
 
-    /// Bins an in-memory slice of rows across `threads` scoped workers.
+    /// Bins an in-memory slice of rows across up to `threads` persistent
+    /// pool workers (see [`ExecPool`](crate::exec::ExecPool)).
     ///
     /// Each worker fills a *private* [`BinArray`] over one contiguous
     /// chunk of `rows`; the shards are then merged in chunk order via
@@ -341,35 +342,29 @@ impl Binner {
                 "binning thread count must be positive".into(),
             ));
         }
-        // Below this many rows per worker, thread spawn + merge overhead
-        // exceeds the binning work itself.
+        // Below this many rows per worker, queue + merge overhead exceeds
+        // the binning work itself.
         const MIN_ROWS_PER_WORKER: usize = 4_096;
         let workers = threads.min(rows.len() / MIN_ROWS_PER_WORKER).max(1);
         if workers == 1 {
-            return Ok((self.bin_rows(rows.iter())?, RecoveryStats::default()));
+            // Small input: sequential path. The recorded worker count
+            // makes the clamp observable — a `threads > 1` request that
+            // ran sequentially reports `effective_workers == 1` instead
+            // of silently masquerading as a parallel run.
+            let stats = RecoveryStats { effective_workers: 1, ..RecoveryStats::default() };
+            return Ok((self.bin_rows(rows.iter())?, stats));
         }
         let chunk = rows.len().div_ceil(workers);
-        let attempts: Vec<std::thread::Result<Result<BinArray, ArcsError>>> =
-            std::thread::scope(|scope| {
-                let handles: Vec<_> = rows
-                    .chunks(chunk)
-                    .map(|shard| {
-                        scope.spawn(move || {
-                            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                                crate::faults::check("binner.shard")?;
-                                self.bin_rows(shard.iter())
-                            }))
-                        })
-                    })
-                    .collect();
-                // The worker body is entirely inside catch_unwind, so the
-                // outer join can only fail on a panic *between* the two —
-                // fold that into the same caught-panic path.
-                handles.into_iter().map(|h| h.join().unwrap_or_else(Err)).collect()
+        let shards: Vec<&[Tuple]> = rows.chunks(chunk).collect();
+        let (attempts, pool_stats) =
+            crate::exec::ExecPool::global().run_shards(workers, &shards, |_, shard| {
+                crate::faults::check("binner.shard")?;
+                self.bin_rows(shard.iter())
             });
         let mut stats = RecoveryStats::default();
+        stats.record_pool(&pool_stats);
         let mut merged: Option<BinArray> = None;
-        for (attempt, shard) in attempts.into_iter().zip(rows.chunks(chunk)) {
+        for (attempt, shard) in attempts.into_iter().zip(shards) {
             let shard_array = match attempt {
                 // Typed errors are deterministic — retrying cannot help.
                 Ok(result) => result?,
@@ -392,36 +387,29 @@ impl Binner {
 
     /// Re-runs a panicked shard: bounded retries through the (still
     /// armed) `binner.shard` failpoint, then one final pass on the plain
-    /// sequential routine with the failpoint out of the loop. A panic on
-    /// the final pass is unrecoverable and surfaces as
-    /// [`ArcsError::WorkerPanicked`].
+    /// sequential routine with the failpoint out of the loop. Delegates
+    /// to [`run_recovered`](crate::exec::run_recovered) — the one retry
+    /// contract shared by every parallel stage (see
+    /// [`RecoveryStats`]). A panic on the final pass is unrecoverable
+    /// and surfaces as [`ArcsError::WorkerPanicked`].
     fn recover_shard(
         &self,
         shard: &[Tuple],
         stats: &mut RecoveryStats,
     ) -> Result<BinArray, ArcsError> {
-        for _ in 0..MAX_SHARD_RETRIES {
-            stats.shard_retries += 1;
-            match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        crate::exec::run_recovered(
+            stats,
+            "binning",
+            || {
                 crate::faults::check("binner.shard")?;
                 self.bin_rows(shard.iter())
-            })) {
-                Ok(result) => return result,
-                Err(_) => stats.worker_panics += 1,
-            }
-        }
-        stats.sequential_fallbacks += 1;
-        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| self.bin_rows(shard.iter())))
-            .unwrap_or_else(|panic| {
-                Err(ArcsError::WorkerPanicked {
-                    stage: "binning",
-                    message: crate::error::panic_message(panic),
-                })
-            })
+            },
+            || self.bin_rows(shard.iter()),
+        )
     }
 
-    /// Streams `tuples` into a fresh [`BinArray`] using `threads` scoped
-    /// workers fed over a bounded channel.
+    /// Streams `tuples` into a fresh [`BinArray`] using `threads`
+    /// persistent pool workers fed over a bounded channel.
     ///
     /// The calling thread plays producer: it pulls the iterator in chunks
     /// and hands each chunk to whichever worker is free; every worker
@@ -459,70 +447,68 @@ impl Binner {
                 "binning thread count must be positive".into(),
             ));
         }
-        if threads == 1 {
-            return Ok((self.bin_stream(tuples)?, RecoveryStats::default()));
+        let pool = crate::exec::ExecPool::global();
+        if threads == 1 || !pool.has_workers() {
+            // The producer/consumer split needs at least one pool worker
+            // (the caller is busy producing); without one, stream
+            // sequentially instead of deadlocking on a full channel.
+            let stats = RecoveryStats { effective_workers: 1, ..RecoveryStats::default() };
+            return Ok((self.bin_stream(tuples)?, stats));
         }
         // Chunk size balances channel traffic (bigger = fewer sends)
         // against producer/worker overlap (smaller = earlier start).
         const CHUNK: usize = 16_384;
         use std::sync::mpsc;
-        use std::sync::{Arc, Mutex};
+        use std::sync::Mutex;
         type Shard = Result<(BinArray, RecoveryStats), ArcsError>;
-        let shards: Vec<Shard> = std::thread::scope(|scope| {
-            let (tx, rx) = mpsc::sync_channel::<Vec<Tuple>>(threads * 2);
-            let rx = Arc::new(Mutex::new(rx));
-            let handles: Vec<_> = (0..threads)
-                .map(|_| {
-                    let rx = Arc::clone(&rx);
-                    scope.spawn(move || -> Shard {
-                        let mut array = self.new_bin_array()?;
-                        let mut stats = RecoveryStats::default();
-                        loop {
-                            // Hold the lock only for the receive itself so
-                            // other workers can pick up chunks while this
-                            // one bins. Nothing panics while holding it;
-                            // recover the guard if a sibling test thread
-                            // ever poisoned the mutex anyway.
-                            let chunk = match rx
-                                .lock()
-                                .unwrap_or_else(|poisoned| poisoned.into_inner())
-                                .recv()
-                            {
-                                Ok(chunk) => chunk,
-                                Err(_) => break, // producer done
-                            };
-                            self.pass_stream_chunk_failpoint(&mut stats)?;
-                            for tuple in &chunk {
-                                self.bin_into(tuple, &mut array);
-                            }
-                        }
-                        Ok((array, stats))
-                    })
-                })
-                .collect();
-            let mut iter = tuples.into_iter();
-            loop {
-                let chunk: Vec<Tuple> = iter.by_ref().take(CHUNK).collect();
-                if chunk.is_empty() || tx.send(chunk).is_err() {
-                    break;
+        let (tx, rx) = mpsc::sync_channel::<Vec<Tuple>>(threads * 2);
+        let rx = Mutex::new(rx);
+        let (attempts, (), pool_stats) = pool.run_with_producer(
+            threads,
+            |_| -> Shard {
+                let mut array = self.new_bin_array()?;
+                let mut stats = RecoveryStats::default();
+                loop {
+                    // Hold the lock only for the receive itself so other
+                    // workers can pick up chunks while this one bins.
+                    // Nothing panics while holding it; recover the guard
+                    // if a sibling test thread ever poisoned the mutex
+                    // anyway.
+                    let chunk = match rx
+                        .lock()
+                        .unwrap_or_else(|poisoned| poisoned.into_inner())
+                        .recv()
+                    {
+                        Ok(chunk) => chunk,
+                        Err(_) => break, // producer done
+                    };
+                    self.pass_stream_chunk_failpoint(&mut stats)?;
+                    for tuple in &chunk {
+                        self.bin_into(tuple, &mut array);
+                    }
                 }
-            }
-            drop(tx);
-            handles
-                .into_iter()
-                .map(|h| {
-                    h.join().unwrap_or_else(|panic| {
-                        Err(ArcsError::WorkerPanicked {
-                            stage: "binning",
-                            message: crate::error::panic_message(panic),
-                        })
-                    })
-                })
-                .collect()
-        });
+                Ok((array, stats))
+            },
+            move || {
+                let mut iter = tuples.into_iter();
+                loop {
+                    let chunk: Vec<Tuple> = iter.by_ref().take(CHUNK).collect();
+                    if chunk.is_empty() || tx.send(chunk).is_err() {
+                        break;
+                    }
+                }
+            },
+        );
         let mut stats = RecoveryStats::default();
+        stats.record_pool(&pool_stats);
         let mut merged: Option<BinArray> = None;
-        for shard in shards {
+        for attempt in attempts {
+            let shard: Shard = attempt.unwrap_or_else(|panic| {
+                Err(ArcsError::WorkerPanicked {
+                    stage: "binning",
+                    message: crate::error::panic_message(panic),
+                })
+            });
             let (array, shard_stats) = shard?;
             stats.merge(&shard_stats);
             match merged.as_mut() {
@@ -540,22 +526,24 @@ impl Binner {
     /// binned: panics are caught and retried up to [`MAX_SHARD_RETRIES`]
     /// times, after which the failpoint is disarmed for this chunk (the
     /// stream equivalent of the sequential fallback). Typed errors
-    /// propagate immediately.
+    /// propagate immediately. Accounting follows the shared
+    /// [`run_recovered`](crate::exec::run_recovered) contract documented
+    /// on [`RecoveryStats`]: the initial panic counts one
+    /// `worker_panics`, each retry counts `shard_retries` before it
+    /// runs, and the disarm counts one `sequential_fallbacks`.
     fn pass_stream_chunk_failpoint(&self, stats: &mut RecoveryStats) -> Result<(), ArcsError> {
-        let mut retries = 0;
-        loop {
-            match std::panic::catch_unwind(|| crate::faults::check("binner.stream-chunk")) {
-                Ok(result) => return result,
-                Err(_) => {
-                    stats.worker_panics += 1;
-                    if retries < MAX_SHARD_RETRIES {
-                        retries += 1;
-                        stats.shard_retries += 1;
-                    } else {
-                        stats.sequential_fallbacks += 1;
-                        return Ok(());
-                    }
-                }
+        match std::panic::catch_unwind(|| crate::faults::check("binner.stream-chunk")) {
+            Ok(result) => result,
+            Err(_) => {
+                stats.worker_panics += 1;
+                crate::exec::run_recovered(
+                    stats,
+                    "binning",
+                    || crate::faults::check("binner.stream-chunk"),
+                    // The "fallback" for a chunk-entry fault is simply to
+                    // proceed: no tuple has touched the array yet.
+                    || Ok(()),
+                )
             }
         }
     }

@@ -190,14 +190,14 @@ impl BinMap {
     pub fn bin_of_value(&self, v: f64) -> usize {
         match self {
             BinMap::EquiWidth { lo, hi, n_bins } => {
-                if v <= *lo {
-                    return 0;
-                }
-                if v >= *hi {
-                    return n_bins - 1;
-                }
+                // Branchless: Rust's f64→usize cast saturates (negatives
+                // and NaN to 0, overflow to usize::MAX), so the two
+                // boundary branches collapse into the arithmetic — `v ≤
+                // lo` lands at 0 via the cast, `v ≥ hi` lands at `n_bins
+                // - 1` via the min. `bin_of_value_reference` keeps the
+                // branchy form; a test sweeps both for bit-identity.
                 let width = (hi - lo) / *n_bins as f64;
-                (((v - lo) / width) as usize).min(n_bins - 1)
+                (((v - *lo) / width) as usize).min(n_bins - 1)
             }
             BinMap::Boundaries { edges } => {
                 let n = edges.len() - 1;
@@ -398,5 +398,65 @@ mod tests {
         let m = BinMap::equi_width(0.0, 10.0, 5).unwrap();
         assert_eq!(m.bin_of(Value::Quant(3.0)), 1);
         assert_eq!(m.bin_of(Value::Cat(3)), 1); // coerced code
+    }
+
+    /// The branchy equi-width bin-id that `bin_of_value` shipped with
+    /// before the branchless rewrite — kept as the oracle for
+    /// `branchless_equi_width_matches_branchy_reference`.
+    fn equi_width_bin_reference(lo: f64, hi: f64, n_bins: usize, v: f64) -> usize {
+        if v <= lo {
+            return 0;
+        }
+        if v >= hi {
+            return n_bins - 1;
+        }
+        let width = (hi - lo) / n_bins as f64;
+        (((v - lo) / width) as usize).min(n_bins - 1)
+    }
+
+    #[test]
+    fn branchless_equi_width_matches_branchy_reference() {
+        let domains = [
+            (0.0, 10.0, 5usize),
+            (-3.5, 7.25, 8),
+            (0.0, 1e-9, 3),
+            (-1e12, 1e12, 64),
+            (1.0, 1.0 + f64::EPSILON, 2),
+        ];
+        for &(lo, hi, n_bins) in &domains {
+            let m = BinMap::EquiWidth { lo, hi, n_bins };
+            let width = (hi - lo) / n_bins as f64;
+            let mut probes = vec![
+                f64::NAN,
+                f64::NEG_INFINITY,
+                f64::INFINITY,
+                lo - 1.0,
+                lo - f64::EPSILON,
+                lo,
+                lo + f64::EPSILON,
+                hi - f64::EPSILON,
+                hi,
+                hi + f64::EPSILON,
+                hi + 1.0,
+                (lo + hi) / 2.0,
+            ];
+            for k in 0..=n_bins {
+                let edge = lo + width * k as f64;
+                probes.extend([edge.next_down(), edge, edge.next_up()]);
+            }
+            for v in probes {
+                assert_eq!(
+                    m.bin_of_value(v),
+                    equi_width_bin_reference(lo, hi, n_bins, v),
+                    "divergence at v={v:?} over [{lo}, {hi}) with {n_bins} bins"
+                );
+            }
+        }
+        // Degenerate lo == hi (unreachable via the validating
+        // constructor, but the cast semantics must still agree).
+        let m = BinMap::EquiWidth { lo: 2.0, hi: 2.0, n_bins: 4 };
+        for v in [1.0, 2.0, 3.0, f64::NAN] {
+            assert_eq!(m.bin_of_value(v), equi_width_bin_reference(2.0, 2.0, 4, v));
+        }
     }
 }

@@ -107,51 +107,52 @@ pub fn enumerate_candidates_parallel(grid: &Grid, threads: usize) -> Vec<Rect> {
 
 /// [`enumerate_candidates_parallel`] plus panic-isolation tallies.
 ///
-/// A panicked stripe worker is retried up to
-/// [`MAX_SHARD_RETRIES`](crate::binner::MAX_SHARD_RETRIES) times, then
-/// recomputed on the calling thread with the `bitop.stripe` failpoint out
-/// of the loop. Each attempt rescans the stripe from the read-only grid,
-/// so recovery is side-effect free and the concatenated result stays
-/// bit-identical, stripe order included. A panic from the scan itself on
-/// the final attempt propagates: enumeration has no typed-error channel,
-/// and the caller's `catch_unwind`-free path would abort anyway.
+/// Stripes run on the persistent worker pool
+/// ([`ExecPool`](crate::exec::ExecPool)). A panicked stripe worker is
+/// retried up to [`MAX_SHARD_RETRIES`](crate::exec::MAX_SHARD_RETRIES)
+/// times, then recomputed on the calling thread with the `bitop.stripe`
+/// failpoint out of the loop. Each attempt rescans the stripe from the
+/// read-only grid, so recovery is side-effect free and the concatenated
+/// result stays bit-identical, stripe order included. A panic from the
+/// scan itself on the final attempt propagates: enumeration has no
+/// typed-error channel, and the caller's `catch_unwind`-free path would
+/// abort anyway.
 pub fn enumerate_candidates_parallel_with_stats(
     grid: &Grid,
     threads: usize,
 ) -> (Vec<Rect>, RecoveryStats) {
-    let threads = threads.max(1).min(grid.height());
-    if threads == 1 {
-        return (enumerate_candidates(grid), RecoveryStats::default());
+    let height = grid.height();
+    let threads = threads.max(1).min(height.max(1));
+    if height == 0 || threads == 1 {
+        // `height == 0` is unreachable through the validated `Grid`
+        // constructors but must not divide by zero below (the clamp
+        // would yield `threads == 0`); a degenerate grid simply has no
+        // candidates and takes the sequential path.
+        let stats = RecoveryStats { effective_workers: 1, ..RecoveryStats::default() };
+        return (enumerate_candidates(grid), stats);
     }
-    let stripe = grid.height().div_ceil(threads);
-    let mut stripes: Vec<Vec<Rect>> = Vec::with_capacity(threads);
+    let stripe = height.div_ceil(threads);
+    let ranges: Vec<(usize, usize)> = (0..threads)
+        .map(|t| (t * stripe, ((t + 1) * stripe).min(height)))
+        .collect();
+    let (attempts, pool_stats) =
+        crate::exec::ExecPool::global().run_shards(threads, &ranges, |_, &(lo, hi)| {
+            fault_check_stripe();
+            enumerate_rows(grid, lo, hi)
+        });
     let mut stats = RecoveryStats::default();
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..threads)
-            .map(|t| {
-                let lo = t * stripe;
-                let hi = ((t + 1) * stripe).min(grid.height());
-                scope.spawn(move || {
-                    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                        fault_check_stripe();
-                        enumerate_rows(grid, lo, hi)
-                    }))
-                })
-            })
-            .collect();
-        for (t, handle) in handles.into_iter().enumerate() {
-            let lo = t * stripe;
-            let hi = ((t + 1) * stripe).min(grid.height());
-            let rects = match handle.join().unwrap_or_else(Err) {
-                Ok(rects) => rects,
-                Err(_) => {
-                    stats.worker_panics += 1;
-                    recover_stripe(grid, lo, hi, &mut stats)
-                }
-            };
-            stripes.push(rects);
-        }
-    });
+    stats.record_pool(&pool_stats);
+    let mut stripes: Vec<Vec<Rect>> = Vec::with_capacity(threads);
+    for (attempt, &(lo, hi)) in attempts.into_iter().zip(&ranges) {
+        let rects = match attempt {
+            Ok(rects) => rects,
+            Err(_) => {
+                stats.worker_panics += 1;
+                recover_stripe(grid, lo, hi, &mut stats)
+            }
+        };
+        stripes.push(rects);
+    }
     (stripes.concat(), stats)
 }
 
@@ -166,30 +167,41 @@ fn fault_check_stripe() {
 }
 
 /// Retries a panicked stripe scan, then recomputes it without the
-/// failpoint. See [`enumerate_candidates_parallel_with_stats`].
+/// failpoint — through [`run_recovered`](crate::exec::run_recovered), so
+/// the binner and BitOp tally identical fault schedules identically (the
+/// contract documented on [`RecoveryStats`]). Enumeration has no typed
+/// error channel, so an unrecoverable final-pass panic re-raises as a
+/// panic carrying the [`ArcsError::WorkerPanicked`] message.
 fn recover_stripe(grid: &Grid, lo: usize, hi: usize, stats: &mut RecoveryStats) -> Vec<Rect> {
-    for _ in 0..crate::binner::MAX_SHARD_RETRIES {
-        stats.shard_retries += 1;
-        match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+    crate::exec::run_recovered(
+        stats,
+        "bitop",
+        || {
             fault_check_stripe();
-            enumerate_rows(grid, lo, hi)
-        })) {
-            Ok(rects) => return rects,
-            Err(_) => stats.worker_panics += 1,
-        }
-    }
-    stats.sequential_fallbacks += 1;
-    enumerate_rows(grid, lo, hi)
+            Ok(enumerate_rows(grid, lo, hi))
+        },
+        || Ok(enumerate_rows(grid, lo, hi)),
+    )
+    .unwrap_or_else(|err| panic!("{err}"))
 }
 
 /// Figure 6 scan restricted to start rows `r0 ∈ [row_lo, row_hi)` (each
 /// scan still extends downward through the whole grid).
+///
+/// The inner loop is word-parallel in the style of the bit-sliced
+/// smoothing kernel: one branch-free pass ANDs the running mask with the
+/// next row into a second buffer while OR-folding a change detector
+/// (`mask ^ next`) and a liveness accumulator, so the per-word
+/// `changed`/`empty` branches of the scalar formulation disappear from
+/// the hot loop. The scalar oracle is kept as
+/// [`enumerate_candidates_reference`]; a proptest pins their equivalence.
 fn enumerate_rows(grid: &Grid, row_lo: usize, row_hi: usize) -> Vec<Rect> {
     let mut candidates = Vec::new();
     let height = grid.height();
     let width = grid.width();
     let words = grid.words_per_row();
     let mut mask = vec![0u64; words];
+    let mut next = vec![0u64; words];
 
     for r0 in row_lo..row_hi.min(height) {
         mask.copy_from_slice(grid.row(r0));
@@ -198,29 +210,25 @@ fn enumerate_rows(grid: &Grid, row_lo: usize, row_hi: usize) -> Vec<Rect> {
         }
         let mut top = r0; // last row included in the current mask
         for r in r0 + 1..height {
-            // next = mask & row[r]; detect change without an extra buffer.
+            // next = mask & row[r], with `diff`/`live` OR-accumulated
+            // word-parallel instead of branched per word.
             let row = grid.row(r);
-            let mut changed = false;
-            let mut empty = true;
-            for (m, &w) in mask.iter().zip(row) {
-                let next = m & w;
-                if next != *m {
-                    changed = true;
-                }
-                if next != 0 {
-                    empty = false;
-                }
+            let mut diff = 0u64;
+            let mut live = 0u64;
+            for ((n, &m), &w) in next.iter_mut().zip(&mask).zip(row) {
+                let and = m & w;
+                *n = and;
+                diff |= m ^ and;
+                live |= and;
             }
-            if !changed {
+            if diff == 0 {
                 top = r;
                 continue;
             }
             // Emit the prior mask's runs: rectangles spanning rows r0..=top.
             emit_runs(&mask, width, r0, top, &mut candidates);
-            for (m, &w) in mask.iter_mut().zip(row) {
-                *m &= w;
-            }
-            if empty {
+            std::mem::swap(&mut mask, &mut next);
+            if live == 0 {
                 top = r0; // unused; loop exits
                 break;
             }
@@ -237,6 +245,63 @@ fn emit_runs(mask: &[u64], width: usize, y0: usize, y1: usize, out: &mut Vec<Rec
     for_each_run(mask, width, |x0, x1| {
         out.push(Rect { x0, y0, x1, y1 });
     });
+}
+
+/// The scalar oracle for [`enumerate_candidates`]: the pre-bit-slicing
+/// formulation with per-word `changed`/`empty` branches and the
+/// bit-at-a-time run extraction
+/// ([`for_each_run_reference`](crate::grid::for_each_run_reference)).
+/// Kept verbatim for differential testing — a proptest asserts the
+/// word-parallel kernel produces the identical candidate list on random
+/// grids.
+pub fn enumerate_candidates_reference(grid: &Grid) -> Vec<Rect> {
+    let mut candidates = Vec::new();
+    let height = grid.height();
+    let width = grid.width();
+    let words = grid.words_per_row();
+    let mut mask = vec![0u64; words];
+
+    for r0 in 0..height {
+        mask.copy_from_slice(grid.row(r0));
+        if mask.iter().all(|&w| w == 0) {
+            continue;
+        }
+        let mut top = r0;
+        for r in r0 + 1..height {
+            let row = grid.row(r);
+            let mut changed = false;
+            let mut empty = true;
+            for (m, &w) in mask.iter().zip(row) {
+                let next = m & w;
+                if next != *m {
+                    changed = true;
+                }
+                if next != 0 {
+                    empty = false;
+                }
+            }
+            if !changed {
+                top = r;
+                continue;
+            }
+            crate::grid::for_each_run_reference(&mask, width, |x0, x1| {
+                candidates.push(Rect { x0, y0: r0, x1, y1: top });
+            });
+            for (m, &w) in mask.iter_mut().zip(row) {
+                *m &= w;
+            }
+            if empty {
+                break;
+            }
+            top = r;
+        }
+        if mask.iter().any(|&w| w != 0) {
+            crate::grid::for_each_run_reference(&mask, width, |x0, x1| {
+                candidates.push(Rect { x0, y0: r0, x1, y1: top });
+            });
+        }
+    }
+    candidates
 }
 
 /// Work counters from one greedy clustering run. Independent of thread
@@ -537,10 +602,15 @@ mod tests {
         assert_eq!(clusters, vec![Rect { x0: 0, y0: 0, x1: 3, y1: 3 }]);
         assert!(stats.candidates_enumerated >= 2);
         assert_eq!(stats.clusters_pruned, 1);
-        // Stats are schedule-independent.
+        // Counts and fault tallies are schedule-independent; the pool
+        // telemetry inside `recovery` (tasks run, steals, queue depth,
+        // effective workers) legitimately varies with the thread count,
+        // so compare through `faults_only()`.
         let (_, parallel_stats) =
             cluster_with_stats(&grid, &BitOpConfig { threads: 4, ..config }).unwrap();
-        assert_eq!(stats, parallel_stats);
+        assert_eq!(stats.candidates_enumerated, parallel_stats.candidates_enumerated);
+        assert_eq!(stats.clusters_pruned, parallel_stats.clusters_pruned);
+        assert_eq!(stats.recovery.faults_only(), parallel_stats.recovery.faults_only());
         // Without pruning nothing is suppressed.
         let (_, loose) = cluster_with_stats(&grid, &BitOpConfig::no_pruning()).unwrap();
         assert_eq!(loose.clusters_pruned, 0);
@@ -583,6 +653,22 @@ mod tests {
         )
         .unwrap();
         assert_eq!(base, threaded);
+    }
+
+    #[test]
+    fn parallel_enumeration_survives_zero_height_grid() {
+        // Regression: the stripe partitioner used to clamp `threads` to
+        // `height` without a floor, so a zero-height grid produced
+        // `threads == 0` and `height.div_ceil(0)` panicked. The public
+        // `Grid` constructors reject zero dimensions, hence the
+        // test-only degenerate constructor.
+        let grid = Grid::degenerate_zero_height(8);
+        for threads in [1, 2, 4] {
+            let (rects, stats) = enumerate_candidates_parallel_with_stats(&grid, threads);
+            assert!(rects.is_empty());
+            assert_eq!(stats.effective_workers, 1);
+            assert!(!stats.any());
+        }
     }
 
     #[test]

@@ -48,6 +48,20 @@ impl Grid {
         })
     }
 
+    /// Test-only: a zero-height grid, impossible through the validated
+    /// constructors. Exists so the parallel-enumeration degenerate-grid
+    /// guard can be exercised (a zero height used to clamp the stripe
+    /// worker count to zero and divide by zero).
+    #[cfg(test)]
+    pub(crate) fn degenerate_zero_height(width: usize) -> Self {
+        Grid {
+            width,
+            height: 0,
+            words_per_row: width.div_ceil(64),
+            bits: Vec::new(),
+        }
+    }
+
     /// Builds a grid from an iterator of set cells.
     pub fn from_cells<I>(width: usize, height: usize, cells: I) -> Result<Self, ArcsError>
     where
@@ -260,7 +274,64 @@ impl Iterator for BitIter {
 /// Extracts the maximal runs of consecutive set bits from a packed word
 /// mask of `width` bits, calling `f(start_x, end_x)` (inclusive) per run.
 /// This is BitOp's `process_row` primitive.
+///
+/// Both run *lengths* and the zero gaps between runs are skipped with one
+/// `trailing_zeros` each, so the cost is proportional to the number of
+/// runs, not the number of bits — the bit-sliced treatment the smoothing
+/// kernel got in its word-parallel rewrite. The bit-at-a-time
+/// formulation is kept as [`for_each_run_reference`] and pinned
+/// equivalent by unit tests and a proptest.
 pub fn for_each_run(words: &[u64], width: usize, mut f: impl FnMut(usize, usize)) {
+    let mut run_start: Option<usize> = None;
+    for (wi, &word) in words.iter().enumerate() {
+        let base = wi * 64;
+        if base >= width {
+            break;
+        }
+        let bits_in_word = (width - base).min(64);
+        let mut w = word;
+        if bits_in_word < 64 {
+            w &= (1u64 << bits_in_word) - 1;
+        }
+        // A run carried in from the previous word ends here if bit 0 is
+        // clear; if set, the first run below resumes it.
+        if w & 1 == 0 {
+            if let Some(carried) = run_start.take() {
+                f(carried, base - 1);
+            }
+        }
+        let mut offset = 0usize;
+        while offset < bits_in_word {
+            let rest = w >> offset;
+            if rest == 0 {
+                break; // no set bits left in this word
+            }
+            // One tz to skip the zero gap, one to measure the run.
+            let start_bit = offset + rest.trailing_zeros() as usize;
+            let ones = (!w >> start_bit).trailing_zeros() as usize;
+            let run_end = start_bit + ones; // exclusive
+            let start = match run_start.take() {
+                Some(carried) if start_bit == 0 => carried,
+                _ => base + start_bit,
+            };
+            if run_end >= bits_in_word {
+                // The run reaches the word's edge — it may continue into
+                // the next word; decided there (or flushed after the loop).
+                run_start = Some(start);
+                break;
+            }
+            f(start, base + run_end - 1);
+            offset = run_end;
+        }
+    }
+    if let Some(start) = run_start {
+        f(start, width.min(words.len() * 64) - 1);
+    }
+}
+
+/// The scalar oracle for [`for_each_run`]: the original bit-at-a-time
+/// formulation, kept verbatim for differential testing.
+pub fn for_each_run_reference(words: &[u64], width: usize, mut f: impl FnMut(usize, usize)) {
     let mut run_start: Option<usize> = None;
     let mut x = 0usize;
     for (wi, &word) in words.iter().enumerate() {

@@ -22,6 +22,7 @@ pub mod cover;
 pub mod edges;
 pub mod engine;
 pub mod error;
+pub mod exec;
 pub mod factorial;
 pub mod faults;
 pub mod grid;
@@ -53,6 +54,7 @@ pub use engine::{
     mine_rules, mine_rules_indexed, mine_rules_reference, BinnedRule, Thresholds,
 };
 pub use error::ArcsError;
+pub use exec::{ExecConfig, ExecPool, PoolStats, MAX_SHARD_RETRIES};
 pub use grid::Grid;
 pub use index::{DeltaMiner, GroupCell, OccupancyIndex};
 pub use metrics::{

@@ -152,6 +152,21 @@ pub struct PipelineCounters {
     pub repl_resyncs: u64,
     /// Replication heartbeat rounds served or completed.
     pub repl_heartbeats: u64,
+    /// Shard tasks executed through the persistent worker pool
+    /// ([`ExecPool`](crate::exec::ExecPool)) across all parallel calls.
+    pub pool_tasks_run: u64,
+    /// Pool shard tasks executed by pool workers rather than the
+    /// submitting thread (schedule-dependent; see
+    /// [`PoolStats`](crate::exec::PoolStats)).
+    pub pool_steals: u64,
+    /// Deepest injector backlog observed at submit time across all pool
+    /// calls (merged by maximum, not summed).
+    pub pool_max_queue_depth: u64,
+    /// Largest effective worker count any parallel call actually used
+    /// after input-size clamping (merged by maximum). When this stays at
+    /// 1 despite `threads > 1`, every input was small enough to take the
+    /// sequential path.
+    pub workers_effective: u64,
 }
 
 impl PipelineCounters {
@@ -184,21 +199,54 @@ impl PipelineCounters {
         self.repl_gaps_refused += other.repl_gaps_refused;
         self.repl_resyncs += other.repl_resyncs;
         self.repl_heartbeats += other.repl_heartbeats;
+        self.pool_tasks_run += other.pool_tasks_run;
+        self.pool_steals += other.pool_steals;
+        self.pool_max_queue_depth = self.pool_max_queue_depth.max(other.pool_max_queue_depth);
+        self.workers_effective = self.workers_effective.max(other.workers_effective);
     }
 
-    /// Folds panic-isolation tallies from one parallel call into the
-    /// session counters.
+    /// Folds panic-isolation and pool-scheduling tallies from one
+    /// parallel call into the session counters.
     pub fn record_recovery(&mut self, recovery: &RecoveryStats) {
         self.worker_panics += recovery.worker_panics;
         self.shard_retries += recovery.shard_retries;
         self.sequential_fallbacks += recovery.sequential_fallbacks;
+        self.pool_tasks_run += recovery.pool_tasks_run;
+        self.pool_steals += recovery.pool_steals;
+        self.pool_max_queue_depth = self.pool_max_queue_depth.max(recovery.pool_max_queue_depth);
+        self.workers_effective = self.workers_effective.max(recovery.effective_workers);
     }
 }
 
-/// Tallies from panic isolation in one parallel call: how many worker
-/// panics were caught, how often a shard was retried, and how many shards
-/// ended up on the sequential fallback path. All zero in healthy runs;
-/// the result data is bit-identical either way.
+/// Tallies from panic isolation and pool scheduling in one parallel
+/// call. The fault fields are all zero in healthy runs; the result data
+/// is bit-identical either way.
+///
+/// # The retry-accounting contract
+///
+/// Every parallel stage (binner shards, BitOp stripes, optimizer batch
+/// points, stream chunks) accounts for a panicked work unit through one
+/// shared helper ([`run_recovered`](crate::exec::run_recovered)) with one
+/// order, so identical fault schedules produce identical tallies across
+/// stages:
+///
+/// 1. the *initial* caught panic increments `worker_panics` once;
+/// 2. each bounded retry increments `shard_retries` **before** the
+///    attempt runs, and `worker_panics` again if that attempt panics;
+/// 3. exhausting [`MAX_SHARD_RETRIES`](crate::exec::MAX_SHARD_RETRIES)
+///    increments `sequential_fallbacks` once for the fault-free
+///    recomputation.
+///
+/// A unit that panics persistently therefore tallies
+/// `(worker_panics, shard_retries, sequential_fallbacks)` =
+/// `(1 + MAX_SHARD_RETRIES, MAX_SHARD_RETRIES, 1)`; a single transient
+/// panic tallies `(1, 1, 0)`. `tests/faults.rs` asserts this contract
+/// holds identically for the binner and BitOp under the same schedule.
+///
+/// The pool fields (`pool_*`, `effective_workers`) describe the
+/// *schedule*, not the work: they legitimately differ across thread
+/// counts while results stay bit-identical. Cross-thread-count equality
+/// tests should compare [`faults_only`](RecoveryStats::faults_only).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct RecoveryStats {
     /// Worker panics caught by the isolation layer.
@@ -208,19 +256,57 @@ pub struct RecoveryStats {
     /// Shards/batches recomputed sequentially after retries were
     /// exhausted.
     pub sequential_fallbacks: u64,
+    /// Shard tasks this call executed through the persistent pool.
+    pub pool_tasks_run: u64,
+    /// Shards executed by pool workers rather than the submitting thread.
+    pub pool_steals: u64,
+    /// Deepest injector backlog observed while submitting (merge: max).
+    pub pool_max_queue_depth: u64,
+    /// Worker slots the call actually used after input-size clamping
+    /// (merge: max). Stays 1 when the input was too small to go
+    /// parallel — the observable signal that a `threads > 1` request
+    /// took the sequential path.
+    pub effective_workers: u64,
 }
 
 impl RecoveryStats {
-    /// Adds `other`'s tallies into `self`.
+    /// Adds `other`'s tallies into `self` (`max` for the high-water
+    /// fields `pool_max_queue_depth` / `effective_workers`).
     pub fn merge(&mut self, other: &RecoveryStats) {
         self.worker_panics += other.worker_panics;
         self.shard_retries += other.shard_retries;
         self.sequential_fallbacks += other.sequential_fallbacks;
+        self.pool_tasks_run += other.pool_tasks_run;
+        self.pool_steals += other.pool_steals;
+        self.pool_max_queue_depth = self.pool_max_queue_depth.max(other.pool_max_queue_depth);
+        self.effective_workers = self.effective_workers.max(other.effective_workers);
     }
 
-    /// `true` when any fault was observed.
+    /// `true` when any fault was observed (pool scheduling fields do not
+    /// count — they are populated in healthy runs too).
     pub fn any(&self) -> bool {
         self.worker_panics > 0 || self.shard_retries > 0 || self.sequential_fallbacks > 0
+    }
+
+    /// Copy with the schedule-dependent pool fields zeroed, keeping only
+    /// the fault tallies — the projection to compare across thread
+    /// counts, where the schedule legitimately differs but fault
+    /// accounting must not.
+    pub fn faults_only(&self) -> RecoveryStats {
+        RecoveryStats {
+            worker_panics: self.worker_panics,
+            shard_retries: self.shard_retries,
+            sequential_fallbacks: self.sequential_fallbacks,
+            ..RecoveryStats::default()
+        }
+    }
+
+    /// Folds one pool call's scheduling stats into this record.
+    pub fn record_pool(&mut self, pool: &crate::exec::PoolStats) {
+        self.pool_tasks_run += pool.tasks_run;
+        self.pool_steals += pool.steals;
+        self.pool_max_queue_depth = self.pool_max_queue_depth.max(pool.max_queue_depth);
+        self.effective_workers = self.effective_workers.max(pool.effective_workers);
     }
 }
 
@@ -334,7 +420,14 @@ impl PipelineReport {
         ));
         out.push_str(&format!("\"repl_gaps_refused\":{},", c.repl_gaps_refused));
         out.push_str(&format!("\"repl_resyncs\":{},", c.repl_resyncs));
-        out.push_str(&format!("\"repl_heartbeats\":{}", c.repl_heartbeats));
+        out.push_str(&format!("\"repl_heartbeats\":{},", c.repl_heartbeats));
+        out.push_str(&format!("\"pool_tasks_run\":{},", c.pool_tasks_run));
+        out.push_str(&format!("\"pool_steals\":{},", c.pool_steals));
+        out.push_str(&format!(
+            "\"pool_max_queue_depth\":{},",
+            c.pool_max_queue_depth
+        ));
+        out.push_str(&format!("\"workers_effective\":{}", c.workers_effective));
         out.push_str("}}");
         out
     }
@@ -436,6 +529,10 @@ mod tests {
             "\"repl_gaps_refused\"",
             "\"repl_resyncs\"",
             "\"repl_heartbeats\"",
+            "\"pool_tasks_run\"",
+            "\"pool_steals\"",
+            "\"pool_max_queue_depth\"",
+            "\"workers_effective\"",
         ] {
             assert!(json.contains(key), "missing {key} in {json}");
         }

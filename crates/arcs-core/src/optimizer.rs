@@ -16,7 +16,7 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use arcs_data::Tuple;
 
 use crate::binarray::BinArray;
-use crate::binner::{Binner, MAX_SHARD_RETRIES};
+use crate::binner::Binner;
 use crate::bitop::{self, BitOpConfig, ClusterStats};
 use crate::cluster::Rect;
 use crate::engine::Thresholds;
@@ -360,8 +360,9 @@ fn evaluate_point(
     evaluate_into(binner, sample, point, config, reminer)
 }
 
-/// Evaluates `points` in order across up to `threads` scoped workers,
-/// each holding a private [`Reminer`] against the shared immutable
+/// Evaluates `points` in order across up to `threads` persistent pool
+/// workers (see [`ExecPool`](crate::exec::ExecPool)), each chunk holding
+/// a private [`Reminer`] against the shared immutable
 /// [`OccupancyIndex`]. Results come back in `points` order, so callers
 /// can replay the sequential selection logic over them unchanged.
 ///
@@ -386,52 +387,59 @@ fn evaluate_batch(
     let workers = threads.min(points.len()).max(1);
     if workers == 1 {
         let mut reminer = Reminer::new(index, gk)?;
+        let stats = RecoveryStats { effective_workers: 1, ..RecoveryStats::default() };
         return points
             .iter()
             .map(|&t| evaluate_point(binner, sample, t, config, &mut reminer))
             .collect::<Result<_, _>>()
-            .map(|results| (results, RecoveryStats::default()));
+            .map(|results| (results, stats));
     }
-    let mut slots: Vec<Option<Result<(Evaluation, EvalStats), ArcsError>>> =
-        (0..points.len()).map(|_| None).collect();
+    type Slots = Vec<Option<Result<(Evaluation, EvalStats), ArcsError>>>;
     let per_worker = points.len().div_ceil(workers);
-    std::thread::scope(|scope| {
-        for (point_chunk, slot_chunk) in
-            points.chunks(per_worker).zip(slots.chunks_mut(per_worker))
-        {
-            scope.spawn(move || {
-                let mut reminer = match Reminer::new(index, gk) {
-                    Ok(reminer) => reminer,
-                    Err(err) => {
-                        // Surface through the first slot; the chunk's
-                        // remaining empty slots are recovered by the
-                        // caller (and will hit the same error there).
-                        if let Some(slot) = slot_chunk.first_mut() {
-                            *slot = Some(Err(err));
-                        }
-                        return;
-                    }
-                };
-                for (&point, slot) in point_chunk.iter().zip(slot_chunk.iter_mut()) {
-                    let outcome = catch_unwind(AssertUnwindSafe(|| {
-                        evaluate_point(binner, sample, point, config, &mut reminer)
-                    }));
-                    match outcome {
-                        Ok(result) => *slot = Some(result),
-                        Err(_) => match Reminer::new(index, gk) {
-                            Ok(fresh) => reminer = fresh,
-                            Err(err) => {
-                                *slot = Some(Err(err));
-                                return;
-                            }
-                        },
-                    }
+    let chunks: Vec<&[Thresholds]> = points.chunks(per_worker).collect();
+    let (attempts, pool_stats) =
+        crate::exec::ExecPool::global().run_shards(workers, &chunks, |_, point_chunk| {
+            let mut chunk_slots: Slots = (0..point_chunk.len()).map(|_| None).collect();
+            let mut reminer = match Reminer::new(index, gk) {
+                Ok(reminer) => reminer,
+                Err(err) => {
+                    // Surface through the first slot; the chunk's
+                    // remaining empty slots are recovered by the
+                    // caller (and will hit the same error there).
+                    chunk_slots[0] = Some(Err(err));
+                    return chunk_slots;
                 }
-            });
+            };
+            for (&point, slot) in point_chunk.iter().zip(chunk_slots.iter_mut()) {
+                let outcome = catch_unwind(AssertUnwindSafe(|| {
+                    evaluate_point(binner, sample, point, config, &mut reminer)
+                }));
+                match outcome {
+                    Ok(result) => *slot = Some(result),
+                    Err(_) => match Reminer::new(index, gk) {
+                        Ok(fresh) => reminer = fresh,
+                        Err(err) => {
+                            *slot = Some(Err(err));
+                            return chunk_slots;
+                        }
+                    },
+                }
+            }
+            chunk_slots
+        });
+    let mut slots: Slots = Vec::with_capacity(points.len());
+    for (attempt, chunk) in attempts.into_iter().zip(&chunks) {
+        match attempt {
+            Ok(chunk_slots) => slots.extend(chunk_slots),
+            // The chunk body is panic-isolated per point, so a
+            // whole-chunk panic is out-of-envelope; treat every point in
+            // the chunk as panicked and recover them individually below.
+            Err(_) => slots.extend((0..chunk.len()).map(|_| None)),
         }
-    });
+    }
     let mut results = Vec::with_capacity(points.len());
     let mut batch_recovery = RecoveryStats::default();
+    batch_recovery.record_pool(&pool_stats);
     for (slot_index, slot) in slots.into_iter().enumerate() {
         match slot {
             Some(result) => results.push(result?),
@@ -451,9 +459,12 @@ fn evaluate_batch(
 
 /// Recovers one evaluation point whose worker panicked: bounded retries
 /// with any failpoint still armed, then a final sequential attempt with
-/// the failpoint disarmed. A panic on the final attempt is genuine and
-/// surfaces as [`ArcsError::WorkerPanicked`]. Every attempt starts from a
-/// fresh [`Reminer`] so a half-updated delta grid can never leak in.
+/// the failpoint disarmed — through
+/// [`run_recovered`](crate::exec::run_recovered), the retry contract
+/// shared by every parallel stage (see [`RecoveryStats`]). A panic on
+/// the final attempt is genuine and surfaces as
+/// [`ArcsError::WorkerPanicked`]. Every attempt starts from a fresh
+/// [`Reminer`] so a half-updated delta grid can never leak in.
 fn recover_point(
     index: &OccupancyIndex,
     gk: u32,
@@ -463,27 +474,18 @@ fn recover_point(
     config: &OptimizerConfig,
     recovery: &mut RecoveryStats,
 ) -> Result<(Evaluation, EvalStats), ArcsError> {
-    for _ in 0..MAX_SHARD_RETRIES {
-        recovery.shard_retries += 1;
-        let mut reminer = Reminer::new(index, gk)?;
-        match catch_unwind(AssertUnwindSafe(|| {
+    crate::exec::run_recovered(
+        recovery,
+        "optimizer",
+        || {
+            let mut reminer = Reminer::new(index, gk)?;
             evaluate_point(binner, sample, point, config, &mut reminer)
-        })) {
-            Ok(result) => return result,
-            Err(_) => recovery.worker_panics += 1,
-        }
-    }
-    recovery.sequential_fallbacks += 1;
-    let mut reminer = Reminer::new(index, gk)?;
-    catch_unwind(AssertUnwindSafe(|| {
-        evaluate_into(binner, sample, point, config, &mut reminer)
-    }))
-    .unwrap_or_else(|panic| {
-        Err(ArcsError::WorkerPanicked {
-            stage: "optimizer",
-            message: crate::error::panic_message(panic),
-        })
-    })
+        },
+        || {
+            let mut reminer = Reminer::new(index, gk)?;
+            evaluate_into(binner, sample, point, config, &mut reminer)
+        },
+    )
 }
 
 /// Mutable state of the greedy selection replayed over evaluations in
@@ -859,11 +861,13 @@ mod tests {
         };
         let sequential = optimize(&ba, 0, &b, &sample, &base).unwrap();
         // Delta-mining work counters are schedule-dependent (each parallel
-        // worker starts its own crossing chain); everything else must be
-        // bit-identical.
+        // worker starts its own crossing chain), as is the pool telemetry
+        // inside `recovery` (tasks run, steals, queue depth, effective
+        // workers); everything else must be bit-identical.
         let normalized = |stats: SearchStats| SearchStats {
             cells_visited: 0,
             remine_delta_hits: 0,
+            recovery: stats.recovery.faults_only(),
             ..stats
         };
         for threads in [2, 4, 8] {

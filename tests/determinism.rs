@@ -76,10 +76,11 @@ fn arcs_with_threads(threads: usize) -> Arcs {
     Arcs::new(config).unwrap()
 }
 
-/// PR 2 tentpole guarantee: the parallel execution layer is bit-identical
-/// to the sequential one — same `BinArray` checksum after sharded binning
-/// and the same rules in the same order after the parallel threshold
-/// search — on the paper's Agrawal F2 workload.
+/// PR 2 tentpole guarantee, re-asserted over the persistent worker pool
+/// (PR 10): the parallel execution layer is bit-identical to the
+/// sequential one — same `BinArray` checksum after sharded binning and
+/// the same rules in the same order after the parallel threshold search —
+/// on the paper's Agrawal F2 workload at every pooled thread count.
 #[test]
 fn parallel_execution_is_bit_identical_on_agrawal_f2() {
     let mut gen = AgrawalGenerator::new(GeneratorConfig::paper_defaults(99)).unwrap();
@@ -90,7 +91,7 @@ fn parallel_execution_is_bit_identical_on_agrawal_f2() {
     let base_checksum = baseline.bin_array().checksum();
     let base_seg = baseline.segment().unwrap();
 
-    for threads in [2, 4] {
+    for threads in [2, 4, 8] {
         let mut session = arcs_with_threads(threads).open(&ds, request.clone()).unwrap();
         assert_eq!(
             session.bin_array().checksum(),

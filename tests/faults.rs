@@ -162,6 +162,93 @@ fn stream_chunk_panics_disarm_and_the_stream_completes() {
     assert!(c.sequential_fallbacks > 0, "{c:?}");
 }
 
+/// The retry-accounting contract documented on `RecoveryStats`: the
+/// binner and BitOp route recovery through the same
+/// `exec::run_recovered` helper, so an identical persistent fault
+/// schedule produces identical tallies in both stages — per failing
+/// unit, `1 + MAX_SHARD_RETRIES` worker panics, `MAX_SHARD_RETRIES`
+/// retries, and one sequential fallback.
+#[test]
+fn binner_and_bitop_tally_identical_fault_schedules_identically() {
+    use arcs::core::binner::{Binner, MAX_SHARD_RETRIES};
+    use arcs::core::bitop;
+    use arcs::core::grid::Grid;
+
+    let _g = guard();
+    // 12_000 rows / MIN_ROWS_PER_WORKER (4_096) → exactly 2 binning
+    // shards at 2 threads; the 4-row grid splits into exactly 2 stripes.
+    let ds = f2_dataset(12_000);
+    let schema = ds.schema().clone();
+    let binner = Binner::equi_width(&schema, "age", "salary", "group", 8, 8).unwrap();
+    let grid = Grid::parse("####\n####\n####\n####\n").unwrap();
+    let units = 2u64; // shards and stripes alike
+
+    faults::configure_from_spec("binner.shard=panic@1+").unwrap();
+    let (_, binner_stats) = binner.bin_rows_parallel_with_stats(ds.rows(), 2).unwrap();
+    faults::clear();
+
+    faults::configure_from_spec("bitop.stripe=panic@1+").unwrap();
+    let (_, bitop_stats) = bitop::enumerate_candidates_parallel_with_stats(&grid, 2);
+    faults::clear();
+
+    for (stage, stats) in [("binner", &binner_stats), ("bitop", &bitop_stats)] {
+        assert_eq!(
+            stats.worker_panics,
+            units * (1 + MAX_SHARD_RETRIES as u64),
+            "{stage}: {stats:?}"
+        );
+        assert_eq!(stats.shard_retries, units * MAX_SHARD_RETRIES as u64, "{stage}: {stats:?}");
+        assert_eq!(stats.sequential_fallbacks, units, "{stage}: {stats:?}");
+    }
+    assert_eq!(
+        binner_stats.faults_only(),
+        bitop_stats.faults_only(),
+        "the two stages diverged on an identical schedule"
+    );
+}
+
+/// Satellite of the PR 10 pool port: a fault schedule hitting every
+/// pooled stage (binning shards, BitOp stripes, optimizer evaluations)
+/// must not wedge the shared worker pool — recovery reproduces the
+/// fault-free segmentation bit-identically at every thread count, and
+/// the pool keeps serving fresh sessions afterwards.
+#[test]
+fn pool_survives_fault_schedules_across_all_stages() {
+    let _g = guard();
+    let ds = f2_dataset(12_000);
+    let clean_seg = {
+        let mut session = arcs_with_threads(4).open(&ds, request()).unwrap();
+        session.segment().unwrap()
+    };
+
+    for threads in [1, 2, 4, 8] {
+        // Panic isolation is a parallel-path contract: at one thread the
+        // stage failpoints sit behind the sequential early-returns (and a
+        // sequential evaluation panic would rightly propagate), so the
+        // optimizer clause is armed for pooled runs only.
+        let spec = if threads == 1 {
+            "binner.shard=panic@1+;bitop.stripe=panic@1+"
+        } else {
+            "binner.shard=panic@1+;bitop.stripe=panic@1+;optimizer.evaluate=panic@1"
+        };
+        faults::configure_from_spec(spec).unwrap();
+        let mut session = arcs_with_threads(threads).open(&ds, request()).unwrap();
+        let seg = session.segment().unwrap();
+        faults::clear();
+        assert_eq!(seg, clean_seg, "faulted run diverged at {threads} threads");
+        if threads > 1 {
+            let c = &session.report().counters;
+            assert!(c.worker_panics > 0, "{threads} threads: {c:?}");
+        }
+    }
+
+    // The pool absorbed every injected panic without losing a worker:
+    // a fault-free pooled run still completes and matches.
+    let mut session = arcs_with_threads(4).open(&ds, request()).unwrap();
+    assert_eq!(session.segment().unwrap(), clean_seg);
+    assert_eq!(session.report().counters.worker_panics, 0);
+}
+
 /// Snapshot I/O failpoints: a scheduled write or read fault surfaces as a
 /// typed error, and the very next attempt round-trips the array intact.
 #[test]

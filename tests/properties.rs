@@ -10,7 +10,7 @@ use arcs::core::cover::{connected_components, optimal_cover};
 use arcs::core::engine::{
     mine_rules, mine_rules_indexed, mine_rules_reference, rule_grid, support_grid,
 };
-use arcs::core::grid::for_each_run;
+use arcs::core::grid::{for_each_run, for_each_run_reference};
 use arcs::core::index::{DeltaMiner, OccupancyIndex};
 use arcs::core::mdl::{mdl_cost, MdlWeights};
 use arcs::core::smooth::{smooth, smooth_reference, BorderMode, Kernel, SmoothConfig};
@@ -145,6 +145,35 @@ proptest! {
             reconstructed[x0..=x1].fill(true);
         });
         prop_assert_eq!(reconstructed, bits);
+    }
+
+    /// The tz-skipping run extractor is bit-identical to the
+    /// bit-at-a-time reference on arbitrary masks — same runs, in the
+    /// same order, including runs that carry across 64-bit word
+    /// boundaries and tail widths that are not word multiples.
+    #[test]
+    fn run_extraction_matches_the_reference(
+        words in vec(any::<u64>(), 1..5),
+        tail in 1usize..=64,
+    ) {
+        let width = (words.len() - 1) * 64 + tail;
+        let mut fast = Vec::new();
+        for_each_run(&words, width, |x0, x1| fast.push((x0, x1)));
+        let mut slow = Vec::new();
+        for_each_run_reference(&words, width, |x0, x1| slow.push((x0, x1)));
+        prop_assert_eq!(fast, slow, "width {}, words {:?}", width, words);
+    }
+
+    /// The word-parallel candidate scan is bit-identical to the branchy
+    /// scalar reference on arbitrary grids — same rectangles, in the
+    /// same order — including word-straddling widths and degenerate
+    /// single-row / single-column shapes.
+    #[test]
+    fn candidate_enumeration_matches_the_reference(grid in wide_grid_strategy()) {
+        prop_assert_eq!(
+            bitop::enumerate_candidates(&grid),
+            bitop::enumerate_candidates_reference(&grid)
+        );
     }
 
     /// Equi-width binning: every value maps into a bin whose range
